@@ -1,0 +1,51 @@
+"""Shared driver for the three figure benchmarks (Figures 5, 6, 7).
+
+Each figure bench runs the (possibly shrunk) grid once, saves the
+rendered table + ASCII panels + CSV under ``benchmarks/results/``,
+asserts the paper's qualitative claims on the produced cells, and times
+one representative cell evaluation as the benchmark kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.claims import check_all_claims, render_claims
+from repro.experiments.figures import PAPER_FIGURES, run_cell, run_figure
+from repro.experiments.results import (
+    CellResult,
+    render_cells_table,
+    render_figure,
+    results_to_csv,
+)
+
+from benchmarks.conftest import grid_kwargs, save_artifact
+
+
+def run_and_save(name: str) -> List[CellResult]:
+    spec = PAPER_FIGURES[name].shrink(**grid_kwargs())
+    cells = run_figure(spec)
+    table = render_cells_table(cells, title=f"{name} ({spec.family})")
+    panels = render_figure(cells, title=f"{name} ({spec.family})")
+    claims = render_claims(check_all_claims(cells))
+    save_artifact(
+        f"{name}.txt", table + "\n\n" + panels + "\n\n" + claims + "\n"
+    )
+    results_to_csv(cells, save_artifact(f"{name}.csv", ""))
+    return cells
+
+
+def assert_paper_shape(cells: List[CellResult]) -> None:
+    """The §VI-C observations (claims C1-C6), asserted on the run grid."""
+    results = check_all_claims(cells)
+    broken = [r for r in results if not r.holds]
+    assert not broken, "\n" + render_claims(broken)
+
+
+def representative_cell(name: str):
+    """One mid-grid cell, used as the timed kernel."""
+    spec = PAPER_FIGURES[name]
+    ccr = spec.ccrs[len(spec.ccrs) // 2]
+    return lambda: run_cell(
+        spec.family, 50, spec.processors[50][1], 0.001, ccr, seed=spec.seed
+    )

@@ -1,0 +1,65 @@
+"""A1: linearization ablation — random topological sort vs min-live-volume.
+
+The paper's future work (§VIII) suggests replacing the arbitrary
+topological sort of ``OnOneProcessor`` with an order that reduces the
+live output volume, hoping to cut the checkpointing cost placed by
+Algorithm 2.  This ablation runs both linearisers (and the deterministic
+Kahn order) across the three families and reports the CKPTSOME expected
+makespan and total checkpointed I/O.  Artefact:
+``benchmarks/results/ablation_linearize.txt``.
+"""
+
+import pytest
+
+from repro.api import run_strategies
+from repro.generators import generate
+from repro.util.tables import format_table
+
+from benchmarks.conftest import FULL, save_artifact
+
+NTASKS = 300 if FULL else 50
+FAMILIES = ("genome", "montage", "ligo")
+METHODS = ("random", "deterministic", "minlive")
+
+
+@pytest.fixture(scope="module")
+def linearize_rows():
+    rows = []
+    for family in FAMILIES:
+        wf = generate(family, NTASKS, seed=5)
+        for method in METHODS:
+            out = run_strategies(
+                wf, 10, pfail=0.001, ccr=0.1, seed=6, linearizer=method
+            )
+            rows.append(
+                [
+                    family,
+                    method,
+                    out.em_some,
+                    out.plan_some.total_io_seconds,
+                    out.plan_some.n_segments,
+                ]
+            )
+    text = format_table(
+        ["family", "linearizer", "EM(some)", "ckpt I/O s", "#segments"],
+        rows,
+        title="Ablation A1: superchain linearization heuristics",
+    )
+    save_artifact("ablation_linearize.txt", text + "\n")
+    return rows
+
+
+def bench_linearize_ablation(benchmark, linearize_rows):
+    """Sanity-checks the ablation table; times a minlive linearisation."""
+    by_family = {}
+    for family, method, em, io, _ in linearize_rows:
+        by_family.setdefault(family, {})[method] = (em, io)
+    for family, res in by_family.items():
+        # minlive must not be catastrophically worse than random
+        assert res["minlive"][0] <= res["random"][0] * 1.10, family
+
+    from repro.generators import generate
+    from repro.scheduling.linearize import linearize
+
+    wf = generate("montage", NTASKS, seed=5)
+    benchmark(linearize, wf.task_ids, wf, "minlive", 7)

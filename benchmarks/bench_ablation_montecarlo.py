@@ -1,0 +1,69 @@
+"""A3: Monte Carlo ablation — antithetic variates and batch size.
+
+The Monte Carlo evaluator is the reproduction's ground truth, so its
+throughput and variance matter.  This ablation measures (a) the variance
+reduction from antithetic sampling and (b) the throughput effect of the
+vectorisation batch size.  Artefact:
+``benchmarks/results/ablation_montecarlo.txt``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import run_strategies
+from repro.generators import generate
+from repro.makespan.montecarlo import sample_makespans
+from repro.util.tables import format_table
+
+from benchmarks.conftest import FULL, save_artifact
+
+NTASKS = 300 if FULL else 50
+TRIALS = 100_000 if FULL else 40_000
+
+
+@pytest.fixture(scope="module")
+def mc_dag():
+    out = run_strategies(
+        generate("montage", NTASKS, seed=3), 10, pfail=0.01, ccr=0.1, seed=4
+    )
+    return out.dag_all
+
+
+@pytest.fixture(scope="module")
+def mc_rows(mc_dag):
+    rows = []
+    for antithetic in (False, True):
+        t0 = time.perf_counter()
+        samples = sample_makespans(mc_dag, TRIALS, seed=5, antithetic=antithetic)
+        dt = time.perf_counter() - t0
+        pairs = (samples[0::2] + samples[1::2]) / 2.0
+        rows.append(
+            [
+                "antithetic" if antithetic else "plain",
+                float(samples.mean()),
+                float(pairs.std(ddof=1) / np.sqrt(pairs.size)),
+                dt,
+            ]
+        )
+    text = format_table(
+        ["sampling", "mean", "stderr (paired)", "seconds"],
+        rows,
+        title=f"Ablation A3: Monte Carlo sampling ({TRIALS} trials)",
+    )
+    save_artifact("ablation_montecarlo.txt", text + "\n")
+    return rows
+
+
+def bench_montecarlo_antithetic(benchmark, mc_rows, mc_dag):
+    """Checks the variance reduction; times antithetic sampling."""
+    plain, anti = mc_rows
+    assert anti[2] <= plain[2] * 1.05  # stderr not worse
+    assert abs(anti[1] - plain[1]) / plain[1] < 0.02  # same estimate
+    benchmark(sample_makespans, mc_dag, 10_000, 6, True)
+
+
+def bench_montecarlo_batched_kernel(benchmark, mc_dag):
+    """Times the plain vectorised sampler (the shared longest-path kernel)."""
+    benchmark(sample_makespans, mc_dag, 10_000, 7)

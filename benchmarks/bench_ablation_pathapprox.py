@@ -1,0 +1,68 @@
+"""A2: PATHAPPROX ablation — recursive common-task factoring vs naive
+path independence, and sensitivity to the path budget ``k``.
+
+The naive CDF-product estimator counts shared heavy spines once per
+candidate path; on fork-join workflows that inflates the estimate by
+O(σ_spine·√log k).  This ablation quantifies the effect against a Monte
+Carlo reference.  Artefact: ``benchmarks/results/ablation_pathapprox.txt``.
+"""
+
+import pytest
+
+from repro.api import run_strategies
+from repro.generators import generate
+from repro.makespan.montecarlo import montecarlo
+from repro.makespan.pathapprox import pathapprox
+from repro.util.tables import format_table
+
+from benchmarks.conftest import FULL, save_artifact
+
+NTASKS = 300 if FULL else 50
+FAMILIES = ("genome", "montage", "ligo", "sipht")
+K_GRID = (1, 5, 20, 50)
+
+
+@pytest.fixture(scope="module")
+def pathapprox_rows():
+    rows = []
+    for family in FAMILIES:
+        out = run_strategies(
+            generate(family, NTASKS, seed=7), 10, pfail=0.01, ccr=0.01, seed=8
+        )
+        dag = out.dag_some
+        ref = montecarlo(dag, trials=100_000 if FULL else 40_000, seed=9)
+        for k in K_GRID:
+            fact = pathapprox(dag, k=k, factor_common=True)
+            naive = pathapprox(dag, k=k, factor_common=False)
+            rows.append(
+                [
+                    family,
+                    k,
+                    ref,
+                    fact,
+                    100 * (fact / ref - 1),
+                    naive,
+                    100 * (naive / ref - 1),
+                ]
+            )
+    text = format_table(
+        ["family", "k", "MC ref", "factored", "err %", "naive", "err %"],
+        rows,
+        title="Ablation A2: PATHAPPROX common-task factoring",
+    )
+    save_artifact("ablation_pathapprox.txt", text + "\n")
+    return rows
+
+
+def bench_pathapprox_factoring(benchmark, pathapprox_rows):
+    """Validates that factoring dominates the naive fold; times k=20."""
+    # At the default k=20, factored error must beat naive error per family.
+    at_default = [r for r in pathapprox_rows if r[1] == 20]
+    for family, k, ref, fact, fact_err, naive, naive_err in at_default:
+        assert abs(fact_err) <= abs(naive_err) + 0.1, family
+        assert abs(fact_err) < 1.5, family
+
+    out = run_strategies(
+        generate("montage", NTASKS, seed=7), 10, pfail=0.01, ccr=0.01, seed=8
+    )
+    benchmark(pathapprox, out.dag_some, 20)

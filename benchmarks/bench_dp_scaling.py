@@ -1,0 +1,61 @@
+"""P1: Algorithm 2 is O(n²) — empirical scaling of the checkpoint DP.
+
+Times the full per-superchain pipeline (cost-table construction +
+dynamic program) on synthetic chains of growing length and records the
+scaling exponent.  Artefact: ``benchmarks/results/dp_scaling.txt``.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.checkpoint.dp import optimal_checkpoint_positions
+from repro.checkpoint.segments import SuperchainCostModel
+from repro.platform import Platform
+from repro.scheduling.schedule import Superchain
+from repro.util.tables import format_table
+
+from benchmarks.conftest import FULL, save_artifact
+from tests.conftest import make_chain
+
+SIZES = (25, 50, 100, 200, 400) if FULL else (25, 50, 100, 200)
+
+
+def chain_model(n: int) -> SuperchainCostModel:
+    wf = make_chain(n, weight=10.0, size=2e6)
+    sc = Superchain(0, 0, tuple(wf.task_ids))
+    return SuperchainCostModel(
+        wf, sc, Platform(1, failure_rate=1e-4, bandwidth=1e6)
+    )
+
+
+@pytest.fixture(scope="module")
+def dp_scaling_rows():
+    rows = []
+    for n in SIZES:
+        model = chain_model(n)
+        t0 = time.perf_counter()
+        positions, value = optimal_checkpoint_positions(model)
+        dt = time.perf_counter() - t0
+        rows.append([n, dt, len(positions), value])
+    text = format_table(
+        ["n", "seconds", "#ckpts", "ETime"],
+        rows,
+        title="Algorithm 2 scaling (cost table + DP, superchain = chain)",
+    )
+    # empirical exponent between the two largest sizes
+    (n1, t1), (n2, t2) = [(r[0], r[1]) for r in rows[-2:]]
+    exponent = math.log(t2 / t1) / math.log(n2 / n1)
+    text += f"\nempirical exponent (last two sizes): {exponent:.2f}\n"
+    save_artifact("dp_scaling.txt", text)
+    return rows, exponent
+
+
+def bench_dp_checkpoint_placement(benchmark, dp_scaling_rows):
+    """Times Algorithm 2 on a 100-task superchain; checks ~quadratic growth."""
+    rows, exponent = dp_scaling_rows
+    # allow generous slack: constant factors and cache effects at small n
+    assert exponent < 3.2
+    model = chain_model(100)
+    benchmark(optimal_checkpoint_positions, model)

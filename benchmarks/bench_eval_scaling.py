@@ -1,0 +1,71 @@
+"""P2: evaluator runtime scaling with DAG size.
+
+Backs the §VI-B speed claims: times each estimator on CKPTALL segment
+DAGs of growing GENOME instances.  Artefact:
+``benchmarks/results/eval_scaling.txt``.
+"""
+
+import time
+
+import pytest
+
+from repro.api import run_strategies
+from repro.generators import genome
+from repro.makespan.api import EVALUATORS
+from repro.util.tables import format_table
+
+from benchmarks.conftest import FULL, save_artifact
+
+SIZES = (50, 300, 1000) if FULL else (50, 300)
+METHODS = ("pathapprox", "normal", "dodin")
+
+
+@pytest.fixture(scope="module")
+def eval_scaling_rows():
+    rows = []
+    dags = {}
+    for n in SIZES:
+        out = run_strategies(genome(n, seed=1), 10, pfail=0.001, ccr=0.01, seed=2)
+        dags[n] = out.dag_all
+        row = [n, out.dag_all.n]
+        for method in METHODS:
+            fn = EVALUATORS[method]
+            t0 = time.perf_counter()
+            fn(out.dag_all)
+            row.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        EVALUATORS["montecarlo"](out.dag_all, trials=10_000, seed=3)
+        row.append(time.perf_counter() - t0)
+        rows.append(row)
+    text = format_table(
+        ["n tasks", "segments", *METHODS, "montecarlo[10k]"],
+        rows,
+        title="Evaluator runtime (seconds) on CKPTALL segment DAGs",
+    )
+    save_artifact("eval_scaling.txt", text + "\n")
+    return rows, dags
+
+
+def bench_pathapprox_largest(benchmark, eval_scaling_rows):
+    """Times PATHAPPROX on the largest DAG in the sweep."""
+    rows, dags = eval_scaling_rows
+    dag = dags[max(dags)]
+    benchmark(EVALUATORS["pathapprox"], dag)
+
+
+def bench_normal_largest(benchmark, eval_scaling_rows):
+    """Times NORMAL (Sculli) on the largest DAG in the sweep."""
+    _, dags = eval_scaling_rows
+    benchmark(EVALUATORS["normal"], dags[max(dags)])
+
+
+def bench_dodin_largest(benchmark, eval_scaling_rows):
+    """Times DODIN on the largest DAG in the sweep."""
+    _, dags = eval_scaling_rows
+    benchmark(EVALUATORS["dodin"], dags[max(dags)])
+
+
+def bench_montecarlo_10k_largest(benchmark, eval_scaling_rows):
+    """Times 10k-trial Monte Carlo on the largest DAG in the sweep."""
+    _, dags = eval_scaling_rows
+    benchmark(EVALUATORS["montecarlo"], dags[max(dags)], trials=10_000, seed=3)

@@ -1,0 +1,31 @@
+"""Figure 5: GENOME — relative expected makespan vs CCR.
+
+Regenerates the paper's Figure 5 grid (GENOME workflows, CCR swept over
+``[1e-4, 1e-2]``): the relative expected makespan of CKPTALL and CKPTNONE
+over CKPTSOME, per workflow size, failure probability and processor
+count.  Artefacts land in ``benchmarks/results/fig5.{txt,csv}``; set
+``REPRO_FULL=1`` for the complete published grid.
+
+The timed kernel is one full experiment cell (generate → mspgify →
+schedule → both checkpoint plans → three expected makespans).
+"""
+
+import pytest
+
+from benchmarks._figure_common import (
+    assert_paper_shape,
+    representative_cell,
+    run_and_save,
+)
+
+
+@pytest.fixture(scope="module")
+def fig5_cells():
+    return run_and_save("fig5")
+
+
+def bench_fig5_genome_grid(benchmark, fig5_cells):
+    """Times one representative GENOME cell; validates the saved grid."""
+    assert_paper_shape(fig5_cells)
+    cell = benchmark(representative_cell("fig5"))
+    assert cell.em_some > 0

@@ -1,0 +1,27 @@
+"""Figure 6: MONTAGE — relative expected makespan vs CCR.
+
+Regenerates the paper's Figure 6 grid (MONTAGE workflows, CCR swept over
+``[1e-3, 1e0]``).  MONTAGE exercises the transitive-skip-edge demotion
+and the shared-corrections-file deduplication on top of the common
+pipeline.  Artefacts in ``benchmarks/results/fig6.{txt,csv}``.
+"""
+
+import pytest
+
+from benchmarks._figure_common import (
+    assert_paper_shape,
+    representative_cell,
+    run_and_save,
+)
+
+
+@pytest.fixture(scope="module")
+def fig6_cells():
+    return run_and_save("fig6")
+
+
+def bench_fig6_montage_grid(benchmark, fig6_cells):
+    """Times one representative MONTAGE cell; validates the saved grid."""
+    assert_paper_shape(fig6_cells)
+    cell = benchmark(representative_cell("fig6"))
+    assert cell.em_some > 0

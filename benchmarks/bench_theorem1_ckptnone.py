@@ -1,0 +1,70 @@
+"""§V / Theorem 1: the CKPTNONE estimator vs the restart-model simulation.
+
+The paper concedes its CKPTNONE formula "is likely to be inaccurate" but
+uses it for lack of a better approximation (the exact quantity is
+#P-complete).  This bench quantifies the claim: at low failure rates the
+first-order estimate matches the simulated restart model tightly; as
+``p·λ·W_par`` grows, the estimate (which truncates at one failure)
+increasingly undershoots the compounding restarts.  Artefact:
+``benchmarks/results/theorem1.txt``.
+"""
+
+import pytest
+
+from repro.generators import genome
+from repro.makespan.ckptnone import (
+    ckptnone_expected_makespan,
+    failure_free_makespan,
+)
+from repro.platform import Platform, lambda_from_pfail
+from repro.scheduling.allocate import schedule_workflow
+from repro.simulation import simulate_ckptnone
+from repro.util.tables import format_table
+
+from benchmarks.conftest import FULL, save_artifact
+
+TRIALS = 100_000 if FULL else 20_000
+
+
+@pytest.fixture(scope="module")
+def theorem1_rows():
+    wf = genome(300 if FULL else 50, seed=2017)
+    sched, _ = schedule_workflow(wf, 10, seed=1)
+    rows = []
+    for pfail in (1e-5, 1e-4, 1e-3, 1e-2):
+        lam = lambda_from_pfail(pfail, wf.mean_weight)
+        plat = Platform(10, failure_rate=lam)
+        est = ckptnone_expected_makespan(wf, sched, plat)
+        sim = simulate_ckptnone(wf, sched, plat, trials=TRIALS, seed=3)
+        rows.append(
+            [
+                pfail,
+                failure_free_makespan(wf, sched),
+                est,
+                sim.mean,
+                est / sim.mean - 1.0,
+            ]
+        )
+    text = format_table(
+        ["pfail", "W_par", "theorem1", "restart sim", "rel err"],
+        rows,
+        title="Theorem 1 estimate vs restart-model simulation (CKPTNONE)",
+    )
+    save_artifact("theorem1.txt", text + "\n")
+    return rows
+
+
+def bench_theorem1_vs_restart_model(benchmark, theorem1_rows):
+    """Validates the error trend; times the Theorem 1 estimator itself."""
+    errors = [abs(r[4]) for r in theorem1_rows]
+    # tight at the lowest rate, degrading monotonically-ish with pfail
+    assert errors[0] < 0.01
+    assert errors[-1] > errors[0]
+    # the estimator always undershoots the compounding restart model
+    assert all(r[2] <= r[3] * 1.01 for r in theorem1_rows)
+
+    wf = genome(50, seed=2017)
+    sched, _ = schedule_workflow(wf, 10, seed=1)
+    lam = lambda_from_pfail(1e-3, wf.mean_weight)
+    plat = Platform(10, failure_rate=lam)
+    benchmark(ckptnone_expected_makespan, wf, sched, plat)

@@ -1,0 +1,51 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one experiment of the paper (a figure panel,
+the §VI-B accuracy table, a Theorem 1 check, or an ablation) and
+
+* saves the full table/panel to ``benchmarks/results/<name>.txt`` (and CSV
+  where applicable), so the artefacts survive pytest's output capture;
+* times a representative kernel with the ``benchmark`` fixture.
+
+Grid sizes default to a CI-friendly subset; set ``REPRO_FULL=1`` to run
+the paper's complete grids (50/300/1000 tasks, all processor counts, all
+three failure probabilities — minutes, not hours).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Full paper grid when set; CI-sized grid otherwise.
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def grid_kwargs():
+    """shrink() arguments for figure specs, honouring REPRO_FULL."""
+    if FULL:
+        return {}
+    return {
+        "sizes": [50, 300],
+        "pfails": [0.01, 0.001],
+        "ccr_points": 5,
+        "processors_per_size": 2,
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Persist a rendered table/panel under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text)
+    return path

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Estimator shoot-out: the paper's §VI-B comparison on one workflow.
+
+Evaluates the expected makespan of a checkpointed GENOME workflow with
+all four methods (MONTECARLO / DODIN / NORMAL / PATHAPPROX) plus the
+exponential-failure simulator, reporting estimates, errors against the
+Monte Carlo reference and runtimes — the basis on which the paper picks
+PATHAPPROX.
+
+Run:  python examples/method_accuracy.py
+"""
+
+import time
+
+from repro.api import run_strategies
+from repro.generators import genome
+from repro.makespan.api import EVALUATORS
+from repro.makespan.montecarlo import montecarlo_result
+from repro.simulation import simulate_plan
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    wf = genome(300, seed=17)
+    out = run_strategies(wf, 35, pfail=0.01, ccr=0.005, seed=18)
+    dag = out.dag_some
+    print(f"workflow: {wf!r}; segment DAG: {dag!r}\n")
+
+    t0 = time.perf_counter()
+    ref = montecarlo_result(dag, trials=200_000, seed=1)
+    ref_time = time.perf_counter() - t0
+
+    rows = [["montecarlo[200k]", ref.mean, 0.0, ref_time]]
+    for method in ("pathapprox", "normal", "dodin"):
+        t0 = time.perf_counter()
+        est = EVALUATORS[method](dag)
+        dt = time.perf_counter() - t0
+        rows.append([method, est, 100 * (est / ref.mean - 1), dt])
+
+    t0 = time.perf_counter()
+    sim = simulate_plan(
+        out.workflow, out.schedule, out.plan_some, out.platform,
+        trials=50_000, seed=2,
+    )
+    rows.append(
+        ["simulator[50k]", sim.mean, 100 * (sim.mean / ref.mean - 1),
+         time.perf_counter() - t0]
+    )
+
+    print(
+        format_table(
+            ["method", "E[makespan]", "vs MC %", "seconds"],
+            rows,
+            title="Expected-makespan estimators (CKPTSOME plan)",
+        )
+    )
+    print(
+        "\nPATHAPPROX tracks the Monte Carlo reference to a fraction of a "
+        "percent at a fraction of the cost — the paper's §VI-B conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

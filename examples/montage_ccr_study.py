@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""MONTAGE CCR study: one panel of the paper's Figure 6.
+
+Sweeps the Communication-to-Computation Ratio for a 300-task MONTAGE
+workflow on 18 processors at pfail = 0.001 and plots the relative
+expected makespans of CKPTALL and CKPTNONE over CKPTSOME as an ASCII
+panel — the exact layout of a Figure 6 sub-plot, with the y = 1
+break-even line marked.
+
+Run:  python examples/montage_ccr_study.py
+"""
+
+from repro.api import run_strategies
+from repro.experiments.figures import log_grid
+from repro.generators import montage
+from repro.util.asciiplot import ascii_xy_plot
+from repro.util.tables import format_table
+
+NTASKS = 300
+PROCESSORS = 18
+PFAIL = 0.001
+
+
+def main() -> None:
+    wf = montage(NTASKS, seed=7)
+    print(f"workflow: {wf!r} (requested {NTASKS} tasks)")
+
+    rows = []
+    all_series = []
+    none_series = []
+    for ccr in log_grid(1e-3, 1e0, 9):
+        out = run_strategies(
+            wf, PROCESSORS, pfail=PFAIL, ccr=ccr, seed=11
+        )
+        rows.append(
+            [
+                ccr,
+                out.em_some,
+                out.em_all,
+                out.em_none,
+                out.ratio_all,
+                out.ratio_none,
+                out.plan_some.n_segments,
+            ]
+        )
+        all_series.append((ccr, out.ratio_all))
+        none_series.append((ccr, out.ratio_none))
+
+    print(
+        format_table(
+            ["CCR", "EM(some)", "EM(all)", "EM(none)", "all/some", "none/some", "#ckpts"],
+            rows,
+            title=f"MONTAGE {NTASKS} tasks, p={PROCESSORS}, pfail={PFAIL}",
+        )
+    )
+    print()
+    print(
+        ascii_xy_plot(
+            {"CKPTALL/CKPTSOME": all_series, "CKPTNONE/CKPTSOME": none_series},
+            logx=True,
+            hline=1.0,
+            title="Relative expected makespan vs CCR (above 1 = CKPTSOME wins)",
+        )
+    )
+    crossover = [c for c, r in none_series if r < 1.0]
+    if crossover:
+        print(
+            f"\nCKPTNONE starts winning at CCR ≈ {min(crossover):.3g} "
+            "(expensive checkpoints, as §VI-C predicts)"
+        )
+
+
+if __name__ == "__main__":
+    main()

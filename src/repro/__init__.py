@@ -1,0 +1,32 @@
+"""repro — reproduction of *Checkpointing Workflows for Fail-Stop Errors*.
+
+Han, Canon, Casanova, Robert, Vivien — IEEE CLUSTER 2017.
+
+Public API overview
+-------------------
+* :class:`repro.mspg.Workflow` — file-grained workflow DAGs.
+* :func:`repro.mspg.recognize` / :func:`repro.mspg.mspgify` — M-SPG
+  structure extraction.
+* :mod:`repro.generators` — Pegasus-style synthetic workflow families
+  (MONTAGE, GENOME, LIGO, …) and DAX I/O.
+* :func:`repro.scheduling.allocate` — Algorithm 1 (list scheduling with
+  proportional mapping), producing superchain schedules.
+* :mod:`repro.checkpoint` — Algorithm 2 (optimal checkpoint placement in
+  superchains) and the CKPTALL / CKPTSOME / CKPTNONE strategies.
+* :mod:`repro.makespan` — expected-makespan evaluation of 2-state
+  probabilistic DAGs (MonteCarlo, Dodin, Normal, PathApprox, exact).
+* :mod:`repro.simulation` — failure-injecting execution simulation.
+* :mod:`repro.experiments` — the paper's experimental harness
+  (Figures 5-7, the §VI-B accuracy study, CCR machinery).
+"""
+
+from repro.platform import Platform, lambda_from_pfail, pfail_from_lambda
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Platform",
+    "lambda_from_pfail",
+    "pfail_from_lambda",
+    "__version__",
+]

@@ -1,0 +1,123 @@
+"""High-level one-call pipeline: generate/transform → schedule → checkpoint
+→ evaluate all three strategies.
+
+This is the facade the examples and the CLI use; each stage remains
+available individually for finer control (see the package docs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.checkpoint.plan import CheckpointPlan
+from repro.checkpoint.strategies import ckpt_all_plan, ckpt_some_plan
+from repro.experiments.ccr import ccr_of, scale_to_ccr
+from repro.makespan.api import expected_makespan
+from repro.makespan.ckptnone import ckptnone_expected_makespan
+from repro.makespan.probdag import ProbDAG
+from repro.makespan.segment_dag import build_segment_dag
+from repro.mspg.expr import MSPG
+from repro.mspg.graph import Workflow
+from repro.mspg.transform import mspgify
+from repro.platform import Platform, lambda_from_pfail
+from repro.scheduling.allocate import allocate
+from repro.scheduling.schedule import Schedule
+from repro.util.rng import SeedLike
+
+__all__ = ["StrategyOutcome", "run_strategies"]
+
+
+@dataclass
+class StrategyOutcome:
+    """Everything produced by one :func:`run_strategies` call."""
+
+    workflow: Workflow
+    platform: Platform
+    tree: MSPG
+    schedule: Schedule
+    plan_some: CheckpointPlan
+    plan_all: CheckpointPlan
+    dag_some: ProbDAG
+    dag_all: ProbDAG
+    em_some: float
+    em_all: float
+    em_none: float
+
+    @property
+    def ratio_all(self) -> float:
+        """``EM(CKPTALL) / EM(CKPTSOME)`` — > 1 means CKPTSOME wins."""
+        return self.em_all / self.em_some
+
+    @property
+    def ratio_none(self) -> float:
+        """``EM(CKPTNONE) / EM(CKPTSOME)`` — > 1 means CKPTSOME wins."""
+        return self.em_none / self.em_some
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        wf, plat = self.workflow, self.platform
+        lines = [
+            f"workflow  : {wf.name} ({wf.n_tasks} tasks, {wf.n_edges} edges, "
+            f"CCR={ccr_of(wf, plat):.4g})",
+            f"platform  : p={plat.processors}, λ={plat.failure_rate:.3g}/s, "
+            f"bw={plat.bandwidth:.3g} B/s",
+            f"schedule  : {len(self.schedule.superchains)} superchains on "
+            f"{len(self.schedule.used_processors())} processors",
+            f"checkpoints: CKPTSOME {self.plan_some.n_segments} / "
+            f"CKPTALL {self.plan_all.n_segments}",
+            f"E[makespan]: some={self.em_some:.6g}s  all={self.em_all:.6g}s  "
+            f"none={self.em_none:.6g}s",
+            f"relative  : all/some={self.ratio_all:.4f}  "
+            f"none/some={self.ratio_none:.4f}",
+        ]
+        return "\n".join(lines)
+
+
+def run_strategies(
+    workflow: Workflow,
+    processors: int,
+    pfail: float = 1e-3,
+    ccr: Optional[float] = None,
+    seed: SeedLike = None,
+    method: str = "pathapprox",
+    bandwidth: float = 100e6,
+    linearizer: str = "random",
+    save_final_outputs: bool = True,
+) -> StrategyOutcome:
+    """Run the full paper pipeline on one workflow.
+
+    Parameters mirror §VI-A: ``pfail`` fixes λ via the workflow's mean
+    task weight; ``ccr`` (if given) rescales file sizes to the target
+    Communication-to-Computation Ratio; ``method`` selects the
+    expected-makespan estimator.
+    """
+    lam = lambda_from_pfail(pfail, workflow.mean_weight)
+    platform = Platform(processors, failure_rate=lam, bandwidth=bandwidth)
+    if ccr is not None:
+        workflow = scale_to_ccr(workflow, platform, ccr)
+    tree = mspgify(workflow).tree
+    schedule = allocate(
+        workflow, tree, processors, seed=seed, linearizer=linearizer
+    )
+    plan_some = ckpt_some_plan(
+        workflow, schedule, platform, save_final_outputs=save_final_outputs
+    )
+    plan_all = ckpt_all_plan(
+        workflow, schedule, platform, save_final_outputs=save_final_outputs
+    )
+    dag_some = build_segment_dag(workflow, schedule, plan_some, platform)
+    dag_all = build_segment_dag(workflow, schedule, plan_all, platform)
+    return StrategyOutcome(
+        workflow=workflow,
+        platform=platform,
+        tree=tree,
+        schedule=schedule,
+        plan_some=plan_some,
+        plan_all=plan_all,
+        dag_some=dag_some,
+        dag_all=dag_all,
+        em_some=expected_makespan(dag_some, method),
+        em_all=expected_makespan(dag_all, method),
+        em_none=ckptnone_expected_makespan(workflow, schedule, platform),
+    )

@@ -1,0 +1,37 @@
+"""Checkpoint placement in superchains (§IV of the paper).
+
+* :mod:`repro.checkpoint.segments` — the ``R_i^j`` / ``W_i^j`` / ``C_i^j``
+  cost model with per-file deduplication (§IV-B, Equation (2));
+* :mod:`repro.checkpoint.dp` — Algorithm 2, the ``O(n²)`` dynamic program
+  choosing the optimal checkpoint positions of one superchain;
+* :mod:`repro.checkpoint.toueg_babaoglu` — the classic chain algorithm the
+  paper extends (Toueg & Babaoğlu 1984), used as a differential oracle;
+* :mod:`repro.checkpoint.plan` — :class:`Segment` / :class:`CheckpointPlan`
+  datatypes;
+* :mod:`repro.checkpoint.strategies` — the CKPTALL / CKPTSOME strategies
+  producing plans (CKPTNONE has no plan: see
+  :mod:`repro.makespan.ckptnone` and the simulator's restart model).
+"""
+
+from repro.checkpoint.plan import CheckpointPlan, Segment
+from repro.checkpoint.segments import SuperchainCostModel
+from repro.checkpoint.dp import optimal_checkpoint_positions
+from repro.checkpoint.toueg_babaoglu import toueg_babaoglu_chain
+from repro.checkpoint.strategies import (
+    STRATEGIES,
+    ckpt_all_plan,
+    ckpt_some_plan,
+    plan_for_strategy,
+)
+
+__all__ = [
+    "CheckpointPlan",
+    "Segment",
+    "SuperchainCostModel",
+    "optimal_checkpoint_positions",
+    "toueg_babaoglu_chain",
+    "ckpt_all_plan",
+    "ckpt_some_plan",
+    "plan_for_strategy",
+    "STRATEGIES",
+]

@@ -1,0 +1,145 @@
+"""Publication-aware refinement of CKPTSOME plans (library extension).
+
+Algorithm 2 is optimal *per superchain*: it minimises the expected time to
+execute one superchain in isolation. It is blind to one global effect —
+a coalesced segment only publishes its outputs when its final checkpoint
+completes, so merging a task whose data other processors are waiting for
+behind a long computation can delay the whole schedule even though it
+saves local I/O. (We observed exactly this while reproducing Figure 7:
+at ``p = 3`` the DP can merge LIGO coincidence joins behind a 460-second
+Inspiral, costing ~11% of global expected makespan; see EXPERIMENTS.md.)
+
+:func:`refine_plan` is a greedy global repair pass on top of the DP:
+
+1. rank segments by *blocking potential* — a segment is suspect when a
+   non-final task has consumers outside the segment (its publication is
+   delayed by the tasks that follow it in the segment);
+2. for each suspect segment, try splitting it after each delayed
+   publisher; keep a split iff it lowers the global expected makespan
+   (estimated with PathApprox on the rebuilt segment DAG);
+3. iterate until no single split helps (or ``max_rounds`` is hit).
+
+Splitting only ever *adds* checkpoints, so the refined plan keeps every
+crossover-freedom property of the original (§IV-A). The refinement is an
+extension beyond the paper — benchmark
+``benchmarks/bench_ablation_refine.py`` quantifies when it matters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.checkpoint.plan import CheckpointPlan
+from repro.checkpoint.segments import SuperchainCostModel
+from repro.errors import CheckpointError
+from repro.makespan.pathapprox import pathapprox
+from repro.makespan.segment_dag import build_segment_dag
+from repro.mspg.graph import Workflow
+from repro.platform import Platform
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["refine_plan", "delayed_publishers"]
+
+
+def delayed_publishers(plan: CheckpointPlan, workflow: Workflow) -> List[Tuple[int, int]]:
+    """``(segment index, position)`` pairs whose publication is delayed.
+
+    A pair ``(s, i)`` means: task ``i`` of segment ``s`` (not the last
+    task) produces data consumed outside the segment, so its consumers
+    wait for the whole segment instead of just the prefix up to ``i``.
+    """
+    out: List[Tuple[int, int]] = []
+    for seg in plan.segments:
+        if len(seg.tasks) < 2:
+            continue
+        inside = set(seg.tasks)
+        for pos, task in enumerate(seg.tasks[:-1]):
+            if workflow.succs(task) - inside:
+                out.append((seg.index, pos))
+    return out
+
+
+def _rebuild_with_split(
+    plan: CheckpointPlan,
+    split: Optional[Tuple[int, int]],
+    workflow: Workflow,
+    schedule: Schedule,
+    platform: Platform,
+    save_final_outputs: bool,
+) -> CheckpointPlan:
+    """Copy ``plan``, optionally splitting one segment after a position."""
+    models = {}
+    out = CheckpointPlan(plan.strategy)
+    for seg in plan.segments:
+        sc = schedule.superchains[seg.superchain_index]
+        pieces: List[Tuple[int, int]]
+        # positions of this segment within its superchain
+        start = sc.tasks.index(seg.tasks[0])
+        end = start + len(seg.tasks) - 1
+        if split is not None and split[0] == seg.index:
+            cut = start + split[1]
+            pieces = [(start, cut), (cut + 1, end)]
+        else:
+            pieces = [(start, end)]
+        if sc.index not in models:
+            models[sc.index] = SuperchainCostModel(
+                workflow, sc, platform, save_final_outputs=save_final_outputs
+            )
+        model = models[sc.index]
+        for lo, hi in pieces:
+            out.add_segment(
+                superchain_index=sc.index,
+                processor=sc.processor,
+                tasks=sc.tasks[lo : hi + 1],
+                read_cost=model.read_cost(lo, hi),
+                compute=model.compute(lo, hi),
+                ckpt_cost=model.ckpt_cost(lo, hi),
+            )
+    return out
+
+
+def refine_plan(
+    plan: CheckpointPlan,
+    workflow: Workflow,
+    schedule: Schedule,
+    platform: Platform,
+    save_final_outputs: bool = True,
+    max_rounds: int = 8,
+    rtol: float = 1e-6,
+) -> Tuple[CheckpointPlan, float, int]:
+    """Greedy publication-aware split refinement of a checkpoint plan.
+
+    Returns ``(refined plan, its PathApprox expected makespan, number of
+    splits applied)``.  The input plan is not modified.
+    """
+    if plan.n_tasks != workflow.n_tasks:
+        raise CheckpointError(
+            f"plan covers {plan.n_tasks} of {workflow.n_tasks} tasks"
+        )
+    current = plan
+    best_em = pathapprox(
+        build_segment_dag(workflow, schedule, current, platform)
+    )
+    applied = 0
+    for _ in range(max_rounds):
+        candidates = delayed_publishers(current, workflow)
+        if not candidates:
+            break
+        best_split = None
+        best_split_em = best_em
+        for split in candidates:
+            trial = _rebuild_with_split(
+                current, split, workflow, schedule, platform, save_final_outputs
+            )
+            em = pathapprox(build_segment_dag(workflow, schedule, trial, platform))
+            if em < best_split_em * (1.0 - rtol):
+                best_split = split
+                best_split_em = em
+        if best_split is None:
+            break
+        current = _rebuild_with_split(
+            current, best_split, workflow, schedule, platform, save_final_outputs
+        )
+        best_em = best_split_em
+        applied += 1
+    return current, best_em, applied

@@ -1,0 +1,197 @@
+"""Segment cost model: ``R_i^j``, ``W_i^j``, ``C_i^j`` (§IV-B).
+
+For a contiguous slice ``[i..j]`` of a superchain:
+
+* ``R_i^j`` — seconds to read from stable storage every *distinct* file
+  consumed by a task of the slice but produced outside it (by an earlier
+  segment, another superchain — always already checkpointed, see §IV-A —
+  or a workflow input);
+* ``W_i^j`` — the slice's total task weight;
+* ``C_i^j`` — seconds to checkpoint every *distinct* file produced inside
+  the slice and still needed by a task outside it (later in this
+  superchain or anywhere else).  With ``save_final_outputs`` (default, the
+  production-WMS semantics), workflow output files count as needed.
+
+Deduplication follows the paper (§VI-A): "a task may generate the same
+file for two successors — a checkpoint will save the file only once"; we
+apply the same rule to reads within one segment.
+
+The model exposes an ``O(n²)`` table of the first-order expected times
+``T(i, j)`` of Equation (2), built with two incremental sweeps per start
+index (reads only ever grow with ``j``; checkpoint contents are maintained
+with per-file outside-consumer counters), so the whole table costs
+``O(n·F)`` set operations where ``F`` is the file-degree of the chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.makespan.two_state import first_order_expected_time
+from repro.mspg.graph import Workflow
+from repro.platform import Platform
+from repro.scheduling.schedule import Superchain
+
+__all__ = ["SuperchainCostModel"]
+
+
+class SuperchainCostModel:
+    """Costs of contiguous segments ``[i..j]`` of one superchain.
+
+    Indices are positions within ``superchain.tasks`` (0-based, inclusive).
+    """
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        superchain: Superchain,
+        platform: Platform,
+        save_final_outputs: bool = True,
+    ) -> None:
+        self.workflow = workflow
+        self.superchain = superchain
+        self.platform = platform
+        self.save_final_outputs = save_final_outputs
+
+        self.tasks: Tuple[str, ...] = superchain.tasks
+        self.n = len(self.tasks)
+        self._pos = {t: k for k, t in enumerate(self.tasks)}
+
+        self._weights = np.array(
+            [workflow.weight(t) for t in self.tasks], dtype=float
+        )
+        self._wprefix = np.concatenate(([0.0], np.cumsum(self._weights)))
+
+        # Per-task input/output file lists, resolved once.
+        self._inputs: List[List[str]] = [
+            sorted(workflow.inputs(t)) for t in self.tasks
+        ]
+        self._outputs: List[List[str]] = [
+            sorted(workflow.outputs(t)) for t in self.tasks
+        ]
+
+    # ------------------------------------------------------------------ #
+    # elementary costs
+    # ------------------------------------------------------------------ #
+
+    def compute(self, i: int, j: int) -> float:
+        """``W_i^j``: failure-free compute seconds of slice ``[i..j]``."""
+        self._check(i, j)
+        return float(self._wprefix[j + 1] - self._wprefix[i])
+
+    def read_cost(self, i: int, j: int) -> float:
+        """``R_i^j``: seconds reading the slice's external inputs."""
+        self._check(i, j)
+        return self._read_bytes(i, j) / self.platform.bandwidth
+
+    def ckpt_cost(self, i: int, j: int) -> float:
+        """``C_i^j``: seconds checkpointing the slice's live outputs."""
+        self._check(i, j)
+        return self._ckpt_bytes(i, j) / self.platform.bandwidth
+
+    def span(self, i: int, j: int) -> float:
+        """``X = R + W + C`` of slice ``[i..j]`` (seconds)."""
+        return self.read_cost(i, j) + self.compute(i, j) + self.ckpt_cost(i, j)
+
+    def expected_time(self, i: int, j: int) -> float:
+        """``T(i, j)`` of Equation (2): first-order expected slice time."""
+        return first_order_expected_time(
+            self.span(i, j), self.platform.failure_rate
+        )
+
+    def _check(self, i: int, j: int) -> None:
+        if not (0 <= i <= j < self.n):
+            raise CheckpointError(
+                f"invalid slice [{i}..{j}] of superchain with {self.n} tasks"
+            )
+
+    def _read_bytes(self, i: int, j: int) -> float:
+        inside = set(self.tasks[i : j + 1])
+        seen: set = set()
+        total = 0.0
+        wf = self.workflow
+        for k in range(i, j + 1):
+            for f in self._inputs[k]:
+                if f in seen:
+                    continue
+                producer = wf.producer(f)
+                if producer is None or producer not in inside:
+                    seen.add(f)
+                    total += wf.file_size(f)
+        return total
+
+    def _ckpt_bytes(self, i: int, j: int) -> float:
+        inside = set(self.tasks[i : j + 1])
+        total = 0.0
+        wf = self.workflow
+        for k in range(i, j + 1):
+            for f in self._outputs[k]:
+                consumers = wf.consumers(f)
+                if consumers - inside:
+                    total += wf.file_size(f)
+                elif not consumers and self.save_final_outputs:
+                    total += wf.file_size(f)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # table construction (incremental sweeps)
+    # ------------------------------------------------------------------ #
+
+    def span_table(self) -> np.ndarray:
+        """``X(i, j)`` for all ``i <= j`` (upper-triangular, else NaN)."""
+        n = self.n
+        wf = self.workflow
+        sizes = {f: wf.file_size(f) for f in wf.file_names}
+        spans = np.full((n, n), np.nan)
+        for i in range(n):
+            read_b = 0.0
+            ckpt_b = 0.0
+            read_seen: set = set()
+            # live[f] = remaining consumers of f outside the current slice
+            # (a virtual consumer stands in for workflow outputs).
+            live: Dict[str, int] = {}
+            produced_at: Dict[str, int] = {}
+            for j in range(i, n):
+                t = self.tasks[j]
+                # Inputs: count files produced outside [i..j].  A file
+                # produced inside would have producer position in [i..j-1]
+                # (producers precede consumers in the chain).
+                for f in self._inputs[j]:
+                    if f in produced_at:
+                        # produced inside this slice: consumed from memory,
+                        # and one fewer outside consumer to checkpoint for.
+                        live[f] -= 1
+                        if live[f] == 0:
+                            ckpt_b -= sizes[f]
+                        continue
+                    if f not in read_seen:
+                        read_seen.add(f)
+                        read_b += sizes[f]
+                # Outputs: enter the checkpoint set if anyone outside
+                # still needs them.
+                for f in self._outputs[j]:
+                    produced_at[f] = j
+                    consumers = wf.consumers(f)
+                    count = len(consumers)
+                    if count == 0:
+                        count = 1 if self.save_final_outputs else 0
+                    live[f] = count
+                    if count > 0:
+                        ckpt_b += sizes[f]
+                spans[i, j] = (
+                    (read_b + ckpt_b) / self.platform.bandwidth
+                    + self._wprefix[j + 1]
+                    - self._wprefix[i]
+                )
+        return spans
+
+    def expected_time_table(self) -> np.ndarray:
+        """``T(i, j)`` of Equation (2) for all ``i <= j``."""
+        spans = self.span_table()
+        lam = self.platform.failure_rate
+        with np.errstate(invalid="ignore"):
+            p = np.clip(lam * spans, 0.0, 1.0 - 1e-12)
+            return spans * (1.0 + 0.5 * p)

@@ -1,0 +1,119 @@
+"""Checkpoint strategies: CKPTALL and CKPTSOME (§I, §II-C).
+
+* **CKPTALL** — the production default: every task's output is saved, every
+  input read from stable storage; each task is its own segment.
+* **CKPTSOME** — the paper's contribution: Algorithm 2 picks the optimal
+  checkpoint positions inside every superchain (the superchain's last task
+  is always checkpointed, which removes crossover dependencies).
+* **CKPTNONE** — no plan exists by design: nothing is checkpointed and the
+  expected makespan is estimated with Theorem 1
+  (:mod:`repro.makespan.ckptnone`) or simulated with the restart model
+  (:mod:`repro.simulation`).
+
+Both plan builders share the segment cost model, so CKPTALL is exactly the
+"all segments are singletons" point of CKPTSOME's search space; Algorithm 2
+can therefore never produce a superchain whose expected time exceeds
+CKPTALL's (tested property).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.checkpoint.dp import optimal_checkpoint_positions
+from repro.checkpoint.plan import CheckpointPlan
+from repro.checkpoint.segments import SuperchainCostModel
+from repro.errors import CheckpointError
+from repro.mspg.graph import Workflow
+from repro.platform import Platform
+from repro.scheduling.schedule import Schedule
+
+__all__ = [
+    "ckpt_all_plan",
+    "ckpt_some_plan",
+    "plan_for_strategy",
+    "STRATEGIES",
+]
+
+
+def _emit_segments(
+    plan: CheckpointPlan,
+    cost: SuperchainCostModel,
+    positions: List[int],
+) -> None:
+    start = 0
+    sc = cost.superchain
+    for end in positions:
+        plan.add_segment(
+            superchain_index=sc.index,
+            processor=sc.processor,
+            tasks=sc.tasks[start : end + 1],
+            read_cost=cost.read_cost(start, end),
+            compute=cost.compute(start, end),
+            ckpt_cost=cost.ckpt_cost(start, end),
+        )
+        start = end + 1
+    if start != len(sc.tasks):
+        raise CheckpointError(
+            f"checkpoint positions {positions} do not cover superchain "
+            f"{sc.index} of length {len(sc.tasks)}"
+        )
+
+
+def ckpt_all_plan(
+    workflow: Workflow,
+    schedule: Schedule,
+    platform: Platform,
+    save_final_outputs: bool = True,
+) -> CheckpointPlan:
+    """CKPTALL: one segment (and one checkpoint) per task."""
+    plan = CheckpointPlan("ckpt_all")
+    for sc in schedule.superchains:
+        cost = SuperchainCostModel(
+            workflow, sc, platform, save_final_outputs=save_final_outputs
+        )
+        _emit_segments(plan, cost, list(range(len(sc.tasks))))
+    return plan
+
+
+def ckpt_some_plan(
+    workflow: Workflow,
+    schedule: Schedule,
+    platform: Platform,
+    save_final_outputs: bool = True,
+) -> CheckpointPlan:
+    """CKPTSOME: Algorithm 2 per superchain."""
+    plan = CheckpointPlan("ckpt_some")
+    for sc in schedule.superchains:
+        cost = SuperchainCostModel(
+            workflow, sc, platform, save_final_outputs=save_final_outputs
+        )
+        positions, _ = optimal_checkpoint_positions(cost)
+        _emit_segments(plan, cost, positions)
+    return plan
+
+
+STRATEGIES: Dict[str, Callable[..., CheckpointPlan]] = {
+    "ckpt_all": ckpt_all_plan,
+    "ckpt_some": ckpt_some_plan,
+}
+
+
+def plan_for_strategy(
+    strategy: str,
+    workflow: Workflow,
+    schedule: Schedule,
+    platform: Platform,
+    save_final_outputs: bool = True,
+) -> CheckpointPlan:
+    """Build the plan of the named strategy (``ckpt_all`` or ``ckpt_some``)."""
+    try:
+        builder = STRATEGIES[strategy]
+    except KeyError:
+        raise CheckpointError(
+            f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)} "
+            f"(ckpt_none has no checkpoint plan)"
+        ) from None
+    return builder(
+        workflow, schedule, platform, save_final_outputs=save_final_outputs
+    )

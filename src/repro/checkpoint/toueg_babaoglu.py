@@ -1,0 +1,61 @@
+"""The classic Toueg–Babaoğlu chain checkpointing DP (1984).
+
+The paper's Algorithm 2 extends Toueg & Babaoğlu's optimal checkpoint
+selection for *linear chains* to superchains (linearised sub-M-SPGs whose
+recovery may have to follow several reverse paths).  We keep the original
+chain algorithm as an independent implementation: on a workflow that
+really is a chain — each task feeding only its immediate successor — the
+general cost model collapses to the chain model and both algorithms must
+agree exactly (a differential test in ``tests/checkpoint``).
+
+Chain model: task ``k`` has weight ``w_k``; ``in_cost[k]`` is the time to
+load task ``k``'s input from stable storage (recovery source) and
+``out_cost[k]`` the time to checkpoint its output.  A segment ``[i..j]``
+costs ``X = in_cost[i] + Σ w + out_cost[j]`` and its first-order expected
+time is Equation (2)'s ``X·(1 + λX/2)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.checkpoint.dp import dp_from_table
+from repro.errors import CheckpointError
+from repro.makespan.two_state import first_order_expected_time
+
+__all__ = ["toueg_babaoglu_chain"]
+
+
+def toueg_babaoglu_chain(
+    weights: Sequence[float],
+    in_costs: Sequence[float],
+    out_costs: Sequence[float],
+    failure_rate: float,
+) -> Tuple[List[int], float]:
+    """Optimal checkpoints for a linear chain of tasks.
+
+    Returns ``(positions, expected_time)`` with the same conventions as
+    :func:`repro.checkpoint.dp.dp_from_table`.
+    """
+    n = len(weights)
+    if not (len(in_costs) == len(out_costs) == n):
+        raise CheckpointError(
+            "weights, in_costs and out_costs must have equal lengths"
+        )
+    if n == 0:
+        return [], 0.0
+
+    w = np.asarray(weights, dtype=float)
+    wprefix = np.concatenate(([0.0], np.cumsum(w)))
+    table = np.full((n, n), np.nan)
+    for i in range(n):
+        for j in range(i, n):
+            span = (
+                float(in_costs[i])
+                + float(wprefix[j + 1] - wprefix[i])
+                + float(out_costs[j])
+            )
+            table[i, j] = first_order_expected_time(span, failure_rate)
+    return dp_from_table(table)

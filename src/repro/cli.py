@@ -1,0 +1,201 @@
+"""Command-line interface (``repro-workflows`` / ``python -m repro.cli``).
+
+Sub-commands::
+
+    generate   emit a synthetic workflow (DAX or JSON by extension)
+    evaluate   run the full strategy comparison on one configuration
+    figure     regenerate a paper figure grid (CSV + ASCII panels)
+    accuracy   run the §VI-B estimator accuracy study
+    simulate   replay one failure-injected execution with an event log
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-workflows",
+        description=(
+            "Checkpointing Workflows for Fail-Stop Errors (CLUSTER 2017) — "
+            "reproduction toolkit"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic workflow")
+    gen.add_argument("--family", required=True)
+    gen.add_argument("--ntasks", type=int, default=50)
+    gen.add_argument("--seed", type=int, default=2017)
+    gen.add_argument(
+        "--out", type=Path, required=True, help=".dax/.xml or .json output path"
+    )
+
+    ev = sub.add_parser("evaluate", help="compare CKPTSOME/ALL/NONE on one cell")
+    ev.add_argument("--family", required=True)
+    ev.add_argument("--ntasks", type=int, default=50)
+    ev.add_argument("--processors", type=int, default=10)
+    ev.add_argument("--pfail", type=float, default=1e-3)
+    ev.add_argument("--ccr", type=float, default=0.01)
+    ev.add_argument("--seed", type=int, default=2017)
+    ev.add_argument("--method", default="pathapprox")
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure grid")
+    fig.add_argument("name", choices=["fig5", "fig6", "fig7"])
+    fig.add_argument("--sizes", type=int, nargs="*", default=None)
+    fig.add_argument("--pfails", type=float, nargs="*", default=None)
+    fig.add_argument("--ccr-points", type=int, default=None)
+    fig.add_argument("--processors-per-size", type=int, default=None)
+    fig.add_argument("--csv", type=Path, default=None)
+    fig.add_argument("--quiet", action="store_true")
+
+    acc = sub.add_parser("accuracy", help="run the §VI-B accuracy study")
+    acc.add_argument("--families", nargs="*", default=["genome", "montage", "ligo"])
+    acc.add_argument("--ntasks", type=int, default=50)
+    acc.add_argument("--processors", type=int, default=10)
+    acc.add_argument("--pfails", type=float, nargs="*", default=[0.01, 0.001])
+    acc.add_argument("--ccr", type=float, default=0.01)
+    acc.add_argument("--mc-trials", type=int, default=100_000)
+    acc.add_argument("--seed", type=int, default=2017)
+
+    sim = sub.add_parser("simulate", help="replay one failure-injected run")
+    sim.add_argument("--family", required=True)
+    sim.add_argument("--ntasks", type=int, default=50)
+    sim.add_argument("--processors", type=int, default=5)
+    sim.add_argument("--pfail", type=float, default=1e-2)
+    sim.add_argument("--ccr", type=float, default=0.01)
+    sim.add_argument("--seed", type=int, default=2017)
+    sim.add_argument("--strategy", choices=["ckpt_some", "ckpt_all"], default="ckpt_some")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.generators import generate, write_dax
+    from repro.generators.serialization import save_workflow
+
+    wf = generate(args.family, args.ntasks, args.seed)
+    suffix = args.out.suffix.lower()
+    if suffix in (".dax", ".xml"):
+        write_dax(wf, args.out)
+    elif suffix == ".json":
+        save_workflow(wf, args.out)
+    else:
+        print(f"unsupported output extension {suffix!r}", file=sys.stderr)
+        return 2
+    print(f"wrote {wf!r} to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.api import run_strategies
+    from repro.generators import generate
+
+    wf = generate(args.family, args.ntasks, args.seed)
+    outcome = run_strategies(
+        wf,
+        args.processors,
+        pfail=args.pfail,
+        ccr=args.ccr,
+        seed=args.seed,
+        method=args.method,
+    )
+    print(outcome.summary())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        PAPER_FIGURES,
+        render_figure,
+        results_to_csv,
+        run_figure,
+    )
+    from repro.experiments.results import render_cells_table
+
+    spec = PAPER_FIGURES[args.name].shrink(
+        sizes=args.sizes,
+        pfails=args.pfails,
+        ccr_points=args.ccr_points,
+        processors_per_size=args.processors_per_size,
+    )
+    progress = None if args.quiet else (lambda msg: print("  " + msg))
+    cells = run_figure(spec, progress=progress)
+    print()
+    print(render_cells_table(cells, title=f"{args.name} ({spec.family})"))
+    print()
+    print(render_figure(cells, title=args.name))
+    if args.csv is not None:
+        results_to_csv(cells, args.csv)
+        print(f"\nwrote {len(cells)} cells to {args.csv}")
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from repro.experiments.accuracy import render_accuracy, run_accuracy
+
+    rows = run_accuracy(
+        families=args.families,
+        ntasks=args.ntasks,
+        processors=args.processors,
+        pfails=args.pfails,
+        ccr=args.ccr,
+        mc_trials=args.mc_trials,
+        seed=args.seed,
+    )
+    print(render_accuracy(rows, title="§VI-B estimator accuracy"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.checkpoint.strategies import plan_for_strategy
+    from repro.experiments.ccr import scale_to_ccr
+    from repro.generators import generate
+    from repro.mspg.transform import mspgify
+    from repro.platform import Platform, lambda_from_pfail
+    from repro.scheduling.allocate import allocate
+    from repro.simulation import replay_plan
+
+    wf = generate(args.family, args.ntasks, args.seed)
+    lam = lambda_from_pfail(args.pfail, wf.mean_weight)
+    platform = Platform(args.processors, failure_rate=lam)
+    wf = scale_to_ccr(wf, platform, args.ccr)
+    tree = mspgify(wf).tree
+    schedule = allocate(wf, tree, args.processors, seed=args.seed)
+    plan = plan_for_strategy(args.strategy, wf, schedule, platform)
+    trace = replay_plan(wf, schedule, plan, platform, seed=args.seed)
+    print(
+        f"{args.strategy} on {wf.name}: makespan={trace.makespan:.1f}s, "
+        f"{trace.n_failures} failures, {trace.wasted_seconds:.1f}s wasted"
+    )
+    for line in trace.gantt_lines():
+        print(line)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "evaluate": _cmd_evaluate,
+    "figure": _cmd_figure,
+    "accuracy": _cmd_accuracy,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

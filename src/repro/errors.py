@@ -1,0 +1,90 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "WorkflowError",
+    "CycleError",
+    "UnknownTaskError",
+    "UnknownFileError",
+    "NotMSPGError",
+    "SchedulingError",
+    "CheckpointError",
+    "EvaluationError",
+    "FirstOrderDomainError",
+    "SimulationError",
+    "ExperimentError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class WorkflowError(ReproError):
+    """Malformed workflow definition (bad weights, duplicate ids, ...)."""
+
+
+class CycleError(WorkflowError):
+    """The task graph contains a cycle and therefore is not a DAG."""
+
+
+class UnknownTaskError(WorkflowError):
+    """A task id was referenced that does not exist in the workflow."""
+
+
+class UnknownFileError(WorkflowError):
+    """A file name was referenced that does not exist in the workflow."""
+
+
+class NotMSPGError(ReproError):
+    """The DAG is not a Minimal Series-Parallel Graph.
+
+    Raised by exact recognition (:func:`repro.mspg.recognize.recognize`)
+    when the graph cannot be produced by the M-SPG grammar.  The
+    :func:`repro.mspg.transform.mspgify` transform never raises this: it
+    adds zero-size synchronisation edges instead (the generalisation of the
+    paper's footnote 2 treatment of LIGO workflows).
+    """
+
+
+class SchedulingError(ReproError):
+    """Invalid scheduling input or internal scheduling invariant violation."""
+
+
+class CheckpointError(ReproError):
+    """Invalid checkpoint placement input or plan inconsistency."""
+
+
+class EvaluationError(ReproError):
+    """Expected-makespan evaluation failure (bad method, bad DAG, ...)."""
+
+
+class FirstOrderDomainError(EvaluationError):
+    """The first-order approximation is outside its validity domain.
+
+    The paper's Equation (1) assigns probability ``λ·X`` to the
+    one-failure branch of a segment of total cost ``X``.  When
+    ``λ·X >= 1`` this is no longer a probability; the model has left the
+    small-``λ`` regime it was derived for.  Callers may opt into clamping
+    instead of raising (see :mod:`repro.makespan.two_state`).
+    """
+
+
+class SimulationError(ReproError):
+    """Failure-injection simulation error."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness configuration or execution error."""
+
+
+class SerializationError(ReproError):
+    """Workflow (de)serialisation error (DAX/JSON)."""

@@ -1,0 +1,39 @@
+"""The paper's experimental harness (§VI).
+
+* :mod:`repro.experiments.ccr` — Communication-to-Computation Ratio
+  computation and file-size rescaling (§VI-A);
+* :mod:`repro.experiments.figures` — the Figure 5/6/7 grids: relative
+  expected makespan of CKPTALL and CKPTNONE over CKPTSOME across CCR,
+  failure probability, workflow size and processor count;
+* :mod:`repro.experiments.accuracy` — the §VI-B evaluation-method
+  accuracy/runtime study (MONTECARLO vs DODIN vs NORMAL vs PATHAPPROX);
+* :mod:`repro.experiments.results` — result records, CSV emission and
+  terminal rendering (tables + ASCII plots).
+"""
+
+from repro.experiments.ccr import ccr_of, scale_to_ccr
+from repro.experiments.figures import (
+    PAPER_FIGURES,
+    FigureSpec,
+    run_cell,
+    run_figure,
+)
+from repro.experiments.accuracy import AccuracyRow, run_accuracy
+from repro.experiments.claims import ClaimResult, check_all_claims
+from repro.experiments.results import CellResult, render_figure, results_to_csv
+
+__all__ = [
+    "ccr_of",
+    "scale_to_ccr",
+    "PAPER_FIGURES",
+    "FigureSpec",
+    "run_cell",
+    "run_figure",
+    "AccuracyRow",
+    "run_accuracy",
+    "ClaimResult",
+    "check_all_claims",
+    "CellResult",
+    "render_figure",
+    "results_to_csv",
+]

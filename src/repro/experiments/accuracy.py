@@ -1,0 +1,160 @@
+"""The §VI-B accuracy study: MONTECARLO vs DODIN vs NORMAL vs PATHAPPROX.
+
+The paper evaluates the accuracy of the four expected-makespan estimators
+on the workflows under study before trusting one for the main experiment;
+a huge-trial Monte Carlo run (300,000 samples) serves as ground truth.
+Conclusion reproduced here: PATHAPPROX is both faster and more accurate
+than DODIN and NORMAL, and becomes the method of choice.
+
+Estimates are produced on CKPTALL segment DAGs (the §II-B setting: "if
+each task were checkpointed, we could use these four algorithms"), but
+``plan="some"`` evaluates on CKPTSOME DAGs as well.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.checkpoint.strategies import ckpt_all_plan, ckpt_some_plan
+from repro.errors import ExperimentError
+from repro.experiments.ccr import scale_to_ccr
+from repro.generators import generate
+from repro.makespan.api import EVALUATORS
+from repro.makespan.montecarlo import montecarlo_result
+from repro.makespan.segment_dag import build_segment_dag
+from repro.mspg.transform import mspgify
+from repro.platform import Platform, lambda_from_pfail
+from repro.scheduling.allocate import allocate
+from repro.util.rng import stable_seed
+from repro.util.tables import format_table
+
+__all__ = ["AccuracyRow", "run_accuracy", "render_accuracy"]
+
+#: Estimators compared against the Monte Carlo ground truth.
+METHODS: Tuple[str, ...] = ("pathapprox", "normal", "dodin")
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """One (configuration, method) accuracy measurement."""
+
+    family: str
+    ntasks: int
+    processors: int
+    pfail: float
+    ccr: float
+    method: str
+    estimate: float
+    reference: float  # Monte Carlo ground truth
+    reference_stderr: float
+    runtime_seconds: float
+
+    @property
+    def relative_error(self) -> float:
+        """``estimate/reference − 1`` (signed)."""
+        return self.estimate / self.reference - 1.0
+
+
+def run_accuracy(
+    families: Sequence[str] = ("genome", "montage", "ligo"),
+    ntasks: int = 50,
+    processors: int = 10,
+    pfails: Sequence[float] = (0.01, 0.001),
+    ccr: float = 0.01,
+    mc_trials: int = 300_000,
+    seed: int = 2017,
+    plan: str = "all",
+    methods: Sequence[str] = METHODS,
+) -> List[AccuracyRow]:
+    """Run the accuracy study; returns one row per (config, method).
+
+    A Monte Carlo row (with its own runtime) is included for each
+    configuration so speed comparisons cover all four §VI-B methods.
+    """
+    if plan not in ("all", "some"):
+        raise ExperimentError(f"plan must be 'all' or 'some', got {plan!r}")
+    rows: List[AccuracyRow] = []
+    for family in families:
+        wf_seed = stable_seed(seed, family, ntasks)
+        workflow = generate(family, ntasks, wf_seed)
+        tree = mspgify(workflow).tree
+        schedule = allocate(
+            workflow, tree, processors, seed=stable_seed(seed, family, processors)
+        )
+        for pfail in pfails:
+            lam = lambda_from_pfail(pfail, workflow.mean_weight)
+            platform = Platform(processors, failure_rate=lam)
+            scaled = scale_to_ccr(workflow, platform, ccr)
+            builder = ckpt_all_plan if plan == "all" else ckpt_some_plan
+            cplan = builder(scaled, schedule, platform)
+            dag = build_segment_dag(scaled, schedule, cplan, platform)
+
+            t0 = time.perf_counter()
+            mc = montecarlo_result(dag, trials=mc_trials, seed=wf_seed)
+            mc_time = time.perf_counter() - t0
+            rows.append(
+                AccuracyRow(
+                    family,
+                    workflow.n_tasks,
+                    processors,
+                    pfail,
+                    ccr,
+                    f"montecarlo[{mc_trials}]",
+                    mc.mean,
+                    mc.mean,
+                    mc.stderr,
+                    mc_time,
+                )
+            )
+            for method in methods:
+                fn = EVALUATORS[method]
+                t0 = time.perf_counter()
+                est = fn(dag)
+                dt = time.perf_counter() - t0
+                rows.append(
+                    AccuracyRow(
+                        family,
+                        workflow.n_tasks,
+                        processors,
+                        pfail,
+                        ccr,
+                        method,
+                        est,
+                        mc.mean,
+                        mc.stderr,
+                        dt,
+                    )
+                )
+    return rows
+
+
+def render_accuracy(rows: Sequence[AccuracyRow], title: str = "") -> str:
+    """Fixed-width table of the accuracy study."""
+    headers = [
+        "family",
+        "n",
+        "p",
+        "pfail",
+        "method",
+        "estimate",
+        "MC ref",
+        "rel.err %",
+        "runtime s",
+    ]
+    table_rows = [
+        [
+            r.family,
+            r.ntasks,
+            r.processors,
+            r.pfail,
+            r.method,
+            r.estimate,
+            r.reference,
+            100.0 * r.relative_error,
+            r.runtime_seconds,
+        ]
+        for r in rows
+    ]
+    return format_table(headers, table_rows, title=title)

@@ -1,0 +1,202 @@
+"""Automated verification of the paper's qualitative claims (§VI-C).
+
+Given the cells of a figure grid, each checker returns a
+:class:`ClaimResult` stating whether the measured data supports one of
+the paper's observations.  The benchmark harness and EXPERIMENTS.md are
+generated from these, so "the shape holds" is a computed statement, not
+an eyeballed one.
+
+Claims covered:
+
+* C1 — "CKPTSOME always outperforms CKPTALL" (ratio ≥ 1 up to tolerance);
+* C2 — "as the CCR decreases, the relative expected makespan of CKPTALL
+  decreases and converges to 1";
+* C3 — "the relative expected makespan of CKPTNONE increases as the CCR
+  decreases";
+* C4 — "CKPTNONE becomes worse when the failure rate increases";
+* C5 — "CKPTNONE becomes worse when the number of tasks increases";
+* C6 — "CKPTSOME is only outperformed by CKPTNONE when checkpoints are
+  expensive and/or failures are rare" (crossovers only at the high-CCR /
+  low-pfail corner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.experiments.results import CellResult
+
+__all__ = ["ClaimResult", "check_all_claims", "CLAIM_CHECKERS"]
+
+#: Relative tolerance on ratio comparisons (first-order model noise).
+TOL = 0.02
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of checking one paper claim against measured cells."""
+
+    claim: str
+    description: str
+    holds: bool
+    detail: str
+
+
+def _configs(cells: Sequence[CellResult]) -> Dict[Tuple, List[CellResult]]:
+    by_config: Dict[Tuple, List[CellResult]] = {}
+    for c in cells:
+        key = (c.family, c.ntasks_requested, c.processors, c.pfail)
+        by_config.setdefault(key, []).append(c)
+    return {
+        k: sorted(v, key=lambda c: c.ccr) for k, v in by_config.items()
+    }
+
+
+def check_c1_some_beats_all(cells: Sequence[CellResult]) -> ClaimResult:
+    """C1: CKPTSOME never loses to CKPTALL (within tolerance)."""
+    worst = min(cells, key=lambda c: c.ratio_all)
+    holds = worst.ratio_all >= 1.0 - TOL
+    return ClaimResult(
+        "C1",
+        "CKPTSOME always outperforms CKPTALL",
+        holds,
+        f"min ratio_all = {worst.ratio_all:.4f} at "
+        f"(n={worst.ntasks}, p={worst.processors}, pfail={worst.pfail}, "
+        f"ccr={worst.ccr:.3g})",
+    )
+
+
+def check_c2_ratio_all_converges(cells: Sequence[CellResult]) -> ClaimResult:
+    """C2: ratio_all decreases towards 1 as CCR decreases."""
+    failures = []
+    for key, sub in _configs(cells).items():
+        lo, hi = sub[0], sub[-1]
+        if abs(lo.ratio_all - 1.0) > abs(hi.ratio_all - 1.0) + TOL:
+            failures.append(key)
+        if lo.ratio_all > 1.0 + 2 * TOL:
+            failures.append(key)
+    return ClaimResult(
+        "C2",
+        "ratio CKPTALL/CKPTSOME converges to 1 as CCR -> 0",
+        not failures,
+        f"{len(failures)} of {len(_configs(cells))} configurations violate"
+        if failures
+        else "all configurations converge",
+    )
+
+
+def check_c3_none_grows_as_ccr_drops(cells: Sequence[CellResult]) -> ClaimResult:
+    """C3: ratio_none increases as CCR decreases."""
+    failures = [
+        key
+        for key, sub in _configs(cells).items()
+        if sub[0].ratio_none < sub[-1].ratio_none - TOL
+    ]
+    return ClaimResult(
+        "C3",
+        "ratio CKPTNONE/CKPTSOME increases as CCR decreases",
+        not failures,
+        f"{len(failures)} of {len(_configs(cells))} configurations violate"
+        if failures
+        else "monotone in every configuration",
+    )
+
+
+def check_c4_none_worse_at_high_pfail(cells: Sequence[CellResult]) -> ClaimResult:
+    """C4: at fixed (family, n, p, CCR), higher pfail hurts CKPTNONE more."""
+    groups: Dict[Tuple, List[CellResult]] = {}
+    for c in cells:
+        groups.setdefault(
+            (c.family, c.ntasks_requested, c.processors, c.ccr), []
+        ).append(c)
+    checked = violated = 0
+    for sub in groups.values():
+        sub = sorted(sub, key=lambda c: c.pfail)
+        if len(sub) < 2:
+            continue
+        checked += 1
+        if sub[-1].ratio_none < sub[0].ratio_none - TOL:
+            violated += 1
+    return ClaimResult(
+        "C4",
+        "CKPTNONE degrades as the failure probability increases",
+        violated == 0 and checked > 0,
+        f"{violated} of {checked} (family,n,p,CCR) groups violate",
+    )
+
+
+def check_c5_none_worse_for_larger_n(cells: Sequence[CellResult]) -> ClaimResult:
+    """C5: larger workflows make CKPTNONE comparatively worse.
+
+    Compared at each (pfail, CCR) between the smallest and largest sizes,
+    averaging over processor counts.
+    """
+    sizes = sorted({c.ntasks_requested for c in cells})
+    if len(sizes) < 2:
+        return ClaimResult("C5", "CKPTNONE degrades with workflow size", True,
+                           "single size in grid — not applicable")
+    lo_n, hi_n = sizes[0], sizes[-1]
+    checked = violated = 0
+    points = {(c.pfail, c.ccr) for c in cells}
+    for pfail, ccr in points:
+        lo = [c.ratio_none for c in cells
+              if (c.pfail, c.ccr, c.ntasks_requested) == (pfail, ccr, lo_n)]
+        hi = [c.ratio_none for c in cells
+              if (c.pfail, c.ccr, c.ntasks_requested) == (pfail, ccr, hi_n)]
+        if not lo or not hi:
+            continue
+        checked += 1
+        if sum(hi) / len(hi) < sum(lo) / len(lo) - TOL:
+            violated += 1
+    return ClaimResult(
+        "C5",
+        "CKPTNONE degrades with workflow size",
+        violated <= checked // 10,
+        f"{violated} of {checked} (pfail,CCR) points violate",
+    )
+
+
+def check_c6_none_wins_only_in_corner(cells: Sequence[CellResult]) -> ClaimResult:
+    """C6: CKPTNONE wins only at high CCR and/or low pfail."""
+    winners = [c for c in cells if c.ratio_none < 1.0 - TOL]
+    max_ccr = max(c.ccr for c in cells)
+    min_pfail = min(c.pfail for c in cells)
+    offenders = [
+        c
+        for c in winners
+        if not (c.ccr >= max_ccr / 100.0 or c.pfail <= min_pfail * 10)
+    ]
+    return ClaimResult(
+        "C6",
+        "CKPTNONE only wins when checkpoints are expensive and/or "
+        "failures are rare",
+        not offenders,
+        f"{len(winners)} winning cells, {len(offenders)} outside the "
+        f"high-CCR/low-pfail corner",
+    )
+
+
+CLAIM_CHECKERS: Dict[str, Callable[[Sequence[CellResult]], ClaimResult]] = {
+    "C1": check_c1_some_beats_all,
+    "C2": check_c2_ratio_all_converges,
+    "C3": check_c3_none_grows_as_ccr_drops,
+    "C4": check_c4_none_worse_at_high_pfail,
+    "C5": check_c5_none_worse_for_larger_n,
+    "C6": check_c6_none_wins_only_in_corner,
+}
+
+
+def check_all_claims(cells: Sequence[CellResult]) -> List[ClaimResult]:
+    """Run every claim checker; returns the results in claim order."""
+    return [checker(cells) for checker in CLAIM_CHECKERS.values()]
+
+
+def render_claims(results: Sequence[ClaimResult]) -> str:
+    """Human-readable claim report."""
+    lines = []
+    for r in results:
+        status = "HOLDS " if r.holds else "BROKEN"
+        lines.append(f"[{status}] {r.claim}: {r.description}")
+        lines.append(f"         {r.detail}")
+    return "\n".join(lines)

@@ -1,0 +1,244 @@
+"""The paper's Figure 5/6/7 grids (§VI-C).
+
+Each figure compares the relative expected makespan of CKPTALL and of
+CKPTNONE against CKPTSOME for one workflow family, sweeping:
+
+* workflow size ∈ {50, 300, 1000} tasks,
+* per-task failure probability pfail ∈ {0.01, 0.001, 0.0001},
+* processor count per size — {3, 5, 7, 10} / {18, 35, 52, 70} /
+  {61, 123, 184, 245} (the paper's values),
+* CCR over a log grid — GENOME over ``[1e-4, 1e-2]`` (it is compute-
+  heavy), MONTAGE and LIGO over ``[1e-3, 1e0]``.
+
+Methodology mirrors §VI-A: one workflow instance per (family, size) seed;
+one schedule per (instance, p) — the scheduler ignores storage costs, so
+schedules are CCR-independent and reused across the sweep; λ is chosen so
+a task of average weight fails with probability pfail; checkpoint plans
+and evaluations are redone per CCR point (CKPTNONE's estimator contains
+no I/O and is evaluated once per schedule).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.checkpoint.strategies import ckpt_all_plan, ckpt_some_plan
+from repro.errors import ExperimentError
+from repro.experiments.ccr import scale_to_ccr
+from repro.experiments.results import CellResult
+from repro.generators import generate
+from repro.makespan.api import expected_makespan
+from repro.makespan.ckptnone import ckptnone_expected_makespan
+from repro.makespan.segment_dag import build_segment_dag
+from repro.mspg.transform import mspgify
+from repro.platform import Platform, lambda_from_pfail
+from repro.scheduling.allocate import allocate
+from repro.util.rng import stable_seed
+
+__all__ = ["FigureSpec", "PAPER_FIGURES", "run_cell", "run_figure", "log_grid"]
+
+
+def log_grid(lo: float, hi: float, points: int) -> Tuple[float, ...]:
+    """``points`` log-spaced values spanning ``[lo, hi]``."""
+    if not (0 < lo <= hi) or points < 1:
+        raise ExperimentError(f"bad log grid ({lo}, {hi}, {points})")
+    if points == 1:
+        return (lo,)
+    return tuple(
+        float(v) for v in np.logspace(math.log10(lo), math.log10(hi), points)
+    )
+
+
+#: The paper's processor counts per workflow size.
+PAPER_PROCESSORS: Dict[int, Tuple[int, ...]] = {
+    50: (3, 5, 7, 10),
+    300: (18, 35, 52, 70),
+    1000: (61, 123, 184, 245),
+}
+
+#: The paper's per-task failure probabilities.
+PAPER_PFAILS: Tuple[float, ...] = (0.01, 0.001, 0.0001)
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One figure's full parameter grid."""
+
+    name: str
+    family: str
+    sizes: Tuple[int, ...] = (50, 300, 1000)
+    pfails: Tuple[float, ...] = PAPER_PFAILS
+    ccrs: Tuple[float, ...] = ()
+    processors: Mapping[int, Tuple[int, ...]] = field(
+        default_factory=lambda: dict(PAPER_PROCESSORS)
+    )
+    method: str = "pathapprox"
+    seed: int = 2017  # CLUSTER 2017 vintage
+    bandwidth: float = 100e6
+
+    def shrink(
+        self,
+        sizes: Optional[Sequence[int]] = None,
+        pfails: Optional[Sequence[float]] = None,
+        ccr_points: Optional[int] = None,
+        processors_per_size: Optional[int] = None,
+    ) -> "FigureSpec":
+        """A reduced grid (used by the CI-sized benchmark defaults)."""
+        new_sizes = tuple(sizes) if sizes is not None else self.sizes
+        new_pfails = tuple(pfails) if pfails is not None else self.pfails
+        new_ccrs = self.ccrs
+        if ccr_points is not None and self.ccrs:
+            new_ccrs = log_grid(min(self.ccrs), max(self.ccrs), ccr_points)
+        procs = {k: tuple(v) for k, v in self.processors.items()}
+        if processors_per_size is not None:
+            procs = {
+                k: tuple(v[:processors_per_size]) for k, v in procs.items()
+            }
+        return replace(
+            self, sizes=new_sizes, pfails=new_pfails, ccrs=new_ccrs, processors=procs
+        )
+
+
+#: The three paper figures with their published grids.
+PAPER_FIGURES: Dict[str, FigureSpec] = {
+    "fig5": FigureSpec(name="fig5", family="genome", ccrs=log_grid(1e-4, 1e-2, 7)),
+    "fig6": FigureSpec(name="fig6", family="montage", ccrs=log_grid(1e-3, 1e0, 7)),
+    "fig7": FigureSpec(name="fig7", family="ligo", ccrs=log_grid(1e-3, 1e0, 7)),
+}
+
+
+def run_cell(
+    family: str,
+    ntasks: int,
+    processors: int,
+    pfail: float,
+    ccr: float,
+    seed: int = 2017,
+    method: str = "pathapprox",
+    bandwidth: float = 100e6,
+    save_final_outputs: bool = True,
+) -> CellResult:
+    """Run one experiment cell from scratch (convenience entry point).
+
+    ``run_figure`` amortises generation/scheduling across the grid; this
+    standalone version regenerates everything and is what the CLI's
+    ``evaluate`` sub-command and the quickstart example call.
+    """
+    wf_seed = stable_seed(seed, family, ntasks)
+    workflow = generate(family, ntasks, wf_seed)
+    tree = mspgify(workflow).tree
+    lam = lambda_from_pfail(pfail, workflow.mean_weight)
+    platform = Platform(processors, failure_rate=lam, bandwidth=bandwidth)
+    schedule = allocate(
+        workflow, tree, processors, seed=stable_seed(seed, family, ntasks, processors)
+    )
+    return _evaluate_cell(
+        family,
+        ntasks,
+        workflow,
+        schedule,
+        platform,
+        pfail,
+        ccr,
+        method,
+        wf_seed,
+        save_final_outputs,
+    )
+
+
+def _evaluate_cell(
+    family: str,
+    ntasks_requested: int,
+    workflow,
+    schedule,
+    platform: Platform,
+    pfail: float,
+    ccr: float,
+    method: str,
+    seed: int,
+    save_final_outputs: bool = True,
+) -> CellResult:
+    scaled = scale_to_ccr(workflow, platform, ccr)
+    plan_some = ckpt_some_plan(
+        scaled, schedule, platform, save_final_outputs=save_final_outputs
+    )
+    plan_all = ckpt_all_plan(
+        scaled, schedule, platform, save_final_outputs=save_final_outputs
+    )
+    dag_some = build_segment_dag(scaled, schedule, plan_some, platform)
+    dag_all = build_segment_dag(scaled, schedule, plan_all, platform)
+    em_some = expected_makespan(dag_some, method)
+    em_all = expected_makespan(dag_all, method)
+    em_none = ckptnone_expected_makespan(scaled, schedule, platform)
+    return CellResult(
+        family=family,
+        ntasks_requested=ntasks_requested,
+        ntasks=workflow.n_tasks,
+        processors=platform.processors,
+        pfail=pfail,
+        ccr=ccr,
+        em_some=em_some,
+        em_all=em_all,
+        em_none=em_none,
+        checkpoints_some=plan_some.n_segments,
+        checkpoints_all=plan_all.n_segments,
+        superchains=len(schedule.superchains),
+        seed=seed,
+    )
+
+
+def run_figure(
+    spec: FigureSpec,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CellResult]:
+    """Run a full figure grid; returns one :class:`CellResult` per point.
+
+    Workflow generation is amortised per (family, size) and scheduling per
+    (size, p); the CKPTNONE estimate is reused across the CCR sweep (it
+    contains no I/O term).
+    """
+    cells: List[CellResult] = []
+    for ntasks in spec.sizes:
+        wf_seed = stable_seed(spec.seed, spec.family, ntasks)
+        workflow = generate(spec.family, ntasks, wf_seed)
+        tree = mspgify(workflow).tree
+        try:
+            proc_counts = spec.processors[ntasks]
+        except KeyError:
+            raise ExperimentError(
+                f"no processor counts configured for size {ntasks}"
+            ) from None
+        for p in proc_counts:
+            schedule = allocate(
+                workflow,
+                tree,
+                p,
+                seed=stable_seed(spec.seed, spec.family, ntasks, p),
+            )
+            for pfail in spec.pfails:
+                lam = lambda_from_pfail(pfail, workflow.mean_weight)
+                platform = Platform(p, failure_rate=lam, bandwidth=spec.bandwidth)
+                for ccr in spec.ccrs:
+                    cell = _evaluate_cell(
+                        spec.family,
+                        ntasks,
+                        workflow,
+                        schedule,
+                        platform,
+                        pfail,
+                        ccr,
+                        spec.method,
+                        wf_seed,
+                    )
+                    cells.append(cell)
+                    if progress is not None:
+                        progress(
+                            f"{spec.name} n={ntasks} p={p} pfail={pfail} "
+                            f"ccr={ccr:.2e}: all/some={cell.ratio_all:.3f} "
+                            f"none/some={cell.ratio_none:.3f}"
+                        )
+    return cells

@@ -1,0 +1,133 @@
+"""Result records, CSV emission and terminal rendering."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.util.asciiplot import ascii_xy_plot
+from repro.util.tables import format_table
+
+__all__ = ["CellResult", "results_to_csv", "render_figure", "render_cells_table"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One experiment cell: a (family, size, p, pfail, CCR) configuration.
+
+    ``ratio_all`` / ``ratio_none`` are the paper's *relative expected
+    makespans*: ``EM(CKPTALL)/EM(CKPTSOME)`` and
+    ``EM(CKPTNONE)/EM(CKPTSOME)`` — values above 1 mean CKPTSOME wins.
+    """
+
+    family: str
+    ntasks_requested: int
+    ntasks: int
+    processors: int
+    pfail: float
+    ccr: float
+    em_some: float
+    em_all: float
+    em_none: float
+    checkpoints_some: int
+    checkpoints_all: int
+    superchains: int
+    seed: int
+
+    @property
+    def ratio_all(self) -> float:
+        """``EM(CKPTALL) / EM(CKPTSOME)``."""
+        return self.em_all / self.em_some
+
+    @property
+    def ratio_none(self) -> float:
+        """``EM(CKPTNONE) / EM(CKPTSOME)``."""
+        return self.em_none / self.em_some
+
+
+def results_to_csv(
+    cells: Sequence[CellResult], path: Optional[Union[str, Path]] = None
+) -> str:
+    """Serialise cells to CSV (returned; also written if ``path`` given)."""
+    buf = io.StringIO()
+    names = [f.name for f in fields(CellResult)] + ["ratio_all", "ratio_none"]
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(names)
+    for c in cells:
+        row = [getattr(c, n) for n in names]
+        writer.writerow(row)
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def render_cells_table(cells: Sequence[CellResult], title: str = "") -> str:
+    """Fixed-width table of cells (one row per CCR point)."""
+    headers = [
+        "family",
+        "n",
+        "p",
+        "pfail",
+        "CCR",
+        "EM(some)",
+        "EM(all)",
+        "EM(none)",
+        "all/some",
+        "none/some",
+        "#ckpt some",
+    ]
+    rows = [
+        [
+            c.family,
+            c.ntasks,
+            c.processors,
+            c.pfail,
+            c.ccr,
+            c.em_some,
+            c.em_all,
+            c.em_none,
+            c.ratio_all,
+            c.ratio_none,
+            c.checkpoints_some,
+        ]
+        for c in cells
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def render_figure(
+    cells: Sequence[CellResult],
+    title: str = "",
+    ybounds: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Paper-style panel: relative expected makespan vs CCR (log x).
+
+    One sub-plot per (ntasks, pfail) combination, with one series per
+    (strategy, processor count) — the layout of the paper's Figures 5-7.
+    """
+    combos = sorted({(c.ntasks_requested, c.pfail) for c in cells})
+    blocks: List[str] = []
+    for ntasks, pfail in combos:
+        sub = [c for c in cells if (c.ntasks_requested, c.pfail) == (ntasks, pfail)]
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        for c in sorted(sub, key=lambda c: (c.processors, c.ccr)):
+            series.setdefault(f"all/some p={c.processors}", []).append(
+                (c.ccr, c.ratio_all)
+            )
+            series.setdefault(f"none/some p={c.processors}", []).append(
+                (c.ccr, c.ratio_none)
+            )
+        blocks.append(
+            ascii_xy_plot(
+                series,
+                logx=True,
+                title=f"{title} — {ntasks} tasks, pfail={pfail}",
+                hline=1.0,
+                ybounds=ybounds,
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,50 @@
+"""Pegasus-style synthetic workflow generators and workflow I/O.
+
+The paper's experiments (§VI-A) use the Pegasus Workflow Generator (PWG),
+which emits realistic synthetic instances of production scientific
+workflows.  PWG itself is a Java tool that is not redistributable here, so
+this package re-implements the three families the paper evaluates —
+MONTAGE (astronomy mosaics), GENOME (USC Epigenomics), LIGO (Inspiral
+gravitational-wave analysis) — plus two extra families supported by PWG
+(CYBERSHAKE, SIPHT) and a random M-SPG generator used for property-based
+testing.
+
+Each generator reproduces the published level structure of its application
+(Bharathi et al., "Characterization of Scientific Workflows", WORKS 2008)
+and draws task runtimes and file sizes from per-task-type distributions in
+the ranges published by Juve et al. ("Characterizing and profiling
+scientific workflows", FGCS 2013).  Absolute file sizes are immaterial for
+the paper's experiments: the harness always rescales them to hit a target
+CCR, exactly as the paper does.
+
+All generators take a requested task count and a seed, and return a
+:class:`repro.mspg.graph.Workflow`; the realised task count may deviate by
+a few tasks from the request because counts must satisfy structural
+constraints (PWG behaves the same way).
+"""
+
+from repro.generators.base import FAMILIES, generate
+from repro.generators.montage import montage
+from repro.generators.genome import genome
+from repro.generators.ligo import ligo
+from repro.generators.cybershake import cybershake
+from repro.generators.sipht import sipht
+from repro.generators.random_mspg import random_mspg, workflow_from_tree
+from repro.generators.dax import read_dax, write_dax
+from repro.generators.serialization import workflow_from_json, workflow_to_json
+
+__all__ = [
+    "FAMILIES",
+    "generate",
+    "montage",
+    "genome",
+    "ligo",
+    "cybershake",
+    "sipht",
+    "random_mspg",
+    "workflow_from_tree",
+    "read_dax",
+    "write_dax",
+    "workflow_from_json",
+    "workflow_to_json",
+]

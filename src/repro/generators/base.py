@@ -1,0 +1,182 @@
+"""Shared infrastructure for the synthetic workflow generators.
+
+Task runtimes and file sizes are modelled as truncated normal variables
+(mean, standard deviation, floor), matching the heavy-middle/no-negative
+shape of the published workflow profiles.  Each generator declares a table
+of :class:`TaskType` entries and uses :class:`GeneratorContext` for id
+allocation and sampling, which keeps the family modules declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkflowError
+from repro.mspg.graph import Workflow
+from repro.util.rng import SeedLike, as_rng
+
+__all__ = [
+    "TaskType",
+    "GeneratorContext",
+    "truncated_normal",
+    "generate",
+    "FAMILIES",
+]
+
+
+def truncated_normal(
+    rng: np.random.Generator, mean: float, std: float, floor: float
+) -> float:
+    """One draw from N(mean, std²) truncated below at ``floor`` (resampled).
+
+    Resampling (rather than clipping) avoids a probability atom at the
+    floor; with the tables used here the acceptance probability is > 0.97,
+    so the loop is effectively constant-time.  A zero ``std`` returns the
+    mean directly.
+    """
+    if std < 0:
+        raise ValueError(f"std must be >= 0, got {std}")
+    if mean < floor:
+        raise ValueError(f"mean {mean} below floor {floor}")
+    if std == 0:
+        return mean
+    for _ in range(1000):
+        x = rng.normal(mean, std)
+        if x >= floor:
+            return float(x)
+    # Pathological (mean many sigmas below floor — excluded by the check
+    # above, but kept as a safe fallback for exotic user tables).
+    return float(floor)
+
+
+@dataclass(frozen=True)
+class TaskType:
+    """Distribution of one task type's runtime and characteristic output.
+
+    ``runtime_mean``/``runtime_std`` are seconds; ``output_mean``/
+    ``output_std`` are bytes of the type's characteristic output file.
+    """
+
+    name: str
+    runtime_mean: float
+    runtime_std: float
+    output_mean: float
+    output_std: float
+
+    RUNTIME_FLOOR: float = 0.01
+    SIZE_FLOOR: float = 64.0
+
+
+class GeneratorContext:
+    """Mutable helper threading RNG + workflow through a generator."""
+
+    def __init__(self, name: str, seed: SeedLike) -> None:
+        self.rng = as_rng(seed)
+        self.workflow = Workflow(name)
+        self._counters: Dict[str, int] = {}
+
+    def fresh_id(self, prefix: str) -> str:
+        """Sequential ids like ``map_00042`` (stable across runs)."""
+        k = self._counters.get(prefix, 0)
+        self._counters[prefix] = k + 1
+        return f"{prefix}_{k:05d}"
+
+    def add_task(self, ttype: TaskType) -> str:
+        """Add a task of ``ttype`` with a sampled runtime; returns its id."""
+        tid = self.fresh_id(ttype.name)
+        runtime = truncated_normal(
+            self.rng, ttype.runtime_mean, ttype.runtime_std, ttype.RUNTIME_FLOOR
+        )
+        self.workflow.add_task(tid, runtime, category=ttype.name)
+        return tid
+
+    def add_output(
+        self,
+        producer: str,
+        ttype: TaskType,
+        tag: str = "out",
+        size: Optional[float] = None,
+    ) -> str:
+        """Register an output file of ``producer``; returns the file name."""
+        fname = f"{producer}.{tag}"
+        if size is None:
+            size = truncated_normal(
+                self.rng, ttype.output_mean, ttype.output_std, ttype.SIZE_FLOOR
+            )
+        self.workflow.add_file(fname, size, producer=producer)
+        return fname
+
+    def add_workflow_input(self, name: str, size: float) -> str:
+        """Register a file available on stable storage before execution."""
+        self.workflow.add_file(name, size, producer=None)
+        return name
+
+    def connect(self, file_name: str, *consumers: str) -> None:
+        """Feed ``file_name`` to every listed consumer task."""
+        for c in consumers:
+            self.workflow.add_input(c, file_name)
+
+
+def generate(family: str, ntasks: int, seed: SeedLike = None) -> Workflow:
+    """Generate a workflow of the named family with ~``ntasks`` tasks.
+
+    Families: ``montage``, ``genome``, ``ligo``, ``cybershake``, ``sipht``,
+    ``random`` (random M-SPG).
+    """
+    try:
+        fn = FAMILIES[family.lower()]
+    except KeyError:
+        raise WorkflowError(
+            f"unknown workflow family {family!r}; choose from {sorted(FAMILIES)}"
+        ) from None
+    return fn(ntasks, seed)
+
+
+def _families() -> Dict[str, Callable[[int, SeedLike], Workflow]]:
+    # Imported lazily to avoid a circular import at package load.
+    from repro.generators.cybershake import cybershake
+    from repro.generators.genome import genome
+    from repro.generators.ligo import ligo
+    from repro.generators.montage import montage
+    from repro.generators.random_mspg import random_mspg
+    from repro.generators.sipht import sipht
+
+    return {
+        "montage": montage,
+        "genome": genome,
+        "ligo": ligo,
+        "cybershake": cybershake,
+        "sipht": sipht,
+        "random": random_mspg,
+    }
+
+
+class _LazyFamilies(dict):
+    """Dict facade that resolves the generator functions on first access."""
+
+    def _ensure(self) -> None:
+        if not super().__len__():
+            super().update(_families())
+
+    def __getitem__(self, key: str):  # type: ignore[override]
+        self._ensure()
+        return super().__getitem__(key)
+
+    def __iter__(self):  # type: ignore[override]
+        self._ensure()
+        return super().__iter__()
+
+    def __len__(self) -> int:  # type: ignore[override]
+        self._ensure()
+        return super().__len__()
+
+    def __contains__(self, key: object) -> bool:  # type: ignore[override]
+        self._ensure()
+        return super().__contains__(key)
+
+
+#: Mapping from family name to generator callable.
+FAMILIES: Dict[str, Callable[[int, SeedLike], Workflow]] = _LazyFamilies()

@@ -1,0 +1,72 @@
+"""CYBERSHAKE workflow generator (seismic hazard characterisation).
+
+Extension family (not part of the paper's evaluation, but supported by
+the Pegasus generator the paper relies on).  Per site:
+
+```
+ ExtractSGT_x, ExtractSGT_y (2, parallel)   extract strain Green tensors
+ SeismogramSynthesis (m, parallel)          one per rupture variation,
+                                            each reads *both* SGTs
+ PeakValCalc (m, 1-1)                       peak ground-motion per synth
+ ZipSeis (1)                                archive all seismograms
+ ZipPSA  (1)                                archive all peak values
+```
+
+CyberShake is data-heavy: the two SGT files are hundreds of megabytes and
+fan out to every synthesis task, which makes it the stress case for the
+shared-file deduplication in the checkpoint cost model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkflowError
+from repro.generators.base import GeneratorContext, TaskType
+from repro.mspg.graph import Workflow
+from repro.util.rng import SeedLike
+
+__all__ = ["cybershake"]
+
+MB = 1e6
+
+EXTRACT = TaskType("ExtractSGT", 110.0, 20.0, 240.0 * MB, 30.0 * MB)
+SYNTH = TaskType("SeismogramSynthesis", 48.0, 15.0, 0.20 * MB, 0.05 * MB)
+PEAKVAL = TaskType("PeakValCalc", 0.60, 0.15, 0.002 * MB, 0.0005 * MB)
+ZIPSEIS = TaskType("ZipSeis", 40.0, 8.0, 0.0, 0.0)  # size explicit
+ZIPPSA = TaskType("ZipPSA", 38.0, 8.0, 0.0, 0.0)  # size explicit
+
+SGT_INPUT_BYTES = 430.0 * MB
+
+
+def cybershake(ntasks: int = 50, seed: SeedLike = None) -> Workflow:
+    """Generate a CYBERSHAKE workflow with approximately ``ntasks`` tasks."""
+    if ntasks < 8:
+        raise WorkflowError(f"cybershake needs ntasks >= 8, got {ntasks}")
+    m = max(2, (ntasks - 4) // 2)
+    ctx = GeneratorContext(f"cybershake-{ntasks}", seed)
+    wf = ctx.workflow
+
+    sgt_files = []
+    for axis in ("x", "y"):
+        t = ctx.add_task(EXTRACT)
+        master = ctx.add_workflow_input(f"sgt_master_{axis}.bin", SGT_INPUT_BYTES)
+        ctx.connect(master, t)
+        sgt_files.append(ctx.add_output(t, EXTRACT, "sgt"))
+
+    zipseis = ctx.add_task(ZIPSEIS)
+    zippsa = ctx.add_task(ZIPPSA)
+    for j in range(m):
+        synth = ctx.add_task(SYNTH)
+        for sgt in sgt_files:  # both SGTs feed every synthesis task
+            ctx.connect(sgt, synth)
+        seis = ctx.add_output(synth, SYNTH, "seis")
+        ctx.connect(seis, zipseis)
+        peak = ctx.add_task(PEAKVAL)
+        ctx.connect(seis, peak)
+        pv = ctx.add_output(peak, PEAKVAL, "pv")
+        ctx.connect(pv, zippsa)
+
+    ctx.add_output(zipseis, ZIPSEIS, "zip", size=0.22 * MB * m)
+    ctx.add_output(zippsa, ZIPPSA, "zip", size=0.003 * MB * m)
+
+    wf.validate()
+    return wf

@@ -1,0 +1,156 @@
+"""Pegasus DAX (v3) workflow I/O.
+
+The Pegasus Workflow Generator emits DAX XML documents; production runs of
+the paper's workflow families are described in the same format.  This
+module reads/writes the subset of DAX v3 that carries the information the
+algorithms need:
+
+* ``<job id= name= runtime=>`` — tasks and their weights;
+* ``<uses file= link="input|output" size=>`` — file-grained data flow;
+* ``<child ref=><parent ref=>`` — control edges (only those not already
+  implied by the data flow are preserved as control edges).
+
+Writing then reading a workflow is an exact round trip of tasks, weights,
+files, producers, consumers and control edges (asserted in tests), so
+workflows generated elsewhere (including by the real PWG) can be dropped
+into the harness.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, Set, Tuple, Union
+
+from repro.errors import SerializationError
+from repro.mspg.graph import Workflow
+
+__all__ = ["read_dax", "write_dax"]
+
+_NS = "http://pegasus.isi.edu/schema/DAX"
+
+
+def write_dax(workflow: Workflow, path: Union[str, Path]) -> None:
+    """Write a workflow as a DAX v3 XML document."""
+    root = ET.Element(
+        "adag",
+        {
+            "xmlns": _NS,
+            "version": "3.6",
+            "name": workflow.name,
+            "jobCount": str(workflow.n_tasks),
+            "fileCount": str(len(workflow.file_names)),
+        },
+    )
+    for task in workflow.tasks():
+        job = ET.SubElement(
+            root,
+            "job",
+            {
+                "id": task.id,
+                "name": task.category or task.id,
+                "runtime": repr(task.weight),
+            },
+        )
+        for fname in sorted(workflow.inputs(task.id)):
+            ET.SubElement(
+                job,
+                "uses",
+                {
+                    "file": fname,
+                    "link": "input",
+                    "size": repr(workflow.file_size(fname)),
+                },
+            )
+        for fname in sorted(workflow.outputs(task.id)):
+            ET.SubElement(
+                job,
+                "uses",
+                {
+                    "file": fname,
+                    "link": "output",
+                    "size": repr(workflow.file_size(fname)),
+                },
+            )
+    # Control edges that carry no data need explicit parent/child entries.
+    children: Dict[str, Set[str]] = {}
+    for u, v in workflow.control_edges():
+        children.setdefault(v, set()).add(u)
+    for child in sorted(children):
+        elem = ET.SubElement(root, "child", {"ref": child})
+        for parent in sorted(children[child]):
+            ET.SubElement(elem, "parent", {"ref": parent})
+
+    tree = ET.ElementTree(root)
+    ET.indent(tree)
+    tree.write(str(path), xml_declaration=True, encoding="unicode")
+
+
+def read_dax(path: Union[str, Path]) -> Workflow:
+    """Read a DAX v3 XML document into a :class:`Workflow`.
+
+    Files referenced without a size attribute default to 0 bytes; jobs
+    without a runtime attribute default to weight 0 (as the real DAX
+    schema allows both omissions).
+    """
+    try:
+        root = ET.parse(str(path)).getroot()
+    except ET.ParseError as exc:
+        raise SerializationError(f"cannot parse DAX file {path}: {exc}") from exc
+
+    def tag(name: str) -> str:
+        return f"{{{_NS}}}{name}" if root.tag.startswith("{") else name
+
+    wf = Workflow(root.get("name", Path(str(path)).stem))
+
+    file_sizes: Dict[str, float] = {}
+    producers: Dict[str, str] = {}
+    consumers: Dict[str, Set[str]] = {}
+    for job in root.iter(tag("job")):
+        tid = job.get("id")
+        if tid is None:
+            raise SerializationError(f"job without id in {path}")
+        weight = float(job.get("runtime", "0"))
+        category = job.get("name", "")
+        wf.add_task(tid, weight, category=category)
+        for uses in job.iter(tag("uses")):
+            fname = uses.get("file")
+            if fname is None:
+                raise SerializationError(f"uses without file in job {tid!r}")
+            size = float(uses.get("size", "0"))
+            prev = file_sizes.get(fname)
+            if prev is not None and prev != size:
+                raise SerializationError(
+                    f"file {fname!r} has inconsistent sizes {prev} and {size}"
+                )
+            file_sizes[fname] = size
+            link = uses.get("link", "input")
+            if link == "output":
+                if fname in producers and producers[fname] != tid:
+                    raise SerializationError(
+                        f"file {fname!r} produced by both {producers[fname]!r} "
+                        f"and {tid!r}"
+                    )
+                producers[fname] = tid
+            else:
+                consumers.setdefault(fname, set()).add(tid)
+
+    for fname, size in file_sizes.items():
+        wf.add_file(fname, size, producer=producers.get(fname))
+    for fname, tids in consumers.items():
+        for tid in sorted(tids):
+            wf.add_input(tid, fname)
+
+    for child in root.iter(tag("child")):
+        ref = child.get("ref")
+        if ref is None:
+            raise SerializationError(f"child without ref in {path}")
+        for parent in child.iter(tag("parent")):
+            pref = parent.get("ref")
+            if pref is None:
+                raise SerializationError(f"parent without ref in {path}")
+            if ref not in wf.succs(pref):
+                wf.add_control_edge(pref, ref)
+
+    wf.validate()
+    return wf

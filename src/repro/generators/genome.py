@@ -1,0 +1,119 @@
+"""GENOME workflow generator (USC Epigenomics mapping pipeline).
+
+The Epigenomics workflow maps sequencer reads onto a reference genome.
+Its structure (Bharathi et al. 2008) is a set of independent *lanes*, each
+a fork-join over ``k`` read chunks, followed by a global merge chain:
+
+```
+ per lane l = 1..L:
+   fastQSplit_l (1)                       split the lane's read file
+   per chunk j = 1..k:
+     filterContams -> sol2sanger -> fastq2bfq -> map   (4-task chain)
+   mapMerge_l (1)                         merge the lane's alignments
+ mapMergeGlobal (1)                       merge all lanes
+ maqIndex (1)                             index the merged alignments
+ pileup (1)                               produce the final pileup
+```
+
+This graph is an exact M-SPG (parallel lanes of fork-joins composed
+serially with the final chain), which makes GENOME the family for which
+`mspgify` is the identity — a useful contrast with MONTAGE/LIGO in tests.
+
+The ``map`` step dominates runtime, giving GENOME the highest
+compute-to-data ratio of the three paper families; the paper accordingly
+sweeps its CCR over a 100× lower range (Fig. 5 vs Figs. 6-7).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import WorkflowError
+from repro.generators.base import GeneratorContext, TaskType
+from repro.mspg.graph import Workflow
+from repro.util.rng import SeedLike
+
+__all__ = ["genome"]
+
+MB = 1e6
+
+FASTQSPLIT = TaskType("fastQSplit", 34.3, 5.0, 0.0, 0.0)  # chunk size explicit
+FILTER = TaskType("filterContams", 2.47, 0.50, 19.0 * MB, 2.0 * MB)
+SOL2SANGER = TaskType("sol2sanger", 0.48, 0.10, 18.0 * MB, 2.0 * MB)
+FASTQ2BFQ = TaskType("fastq2bfq", 1.40, 0.30, 9.0 * MB, 1.0 * MB)
+MAP = TaskType("map", 201.89, 40.0, 3.0 * MB, 0.5 * MB)
+MAPMERGE = TaskType("mapMerge", 11.01, 3.0, 0.0, 0.0)  # size explicit
+MAQINDEX = TaskType("maqIndex", 43.0, 8.0, 105.0 * MB, 10.0 * MB)
+PILEUP = TaskType("pileup", 55.95, 10.0, 42.0 * MB, 5.0 * MB)
+
+LANE_FASTQ_BYTES = 420.0 * MB
+CHUNK_BYTES = 20.0 * MB
+MERGED_PER_CHUNK_BYTES = 2.8 * MB
+
+
+def _shape(ntasks: int) -> List[int]:
+    """Chunk count per lane so that ``Σ(4·k_l + 2) + 3 ≈ ntasks``."""
+    if ntasks < 13:
+        raise WorkflowError(f"genome needs ntasks >= 13, got {ntasks}")
+    # Lanes grow slowly with size: 2 lanes at ~50 tasks, 7 at ~1000.
+    lanes = max(1, min(8, round((ntasks / 50) ** 0.5) + 1))
+    per_lane_budget = (ntasks - 3) / lanes
+    k = max(1, round((per_lane_budget - 2) / 4))
+    chunks = [k] * lanes
+    # Distribute the remaining task budget one chunk (4 tasks) at a time.
+    remainder = ntasks - (3 + lanes * (4 * k + 2))
+    i = 0
+    while remainder >= 4:
+        chunks[i % lanes] += 1
+        remainder -= 4
+        i += 1
+    return chunks
+
+
+def genome(ntasks: int = 50, seed: SeedLike = None) -> Workflow:
+    """Generate a GENOME (Epigenomics) workflow with ~``ntasks`` tasks."""
+    chunks = _shape(ntasks)
+    ctx = GeneratorContext(f"genome-{ntasks}", seed)
+    wf = ctx.workflow
+
+    global_merge = ctx.add_task(MAPMERGE)
+    for lane, k in enumerate(chunks):
+        split = ctx.add_task(FASTQSPLIT)
+        lane_fastq = ctx.add_workflow_input(
+            f"lane_{lane:02d}.fastq", LANE_FASTQ_BYTES
+        )
+        ctx.connect(lane_fastq, split)
+        lane_merge = ctx.add_task(MAPMERGE)
+        for j in range(k):
+            chunk = ctx.add_output(split, FASTQSPLIT, f"chunk{j:04d}", size=CHUNK_BYTES)
+            filt = ctx.add_task(FILTER)
+            ctx.connect(chunk, filt)
+            filtered = ctx.add_output(filt, FILTER)
+            sol = ctx.add_task(SOL2SANGER)
+            ctx.connect(filtered, sol)
+            sanger = ctx.add_output(sol, SOL2SANGER)
+            bfq = ctx.add_task(FASTQ2BFQ)
+            ctx.connect(sanger, bfq)
+            bfq_file = ctx.add_output(bfq, FASTQ2BFQ)
+            mapper = ctx.add_task(MAP)
+            ctx.connect(bfq_file, mapper)
+            mapped = ctx.add_output(mapper, MAP)
+            ctx.connect(mapped, lane_merge)
+        merged = ctx.add_output(
+            lane_merge, MAPMERGE, "merged", size=MERGED_PER_CHUNK_BYTES * k
+        )
+        ctx.connect(merged, global_merge)
+
+    total_chunks = sum(chunks)
+    all_merged = ctx.add_output(
+        global_merge, MAPMERGE, "all", size=MERGED_PER_CHUNK_BYTES * total_chunks
+    )
+    index = ctx.add_task(MAQINDEX)
+    ctx.connect(all_merged, index)
+    indexed = ctx.add_output(index, MAQINDEX, "idx")
+    pile = ctx.add_task(PILEUP)
+    ctx.connect(indexed, pile)
+    ctx.add_output(pile, PILEUP, "pileup")
+
+    wf.validate()
+    return wf

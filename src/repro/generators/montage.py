@@ -1,0 +1,142 @@
+"""MONTAGE workflow generator (astronomy image mosaics).
+
+Montage assembles a sky mosaic from ``a`` input images.  The level
+structure (Bharathi et al. 2008) is:
+
+```
+ mProjectPP (a, parallel)      re-project each input image
+ mDiffFit   (d, parallel)      fit the overlap of two projected images
+ mConcatFit (1)                concatenate all fit planes
+ mBgModel   (1)                model background corrections
+ mBackground(a, parallel)      apply corrections to each projected image
+ mImgtbl    (1)                build the image metadata table
+ mAdd       (1)                co-add the corrected images into the mosaic
+ mShrink    (s, parallel)      shrink mosaic tiles
+ mJPEG      (1)                render the preview image
+```
+
+Two structural features exercise interesting code paths:
+
+* ``mDiffFit`` consumes *two specific* ``mProjectPP`` outputs (overlapping
+  neighbours), so the projection→diff level is an **incomplete bipartite**
+  graph: exactly the structure `mspgify` completes with dummy edges
+  (paper footnote 2).
+* ``mBackground`` re-reads the projected image, a **transitive skip
+  dependency** (`mProjectPP → mBackground` is implied through
+  ``mDiffFit → mConcatFit → mBgModel``), which `mspgify` demotes to
+  data-only.
+* ``mBgModel`` produces a *single* corrections file consumed by every
+  ``mBackground`` task — the shared-file case whose checkpoint must be
+  saved once (§VI-A).
+
+Runtime and size scales follow the published Montage profile
+(mConcatFit/mBgModel/mAdd are the heavy serial stages; the parallel stages
+are sub-second to a few seconds).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import WorkflowError
+from repro.generators.base import GeneratorContext, TaskType
+from repro.mspg.graph import Workflow
+from repro.util.rng import SeedLike
+
+__all__ = ["montage"]
+
+MB = 1e6
+
+PROJECT = TaskType("mProjectPP", 1.73, 0.30, 4.1 * MB, 0.4 * MB)
+DIFFFIT = TaskType("mDiffFit", 0.66, 0.15, 0.8 * MB, 0.2 * MB)
+CONCATFIT = TaskType("mConcatFit", 143.0, 20.0, 0.05 * MB, 0.01 * MB)
+BGMODEL = TaskType("mBgModel", 384.0, 50.0, 0.012 * MB, 0.002 * MB)
+BACKGROUND = TaskType("mBackground", 1.72, 0.30, 4.1 * MB, 0.4 * MB)
+IMGTBL = TaskType("mImgtbl", 2.55, 0.40, 0.1 * MB, 0.02 * MB)
+ADD = TaskType("mAdd", 282.0, 40.0, 0.0, 0.0)  # mosaic size set explicitly
+SHRINK = TaskType("mShrink", 66.0, 10.0, 1.3 * MB, 0.3 * MB)
+JPEG = TaskType("mJPEG", 0.70, 0.10, 0.2 * MB, 0.05 * MB)
+
+RAW_IMAGE_BYTES = 2.1 * MB
+MOSAIC_BYTES_PER_IMAGE = 1.8 * MB
+
+#: Structural overhead: singleton tasks (mConcatFit, mBgModel, mImgtbl,
+#: mAdd, mJPEG).
+_SINGLETONS = 5
+
+
+def _layer_sizes(ntasks: int) -> Tuple[int, int, int]:
+    """Pick (a, d, s): projection count, diff count, shrink-tile count.
+
+    Chain-overlap model: consecutive images always overlap (``a - 1``
+    mandatory pairs); remaining budget goes to second-neighbour overlaps,
+    capped at ``a - 2``.  One shrink tile per ~5 images.
+    """
+    if ntasks < 10:
+        raise WorkflowError(f"montage needs ntasks >= 10, got {ntasks}")
+    # total = a (proj) + d (diff) + a (background) + s (shrink) + singletons
+    # with d ≈ 2a - 3 and s ≈ a/5:  total ≈ 4.2 a + 2.
+    a = max(2, round((ntasks - _SINGLETONS) / 4.2))
+    s = max(1, a // 5)
+    d = ntasks - (2 * a + s + _SINGLETONS)
+    d = max(a - 1, min(d, 2 * a - 3 if a >= 3 else a - 1))
+    return a, d, s
+
+
+def montage(ntasks: int = 50, seed: SeedLike = None) -> Workflow:
+    """Generate a MONTAGE workflow with approximately ``ntasks`` tasks."""
+    a, d, s = _layer_sizes(ntasks)
+    ctx = GeneratorContext(f"montage-{ntasks}", seed)
+    wf = ctx.workflow
+
+    projects: List[str] = []
+    projected: List[str] = []
+    for i in range(a):
+        t = ctx.add_task(PROJECT)
+        raw = ctx.add_workflow_input(f"raw_{i:05d}.fits", RAW_IMAGE_BYTES)
+        ctx.connect(raw, t)
+        projects.append(t)
+        projected.append(ctx.add_output(t, PROJECT, "proj"))
+
+    # Overlap pairs: first-neighbours, then second-neighbours.
+    pairs: List[Tuple[int, int]] = [(i, i + 1) for i in range(a - 1)]
+    pairs += [(i, i + 2) for i in range(min(d - (a - 1), max(0, a - 2)))]
+    pairs = pairs[:d]
+
+    concat = ctx.add_task(CONCATFIT)
+    for (i, j) in pairs:
+        t = ctx.add_task(DIFFFIT)
+        ctx.connect(projected[i], t)
+        ctx.connect(projected[j], t)
+        fit = ctx.add_output(t, DIFFFIT, "fit")
+        ctx.connect(fit, concat)
+    fits_table = ctx.add_output(concat, CONCATFIT, "tbl")
+
+    bgmodel = ctx.add_task(BGMODEL)
+    ctx.connect(fits_table, bgmodel)
+    # One corrections file shared by every mBackground task (dedup case).
+    corrections = ctx.add_output(bgmodel, BGMODEL, "corr")
+
+    imgtbl = ctx.add_task(IMGTBL)
+    add = ctx.add_task(ADD)
+    for i in range(a):
+        t = ctx.add_task(BACKGROUND)
+        ctx.connect(corrections, t)
+        ctx.connect(projected[i], t)  # transitive skip dependency
+        corrected = ctx.add_output(t, BACKGROUND, "corr_img")
+        ctx.connect(corrected, imgtbl)
+        ctx.connect(corrected, add)
+    table = ctx.add_output(imgtbl, IMGTBL, "imgtbl")
+    ctx.connect(table, add)
+
+    mosaic = ctx.add_output(add, ADD, "mosaic", size=MOSAIC_BYTES_PER_IMAGE * a)
+    jpeg = ctx.add_task(JPEG)
+    for j in range(s):
+        t = ctx.add_task(SHRINK)
+        ctx.connect(mosaic, t)
+        shrunk = ctx.add_output(t, SHRINK, "shrunk")
+        ctx.connect(shrunk, jpeg)
+    ctx.add_output(jpeg, JPEG, "jpg")
+
+    wf.validate()
+    return wf

@@ -1,0 +1,147 @@
+"""Random M-SPG workflows for property-based testing and ablations.
+
+:func:`random_tree` samples an expression tree directly from the M-SPG
+grammar (§II-A), guaranteeing that the result is an M-SPG by construction;
+:func:`workflow_from_tree` materialises any tree into a
+:class:`~repro.mspg.graph.Workflow` with sampled weights and file sizes.
+Together they give an unbounded supply of valid inputs whose structure is
+known exactly — the backbone of the recognition round-trip property tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import WorkflowError
+from repro.mspg.expr import (
+    EMPTY,
+    MSPG,
+    TaskNode,
+    parallel,
+    series,
+    tree_edges,
+    tree_tasks,
+)
+from repro.mspg.graph import Workflow
+from repro.util.rng import SeedLike, as_rng
+
+__all__ = ["random_tree", "workflow_from_tree", "random_mspg"]
+
+
+def random_tree(
+    ntasks: int,
+    rng: np.random.Generator,
+    max_branch: int = 5,
+    _mode: str = "series",
+) -> MSPG:
+    """Sample an M-SPG expression tree with exactly ``ntasks`` atoms.
+
+    The sampler alternates series/parallel levels (matching the canonical
+    form) and splits the task budget uniformly among 2..``max_branch``
+    children, bottoming out at atoms.
+    """
+    if ntasks < 0:
+        raise WorkflowError(f"ntasks must be >= 0, got {ntasks}")
+    if ntasks == 0:
+        return EMPTY
+
+    counter = [0]
+
+    def atom() -> MSPG:
+        counter[0] += 1
+        return TaskNode(f"t{counter[0]:05d}")
+
+    def build(budget: int, mode: str) -> MSPG:
+        if budget == 1 or (budget <= 2 and rng.random() < 0.3):
+            if budget == 1:
+                return atom()
+        # Split the budget among k >= 2 children (or bail to an atom chain).
+        k = int(rng.integers(2, min(max_branch, budget) + 1))
+        if k < 2:
+            return atom()
+        # Random composition of the budget into k positive parts.
+        cuts = sorted(rng.choice(np.arange(1, budget), size=k - 1, replace=False))
+        parts = np.diff([0, *cuts, budget])
+        next_mode = "parallel" if mode == "series" else "series"
+        children = []
+        for part in parts:
+            if part == 1 or rng.random() < 0.25:
+                # A chain of atoms keeps trees from being pure alternation.
+                if mode == "series":
+                    children.extend(atom() for _ in range(int(part)))
+                    continue
+            children.append(build(int(part), next_mode))
+        combine = series if mode == "series" else parallel
+        return combine(*children)
+
+    return build(ntasks, _mode)
+
+
+def workflow_from_tree(
+    tree: MSPG,
+    seed: SeedLike = None,
+    name: str = "random-mspg",
+    weight_sampler: Optional[Callable[[np.random.Generator], float]] = None,
+    size_sampler: Optional[Callable[[np.random.Generator], float]] = None,
+    shared_output_prob: float = 0.3,
+) -> Workflow:
+    """Materialise an expression tree into a workflow.
+
+    Structural edges get files; with probability ``shared_output_prob`` a
+    task's out-edges share a single output file (exercising the
+    deduplicated checkpoint cost of §VI-A).  Sources read a workflow input
+    and sinks produce a final output, so every task touches stable storage
+    at least at the workflow boundary.
+    """
+    rng = as_rng(seed)
+    if weight_sampler is None:
+        weight_sampler = lambda r: float(r.lognormal(mean=1.5, sigma=0.8))
+    if size_sampler is None:
+        size_sampler = lambda r: float(r.lognormal(mean=13.0, sigma=1.0))
+
+    wf = Workflow(name)
+    tasks = list(tree_tasks(tree))
+    for tid in tasks:
+        wf.add_task(tid, weight_sampler(rng))
+
+    edges = sorted(tree_edges(tree))
+    by_src: Dict[str, List[str]] = {}
+    for u, v in edges:
+        by_src.setdefault(u, []).append(v)
+
+    out_degree_zero = set(tasks)
+    in_degree_zero = set(tasks)
+    for u, targets in by_src.items():
+        out_degree_zero.discard(u)
+        for v in targets:
+            in_degree_zero.discard(v)
+        if len(targets) > 1 and rng.random() < shared_output_prob:
+            fname = f"{u}.shared"
+            wf.add_file(fname, size_sampler(rng), producer=u)
+            for v in targets:
+                wf.add_input(v, fname)
+        else:
+            for v in targets:
+                fname = f"{u}.to.{v}"
+                wf.add_file(fname, size_sampler(rng), producer=u)
+                wf.add_input(v, fname)
+
+    for tid in sorted(in_degree_zero):
+        fname = f"input.{tid}"
+        wf.add_file(fname, size_sampler(rng), producer=None)
+        wf.add_input(tid, fname)
+    for tid in sorted(out_degree_zero):
+        wf.add_file(f"{tid}.final", size_sampler(rng), producer=tid)
+
+    wf.validate()
+    return wf
+
+
+def random_mspg(ntasks: int = 50, seed: SeedLike = None) -> Workflow:
+    """Generate a random M-SPG workflow with exactly ``ntasks`` tasks."""
+    rng = as_rng(seed)
+    tree = random_tree(ntasks, rng)
+    return workflow_from_tree(tree, seed=rng, name=f"random-{ntasks}")

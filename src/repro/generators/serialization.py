@@ -1,0 +1,74 @@
+"""Native JSON (de)serialisation of workflows.
+
+A lossless, human-inspectable alternative to DAX for storing generated
+instances alongside experiment results.  The schema is a direct dump of
+the :class:`~repro.mspg.graph.Workflow` registries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import SerializationError
+from repro.mspg.graph import Workflow
+
+__all__ = ["workflow_to_json", "workflow_from_json", "save_workflow", "load_workflow"]
+
+_SCHEMA = "repro-workflow-v1"
+
+
+def workflow_to_json(workflow: Workflow) -> Dict[str, Any]:
+    """Serialise a workflow to a JSON-compatible dict."""
+    return {
+        "schema": _SCHEMA,
+        "name": workflow.name,
+        "tasks": [
+            {"id": t.id, "weight": t.weight, "category": t.category}
+            for t in workflow.tasks()
+        ],
+        "files": [
+            {
+                "name": f,
+                "size": workflow.file_size(f),
+                "producer": workflow.producer(f),
+                "consumers": sorted(workflow.consumers(f)),
+            }
+            for f in workflow.file_names
+        ],
+        "control_edges": [list(e) for e in workflow.control_edges()],
+    }
+
+
+def workflow_from_json(data: Dict[str, Any]) -> Workflow:
+    """Deserialise a workflow from :func:`workflow_to_json` output."""
+    if data.get("schema") != _SCHEMA:
+        raise SerializationError(
+            f"unexpected schema {data.get('schema')!r}; expected {_SCHEMA!r}"
+        )
+    wf = Workflow(data.get("name", "workflow"))
+    for t in data["tasks"]:
+        wf.add_task(t["id"], t["weight"], category=t.get("category", ""))
+    for f in data["files"]:
+        wf.add_file(f["name"], f["size"], producer=f.get("producer"))
+        for consumer in f.get("consumers", []):
+            wf.add_input(consumer, f["name"])
+    for u, v in data.get("control_edges", []):
+        wf.add_control_edge(u, v)
+    wf.validate()
+    return wf
+
+
+def save_workflow(workflow: Workflow, path: Union[str, Path]) -> None:
+    """Write a workflow to a JSON file."""
+    Path(path).write_text(json.dumps(workflow_to_json(workflow), indent=1))
+
+
+def load_workflow(path: Union[str, Path]) -> Workflow:
+    """Read a workflow from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"cannot parse {path}: {exc}") from exc
+    return workflow_from_json(data)

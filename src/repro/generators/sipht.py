@@ -1,0 +1,94 @@
+"""SIPHT workflow generator (bacterial sRNA prediction).
+
+Extension family (supported by the Pegasus generator; not part of the
+paper's figures).  Structure (Bharathi et al. 2008, simplified to its
+level skeleton):
+
+```
+ Patser_i (p, parallel)       transcription-factor binding site scans
+ PatserConcat (1)             concatenation of all Patser outputs
+ Transterm, Findterm,
+ RNAMotif, Blast (4, parallel)  candidate-terminator / homology searches
+ SRNA (1)                     joins PatserConcat + the four searches
+ FFN_parse, BlastSynteny,
+ BlastCandidate, BlastQRNA,
+ BlastParalogues (5, parallel)  secondary annotation searches
+ SRNAAnnotate (1)             final annotation
+```
+
+SIPHT has a wide, shallow shape with several singleton joins; it exercises
+the scheduler's handling of alternating chain/parallel segments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkflowError
+from repro.generators.base import GeneratorContext, TaskType
+from repro.mspg.graph import Workflow
+from repro.util.rng import SeedLike
+
+__all__ = ["sipht"]
+
+MB = 1e6
+
+PATSER = TaskType("Patser", 0.96, 0.2, 0.003 * MB, 0.001 * MB)
+PATSER_CONCAT = TaskType("PatserConcat", 0.03, 0.01, 0.06 * MB, 0.01 * MB)
+TRANSTERM = TaskType("Transterm", 32.41, 6.0, 0.02 * MB, 0.005 * MB)
+FINDTERM = TaskType("Findterm", 594.94, 80.0, 0.32 * MB, 0.05 * MB)
+RNAMOTIF = TaskType("RNAMotif", 25.69, 5.0, 0.018 * MB, 0.004 * MB)
+BLAST = TaskType("Blast", 3311.12, 400.0, 0.95 * MB, 0.1 * MB)
+SRNA = TaskType("SRNA", 12.44, 2.0, 1.38 * MB, 0.2 * MB)
+FFN_PARSE = TaskType("FFN_parse", 0.73, 0.15, 0.46 * MB, 0.05 * MB)
+BLAST_SYNTENY = TaskType("BlastSynteny", 3.33, 0.8, 0.01 * MB, 0.002 * MB)
+BLAST_CANDIDATE = TaskType("BlastCandidate", 0.6, 0.15, 0.005 * MB, 0.001 * MB)
+BLAST_QRNA = TaskType("BlastQRNA", 440.88, 60.0, 0.35 * MB, 0.05 * MB)
+BLAST_PARALOGUES = TaskType("BlastParalogues", 0.68, 0.15, 0.005 * MB, 0.001 * MB)
+ANNOTATE = TaskType("SRNAAnnotate", 0.14, 0.03, 0.04 * MB, 0.01 * MB)
+
+GENOME_BYTES = 9.5 * MB
+
+#: PatserConcat + {Transterm, Findterm, RNAMotif, Blast} + SRNA + five
+#: annotation searches + SRNAAnnotate.
+_FIXED = 12
+
+
+def sipht(ntasks: int = 50, seed: SeedLike = None) -> Workflow:
+    """Generate a SIPHT workflow with approximately ``ntasks`` tasks."""
+    if ntasks < _FIXED + 2:
+        raise WorkflowError(f"sipht needs ntasks >= {_FIXED + 2}, got {ntasks}")
+    p = ntasks - _FIXED
+    ctx = GeneratorContext(f"sipht-{ntasks}", seed)
+    wf = ctx.workflow
+
+    genome_file = ctx.add_workflow_input("genome.ffn", GENOME_BYTES)
+
+    concat = ctx.add_task(PATSER_CONCAT)
+    for _ in range(p):
+        t = ctx.add_task(PATSER)
+        ctx.connect(genome_file, t)
+        ctx.connect(ctx.add_output(t, PATSER, "sites"), concat)
+    concat_out = ctx.add_output(concat, PATSER_CONCAT, "all_sites")
+
+    srna = ctx.add_task(SRNA)
+    ctx.connect(concat_out, srna)
+    for ttype in (TRANSTERM, FINDTERM, RNAMOTIF, BLAST):
+        t = ctx.add_task(ttype)
+        ctx.connect(genome_file, t)
+        ctx.connect(ctx.add_output(t, ttype), srna)
+    srna_out = ctx.add_output(srna, SRNA, "candidates")
+
+    annotate = ctx.add_task(ANNOTATE)
+    for ttype in (
+        FFN_PARSE,
+        BLAST_SYNTENY,
+        BLAST_CANDIDATE,
+        BLAST_QRNA,
+        BLAST_PARALOGUES,
+    ):
+        t = ctx.add_task(ttype)
+        ctx.connect(srna_out, t)
+        ctx.connect(ctx.add_output(t, ttype), annotate)
+    ctx.add_output(annotate, ANNOTATE, "annotations")
+
+    wf.validate()
+    return wf

@@ -1,0 +1,49 @@
+"""Expected-makespan machinery for 2-state probabilistic DAGs.
+
+The paper's pipeline (§II-B/C): once every superchain is cut into
+checkpointed segments, each segment becomes a macro-task whose duration is
+the 2-state random variable of Equation (1); the resulting *segment DAG*
+is evaluated with one of four estimators (§VI-B):
+
+* :func:`repro.makespan.montecarlo.montecarlo` — sampling ground truth;
+* :func:`repro.makespan.dodin.dodin` — series-parallel reduction;
+* :func:`repro.makespan.normal.normal` — Sculli's normal approximation;
+* :func:`repro.makespan.pathapprox.pathapprox` — longest-path / failure
+  scenario approximation (the paper's method of choice);
+
+plus :func:`repro.makespan.exact.exact` (brute-force enumeration, small
+DAGs only) and the Theorem 1 estimator for CKPTNONE
+(:mod:`repro.makespan.ckptnone`).
+"""
+
+from repro.makespan.two_state import (
+    TwoStateTask,
+    first_order_expected_time,
+    two_state_from_span,
+)
+from repro.makespan.probdag import ProbDAG
+from repro.makespan.segment_dag import build_segment_dag
+from repro.makespan.montecarlo import montecarlo
+from repro.makespan.dodin import dodin
+from repro.makespan.normal import normal
+from repro.makespan.pathapprox import pathapprox
+from repro.makespan.exact import exact
+from repro.makespan.ckptnone import ckptnone_expected_makespan, failure_free_makespan
+from repro.makespan.api import expected_makespan, EVALUATORS
+
+__all__ = [
+    "TwoStateTask",
+    "first_order_expected_time",
+    "two_state_from_span",
+    "ProbDAG",
+    "build_segment_dag",
+    "montecarlo",
+    "dodin",
+    "normal",
+    "pathapprox",
+    "exact",
+    "ckptnone_expected_makespan",
+    "failure_free_makespan",
+    "expected_makespan",
+    "EVALUATORS",
+]

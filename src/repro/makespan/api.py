@@ -1,0 +1,42 @@
+"""Evaluator dispatch: one entry point for the four §VI-B methods + exact."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import EvaluationError
+from repro.makespan.dodin import dodin
+from repro.makespan.exact import exact
+from repro.makespan.montecarlo import montecarlo
+from repro.makespan.normal import normal
+from repro.makespan.pathapprox import pathapprox
+from repro.makespan.probdag import ProbDAG
+
+__all__ = ["EVALUATORS", "expected_makespan"]
+
+#: Evaluator registry, keyed by the paper's method names.
+EVALUATORS: Dict[str, Callable[..., float]] = {
+    "montecarlo": montecarlo,
+    "dodin": dodin,
+    "normal": normal,
+    "pathapprox": pathapprox,
+    "exact": exact,
+}
+
+
+def expected_makespan(dag: ProbDAG, method: str = "pathapprox", **kwargs) -> float:
+    """Expected makespan of a 2-state DAG with the named method.
+
+    ``method`` is one of ``montecarlo``, ``dodin``, ``normal``,
+    ``pathapprox`` (default, the paper's choice) or ``exact``; extra
+    keyword arguments are forwarded (e.g. ``trials=``/``seed=`` for Monte
+    Carlo, ``k=`` for PathApprox).
+    """
+    try:
+        fn = EVALUATORS[method]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown evaluation method {method!r}; choose from "
+            f"{sorted(EVALUATORS)}"
+        ) from None
+    return fn(dag, **kwargs)

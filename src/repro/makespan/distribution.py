@@ -1,0 +1,193 @@
+"""Discrete distribution algebra for makespan evaluation.
+
+Dodin's method and the path-based approximation manipulate distributions
+of sums and maxima of independent 2-state variables.  Exact supports grow
+exponentially under convolution, so :class:`DiscreteDistribution` keeps at
+most ``max_atoms`` support points, merging excess atoms by cumulative-
+probability binning.  Binning preserves the mean *exactly* (each bin's
+value is its conditional mean) and distorts the CDF by at most one bin of
+probability mass — the property tests pin both facts down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+__all__ = ["DiscreteDistribution", "DEFAULT_MAX_ATOMS"]
+
+DEFAULT_MAX_ATOMS = 512
+
+
+class DiscreteDistribution:
+    """A finite discrete distribution with sorted support.
+
+    Immutable; all operators return new instances.  Probabilities are
+    renormalised on construction to guard against floating-point drift.
+    """
+
+    __slots__ = ("values", "probs")
+
+    def __init__(
+        self, values: Iterable[float], probs: Iterable[float], _sorted: bool = False
+    ) -> None:
+        v = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+        p = np.asarray(list(probs) if not isinstance(probs, np.ndarray) else probs, dtype=float)
+        if v.shape != p.shape or v.ndim != 1 or v.size == 0:
+            raise EvaluationError(
+                f"values/probs must be equal-length 1-D arrays, got "
+                f"{v.shape} and {p.shape}"
+            )
+        if np.any(p < -1e-12):
+            raise EvaluationError("negative probability atom")
+        if not _sorted:
+            order = np.argsort(v, kind="stable")
+            v = v[order]
+            p = p[order]
+        # merge exactly-equal support points
+        if v.size > 1 and np.any(np.diff(v) == 0):
+            uniq, inverse = np.unique(v, return_inverse=True)
+            merged = np.zeros_like(uniq)
+            np.add.at(merged, inverse, p)
+            v, p = uniq, merged
+        total = float(p.sum())
+        if not np.isfinite(total) or total <= 0:
+            raise EvaluationError(f"probabilities sum to {total}")
+        self.values = v
+        self.probs = p / total
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def point(cls, value: float) -> "DiscreteDistribution":
+        """The Dirac distribution at ``value``."""
+        return cls(np.array([value]), np.array([1.0]), _sorted=True)
+
+    @classmethod
+    def two_state(
+        cls, base: float, long: float, p: float
+    ) -> "DiscreteDistribution":
+        """``base`` w.p. ``1-p``, ``long`` w.p. ``p`` (Equation (1))."""
+        if p <= 0.0:
+            return cls.point(base)
+        if p >= 1.0:
+            return cls.point(long)
+        if long == base:
+            return cls.point(base)
+        return cls(
+            np.array([base, long]), np.array([1.0 - p, p]), _sorted=base <= long
+        )
+
+    # ------------------------------------------------------------------ #
+    # moments / cdf
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_atoms(self) -> int:
+        """Number of support points."""
+        return int(self.values.size)
+
+    def mean(self) -> float:
+        """Expected value."""
+        return float(self.values @ self.probs)
+
+    def variance(self) -> float:
+        """Variance."""
+        m = self.mean()
+        return float(((self.values - m) ** 2) @ self.probs)
+
+    def cdf(self, x: float) -> float:
+        """``P(X <= x)``."""
+        return float(self.probs[: int(np.searchsorted(self.values, x, "right"))].sum())
+
+    def quantile(self, q: float) -> float:
+        """Smallest support point with cumulative probability >= ``q``."""
+        if not (0.0 <= q <= 1.0):
+            raise EvaluationError(f"quantile level {q} outside [0, 1]")
+        cum = np.cumsum(self.probs)
+        idx = int(np.searchsorted(cum, q, "left"))
+        return float(self.values[min(idx, self.values.size - 1)])
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+
+    def shift(self, offset: float) -> "DiscreteDistribution":
+        """Distribution of ``X + offset``."""
+        return DiscreteDistribution(self.values + offset, self.probs, _sorted=True)
+
+    def convolve(
+        self, other: "DiscreteDistribution", max_atoms: int = DEFAULT_MAX_ATOMS
+    ) -> "DiscreteDistribution":
+        """Distribution of ``X + Y`` for independent ``X``, ``Y``."""
+        v = np.add.outer(self.values, other.values).ravel()
+        p = np.multiply.outer(self.probs, other.probs).ravel()
+        return DiscreteDistribution(v, p).truncate(max_atoms)
+
+    def max_with(
+        self, other: "DiscreteDistribution", max_atoms: int = DEFAULT_MAX_ATOMS
+    ) -> "DiscreteDistribution":
+        """Distribution of ``max(X, Y)`` for independent ``X``, ``Y``.
+
+        The CDF of the max is the product of the CDFs on the union of the
+        supports.
+        """
+        grid = np.union1d(self.values, other.values)
+        f1 = np.cumsum(self.probs)[
+            np.searchsorted(self.values, grid, "right") - 1
+        ]
+        # searchsorted-1 is -1 for grid points below the support minimum;
+        # CDF there is 0.
+        lo1 = np.searchsorted(self.values, grid, "right") == 0
+        f1 = np.where(lo1, 0.0, f1)
+        f2 = np.cumsum(other.probs)[
+            np.searchsorted(other.values, grid, "right") - 1
+        ]
+        lo2 = np.searchsorted(other.values, grid, "right") == 0
+        f2 = np.where(lo2, 0.0, f2)
+        f = f1 * f2
+        probs = np.diff(np.concatenate(([0.0], f)))
+        keep = probs > 0
+        if not np.any(keep):  # numerically degenerate; keep the top atom
+            keep[-1] = True
+            probs[-1] = 1.0
+        return DiscreteDistribution(
+            grid[keep], probs[keep], _sorted=True
+        ).truncate(max_atoms)
+
+    def truncate(self, max_atoms: int = DEFAULT_MAX_ATOMS) -> "DiscreteDistribution":
+        """Reduce the support to ``max_atoms`` points, preserving the mean.
+
+        Atoms are grouped into equal-probability bins; each bin is
+        replaced by its conditional mean.
+        """
+        if max_atoms < 1:
+            raise EvaluationError(f"max_atoms must be >= 1, got {max_atoms}")
+        if self.n_atoms <= max_atoms:
+            return self
+        cum = np.cumsum(self.probs)
+        # bin index of each atom by cumulative probability
+        bins = np.minimum(
+            (cum - self.probs * 0.5) * max_atoms, max_atoms - 1e-9
+        ).astype(int)
+        # Guarantee monotone bins (cumulative rounding can repeat).
+        bins = np.maximum.accumulate(bins)
+        masses = np.zeros(int(bins[-1]) + 1)
+        np.add.at(masses, bins, self.probs)
+        weighted = np.zeros_like(masses)
+        np.add.at(weighted, bins, self.probs * self.values)
+        keep = masses > 0
+        return DiscreteDistribution(
+            weighted[keep] / masses[keep], masses[keep]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscreteDistribution(atoms={self.n_atoms}, mean={self.mean():.6g}, "
+            f"std={self.variance() ** 0.5:.3g})"
+        )

@@ -1,0 +1,242 @@
+"""Dodin's series-parallel approximation (the paper's DODIN method, §II-B).
+
+Dodin's classical procedure evaluates a PERT network by exhaustively
+applying exact reductions and approximating where the graph is not
+series-parallel:
+
+* **series reduction** — a node with a unique predecessor that has no
+  other successor is convolved into it (exact);
+* **parallel reduction** — two nodes with identical predecessor and
+  successor sets are merged by independent maximum (exact);
+* **node duplication** — when stuck, a join node is split into one copy
+  per predecessor (each copy keeps the full duration law and all
+  successors).  Every path is preserved, but shared uncertainty is
+  counted once per copy: the classical Dodin bias.
+
+Distributions are exact discrete laws with moment-preserving truncation
+(:class:`~repro.makespan.distribution.DiscreteDistribution`), so on graphs
+that are already series-parallel the method is exact up to truncation —
+pinned down by tests against brute-force enumeration.
+
+Duplication can cascade on dense non-SP graphs, so growth is bounded by a
+node budget (default ``8·n + 64``); past it the evaluator finishes with
+*forward completion propagation*: completion(v) = independent max of the
+predecessors' completion distributions convolved with v's duration — the
+distribution-valued analogue of Sculli's fold, which terminates on any
+DAG.  The §VI-B accuracy benchmark quantifies the net effect; the paper
+reached the same conclusion we reproduce — PATHAPPROX is both faster and
+more reliable than DODIN on these graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import EvaluationError
+from repro.makespan.distribution import DEFAULT_MAX_ATOMS, DiscreteDistribution
+from repro.makespan.probdag import ProbDAG
+
+__all__ = ["dodin"]
+
+
+class _Net:
+    """Small mutable DAG of distributions with O(1) neighbourhood edits."""
+
+    def __init__(self) -> None:
+        self.dist: Dict[int, DiscreteDistribution] = {}
+        self.preds: Dict[int, Set[int]] = {}
+        self.succs: Dict[int, Set[int]] = {}
+        self._next = 0
+
+    def add(
+        self, dist: DiscreteDistribution, preds: Set[int] = frozenset()
+    ) -> int:
+        v = self._next
+        self._next += 1
+        self.dist[v] = dist
+        self.preds[v] = set(preds)
+        self.succs[v] = set()
+        for u in preds:
+            self.succs[u].add(v)
+        return v
+
+    def remove(self, v: int) -> None:
+        for u in self.preds[v]:
+            self.succs[u].discard(v)
+        for w in self.succs[v]:
+            self.preds[w].discard(v)
+        del self.dist[v], self.preds[v], self.succs[v]
+
+    def __len__(self) -> int:
+        return len(self.dist)
+
+
+def _series_pass(net: _Net, max_atoms: int) -> bool:
+    """Fold every ``u -> v`` where v is u's only successor-side option."""
+    changed = False
+    again = True
+    while again:
+        again = False
+        for v in list(net.dist):
+            if v not in net.dist:
+                continue
+            ps = net.preds[v]
+            if len(ps) != 1:
+                continue
+            (u,) = ps
+            if len(net.succs[u]) != 1:
+                continue
+            # merge v into u
+            net.dist[u] = net.dist[u].convolve(net.dist[v], max_atoms)
+            for w in list(net.succs[v]):
+                net.preds[w].add(u)
+                net.succs[u].add(w)
+            net.succs[u].discard(v)
+            net.remove(v)
+            changed = again = True
+    return changed
+
+
+def _parallel_pass(net: _Net, max_atoms: int) -> bool:
+    """Merge nodes with identical neighbourhoods by independent max."""
+    changed = False
+    groups: Dict[tuple, List[int]] = {}
+    for v in net.dist:
+        key = (
+            tuple(sorted(net.preds[v])),
+            tuple(sorted(net.succs[v])),
+        )
+        groups.setdefault(key, []).append(v)
+    for key, nodes in groups.items():
+        if len(nodes) < 2:
+            continue
+        keep = nodes[0]
+        for other in nodes[1:]:
+            net.dist[keep] = net.dist[keep].max_with(net.dist[other], max_atoms)
+            net.remove(other)
+            changed = True
+    return changed
+
+
+def _topo_order(net: _Net) -> List[int]:
+    indeg = {v: len(net.preds[v]) for v in net.dist}
+    ready = sorted(v for v, d in indeg.items() if d == 0)
+    out: List[int] = []
+    i = 0
+    while i < len(ready):
+        v = ready[i]
+        i += 1
+        out.append(v)
+        for w in sorted(net.succs[v]):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+    if len(out) != len(net.dist):
+        raise EvaluationError("internal: Dodin network became cyclic")
+    return out
+
+
+def _duplicate_join(net: _Net, v: int) -> None:
+    """Split join ``v`` into one copy per predecessor (Dodin duplication)."""
+    preds = sorted(net.preds[v])
+    succs = sorted(net.succs[v])
+    dist = net.dist[v]
+    net.remove(v)
+    for u in preds:
+        c = net.add(dist, {u})
+        for w in succs:
+            net.preds[w].add(c)
+            net.succs[c].add(w)
+
+
+def _forward_propagate(net: _Net, max_atoms: int) -> float:
+    """Finish the evaluation by forward completion-time propagation.
+
+    Completion(v) = (independent max over predecessors' completions)
+    convolved with v's own duration law.  This is the distribution-valued
+    analogue of Sculli's fold; it terminates on any DAG and serves as the
+    bounded-growth fallback when node duplication would explode.
+    """
+    completion: Dict[int, DiscreteDistribution] = {}
+    out: Optional[DiscreteDistribution] = None
+    for v in _topo_order(net):
+        ready: Optional[DiscreteDistribution] = None
+        for u in sorted(net.preds[v]):
+            ready = (
+                completion[u]
+                if ready is None
+                else ready.max_with(completion[u], max_atoms)
+            )
+        done = (
+            net.dist[v]
+            if ready is None
+            else ready.convolve(net.dist[v], max_atoms)
+        )
+        completion[v] = done
+        if not net.succs[v]:
+            out = done if out is None else out.max_with(done, max_atoms)
+    if out is None:
+        raise EvaluationError("internal: Dodin network has no sink")
+    return out.mean()
+
+
+def dodin(
+    dag: ProbDAG,
+    max_atoms: int = DEFAULT_MAX_ATOMS,
+    node_budget_factor: int = 8,
+) -> float:
+    """Dodin's estimate of the expected makespan of a 2-state DAG."""
+    if dag.n == 0:
+        return 0.0
+    net = _Net()
+    ids: Dict[int, int] = {}
+    for i in range(dag.n):
+        t = dag.task(i)
+        ids[i] = net.add(
+            DiscreteDistribution.two_state(t.base, t.long, t.p),
+            {ids[q] for q in dag.preds[i]},
+        )
+    # Virtual sink joins all components so the result is a single node.
+    sinks = {v for v in net.dist if not net.succs[v]}
+    net.add(DiscreteDistribution.point(0.0), sinks)
+    budget = node_budget_factor * dag.n + 64
+
+    while len(net) > 1:
+        progressed = _series_pass(net, max_atoms)
+        progressed |= _parallel_pass(net, max_atoms)
+        if len(net) <= 1:
+            break
+        if progressed:
+            continue
+        # Stuck: find the earliest join (in-degree >= 2).
+        join: Optional[int] = None
+        for v in _topo_order(net):
+            if len(net.preds[v]) >= 2:
+                join = v
+                break
+        if join is None:
+            # No join left; a source with several successors must exist —
+            # the symmetric duplication (per successor) applies.
+            for v in _topo_order(net):
+                if len(net.succs[v]) >= 2:
+                    join = v
+                    break
+            if join is None:
+                raise EvaluationError("internal: irreducible Dodin network")
+            # Split fork v per successor.
+            succs = sorted(net.succs[join])
+            preds = set(net.preds[join])
+            dist = net.dist[join]
+            net.remove(join)
+            for w in succs:
+                c = net.add(dist, preds)
+                net.preds[w].add(c)
+                net.succs[c].add(w)
+            continue
+        if len(net) + len(net.preds[join]) <= budget:
+            _duplicate_join(net, join)
+        else:
+            return _forward_propagate(net, max_atoms)
+
+    (last,) = net.dist
+    return net.dist[last].mean()

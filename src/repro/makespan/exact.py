@@ -1,0 +1,51 @@
+"""Exact expected makespan by scenario enumeration (small DAGs only).
+
+Computing the expected makespan of a 2-state probabilistic DAG is
+#P-complete (Hagstrom 1988, the paper's [8]), so exact evaluation must
+enumerate all ``2^n`` failure patterns.  We keep it as the oracle for the
+test suite and for calibrating the approximate evaluators: scenarios are
+generated in vectorised batches (durations matrix + probability products)
+and reduced through the shared longest-path kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.makespan.probdag import ProbDAG
+
+__all__ = ["exact"]
+
+DEFAULT_LIMIT = 20
+
+
+def exact(dag: ProbDAG, limit: int = DEFAULT_LIMIT, batch: int = 65536) -> float:
+    """Exact expected makespan of a 2-state DAG with ``n <= limit`` nodes."""
+    n = dag.n
+    if n == 0:
+        return 0.0
+    if n > limit:
+        raise EvaluationError(
+            f"exact enumeration over 2^{n} scenarios refused (limit 2^{limit}); "
+            f"use montecarlo/pathapprox instead"
+        )
+    base = dag.base
+    extra = dag.long - base
+    p = dag.p
+    total = 1 << n
+    bit_cols = np.arange(n, dtype=np.uint64)
+    expectation = 0.0
+    mass = 0.0
+    for start in range(0, total, batch):
+        stop = min(start + batch, total)
+        idx = np.arange(start, stop, dtype=np.uint64)
+        bits = ((idx[:, None] >> bit_cols) & 1).astype(float)
+        durations = base + extra * bits
+        probs = np.prod(bits * p + (1.0 - bits) * (1.0 - p), axis=1)
+        makespans = dag.makespans(durations)
+        expectation += float(probs @ makespans)
+        mass += float(probs.sum())
+    if abs(mass - 1.0) > 1e-9:
+        raise EvaluationError(f"scenario probabilities sum to {mass}")
+    return expectation

@@ -1,0 +1,108 @@
+"""Monte Carlo expected-makespan estimation (§II-B, §VI-B).
+
+The paper uses 300,000-trial Monte Carlo as ground truth: sample each
+task's 2-state duration, compute the longest path, average.  Sampling and
+longest-path propagation are fully vectorised; trials are processed in
+batches to bound memory (a ``(batch, n)`` float matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.makespan.probdag import ProbDAG
+from repro.util.rng import SeedLike, as_rng
+
+__all__ = ["montecarlo", "montecarlo_result", "MonteCarloResult", "sample_makespans"]
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Estimate with sampling error.
+
+    ``stderr`` is the standard error of ``mean``; a ~95% confidence
+    interval is ``mean ± 1.96·stderr``.
+    """
+
+    mean: float
+    stderr: float
+    trials: int
+    variance: float
+
+    @property
+    def ci95(self) -> Tuple[float, float]:
+        """Approximate 95% confidence interval for the expected makespan."""
+        delta = 1.96 * self.stderr
+        return (self.mean - delta, self.mean + delta)
+
+
+def sample_makespans(
+    dag: ProbDAG,
+    trials: int,
+    seed: SeedLike = None,
+    antithetic: bool = False,
+    batch: int = 16384,
+) -> np.ndarray:
+    """Sample ``trials`` makespans of the 2-state DAG.
+
+    With ``antithetic=True``, trials are drawn in pairs ``(U, 1-U)`` —
+    a classical variance-reduction device (each pair is negatively
+    correlated through the shared uniforms), benchmarked in
+    ``benchmarks/bench_ablation_montecarlo.py``.
+    """
+    if trials < 1:
+        raise EvaluationError(f"trials must be >= 1, got {trials}")
+    rng = as_rng(seed)
+    base = dag.base
+    extra = dag.long - base
+    p = dag.p
+    out = np.empty(trials)
+    done = 0
+    while done < trials:
+        m = min(batch, trials - done)
+        if antithetic:
+            half = (m + 1) // 2
+            u = rng.random((half, dag.n))
+            u = np.concatenate([u, 1.0 - u], axis=0)[:m]
+        else:
+            u = rng.random((m, dag.n))
+        durations = base + extra * (u < p)
+        out[done : done + m] = dag.makespans(durations)
+        done += m
+    return out
+
+
+def montecarlo_result(
+    dag: ProbDAG,
+    trials: int = 100_000,
+    seed: SeedLike = None,
+    antithetic: bool = False,
+    batch: int = 16384,
+) -> MonteCarloResult:
+    """Monte Carlo estimate with its standard error."""
+    samples = sample_makespans(
+        dag, trials, seed=seed, antithetic=antithetic, batch=batch
+    )
+    mean = float(samples.mean())
+    var = float(samples.var(ddof=1)) if trials > 1 else 0.0
+    return MonteCarloResult(
+        mean=mean, stderr=sqrt(var / trials), trials=trials, variance=var
+    )
+
+
+def montecarlo(
+    dag: ProbDAG,
+    trials: int = 100_000,
+    seed: SeedLike = None,
+    antithetic: bool = False,
+    batch: int = 16384,
+) -> float:
+    """Monte Carlo expected makespan (point estimate)."""
+    return montecarlo_result(
+        dag, trials=trials, seed=seed, antithetic=antithetic, batch=batch
+    ).mean

@@ -1,0 +1,98 @@
+"""Sculli's normal approximation (the paper's NORMAL method, §II-B).
+
+Every completion time is approximated by a normal distribution:
+
+* a node's completion = max of its predecessors' completions + its own
+  duration (mean/variance of the 2-state law used exactly);
+* the max of two normals is replaced by a normal matching the exact first
+  two moments of the max, via Clark's formulas (1961), assuming
+  independence;
+* multi-way maxima fold pairwise.
+
+Cheap (``O(E)`` scalar work) but biased on graphs with many correlated
+paths — exactly the behaviour the §VI-B accuracy study quantifies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.makespan.probdag import ProbDAG
+
+__all__ = ["normal", "clark_max"]
+
+_SQRT2 = math.sqrt(2.0)
+_INV_SQRT2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+
+def _phi(x: float) -> float:
+    """Standard normal pdf."""
+    return _INV_SQRT2PI * math.exp(-0.5 * x * x)
+
+
+def _Phi(x: float) -> float:
+    """Standard normal cdf."""
+    return 0.5 * (1.0 + math.erf(x / _SQRT2))
+
+
+def clark_max(
+    m1: float, v1: float, m2: float, v2: float, rho: float = 0.0
+) -> Tuple[float, float]:
+    """Clark's moment-matching for ``max(X1, X2)`` of correlated normals.
+
+    Returns the exact mean and variance of the max of two jointly normal
+    variables with means ``m1, m2``, variances ``v1, v2`` and correlation
+    ``rho``; the method then *treats* the max as normal with those moments.
+    """
+    a2 = v1 + v2 - 2.0 * rho * math.sqrt(v1 * v2)
+    if a2 <= 1e-300:
+        # (near-)perfectly correlated equal-variance case: max is the
+        # larger mean's variable.
+        if m1 >= m2:
+            return m1, v1
+        return m2, v2
+    a = math.sqrt(a2)
+    alpha = (m1 - m2) / a
+    cdf_pos = _Phi(alpha)
+    cdf_neg = _Phi(-alpha)
+    pdf = _phi(alpha)
+    mean = m1 * cdf_pos + m2 * cdf_neg + a * pdf
+    second = (
+        (m1 * m1 + v1) * cdf_pos
+        + (m2 * m2 + v2) * cdf_neg
+        + (m1 + m2) * a * pdf
+    )
+    var = max(0.0, second - mean * mean)
+    return mean, var
+
+
+def normal(dag: ProbDAG) -> float:
+    """Sculli's estimate of the expected makespan of a 2-state DAG."""
+    n = dag.n
+    if n == 0:
+        return 0.0
+    means: List[float] = [0.0] * n
+    variances: List[float] = [0.0] * n
+    for v in range(n):
+        t = dag.task(v)
+        m_ready, v_ready = 0.0, 0.0
+        first = True
+        for q in dag.preds[v]:
+            if first:
+                m_ready, v_ready = means[q], variances[q]
+                first = False
+            else:
+                m_ready, v_ready = clark_max(m_ready, v_ready, means[q], variances[q])
+        means[v] = m_ready + t.mean
+        variances[v] = v_ready + t.variance
+
+    m_out, v_out = 0.0, 0.0
+    first = True
+    for s in dag.sinks():
+        if first:
+            m_out, v_out = means[s], variances[s]
+            first = False
+        else:
+            m_out, v_out = clark_max(m_out, v_out, means[s], variances[s])
+    return m_out

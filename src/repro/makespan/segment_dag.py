@@ -1,0 +1,95 @@
+"""Coalescing checkpointed segments into a 2-state macro-DAG (§II-C).
+
+Once a checkpoint plan cuts every superchain into segments, each segment
+becomes one macro-task of deterministic cost ``X = R + W + C``, and
+Equation (1) turns it into a 2-state variable (``X`` w.p. ``1 − λX``,
+``1.5·X`` w.p. ``λX``).  The macro-DAG's edges are:
+
+* per-processor serialisation — consecutive segments of each processor's
+  execution sequence (this covers both intra-superchain sequencing and
+  superchain ordering);
+* data dependencies — for every workflow edge whose endpoints live in
+  different segments.
+
+Because superchains are always checkpointed (their exit data is on stable
+storage before any dependent entry task runs), these edges capture the
+full recovery semantics: no macro-task ever re-executes because of a
+failure elsewhere — exactly the crossover-freedom argument of §IV-A.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.checkpoint.plan import CheckpointPlan
+from repro.errors import EvaluationError
+from repro.makespan.probdag import ProbDAG
+from repro.mspg.graph import Workflow
+from repro.platform import Platform
+from repro.scheduling.schedule import Schedule
+from repro.util.toposort import topological_order
+
+__all__ = ["build_segment_dag", "segment_name"]
+
+
+def segment_name(index: int) -> str:
+    """Canonical node name of segment ``index`` in the macro-DAG."""
+    return f"seg{index:06d}"
+
+
+def build_segment_dag(
+    workflow: Workflow,
+    schedule: Schedule,
+    plan: CheckpointPlan,
+    platform: Platform,
+    extra_edges: Sequence[Tuple[str, str]] = (),
+    clamp: bool = True,
+) -> ProbDAG:
+    """Build the 2-state macro-DAG of a checkpointed schedule.
+
+    ``extra_edges`` accepts additional task-level dependencies (e.g. the
+    dummy synchronisation edges of ``mspgify`` for the structural-sync
+    ablation); they are lifted to segment level like data edges.
+    """
+    if plan.n_tasks != workflow.n_tasks:
+        raise EvaluationError(
+            f"plan covers {plan.n_tasks} tasks, workflow has {workflow.n_tasks}"
+        )
+    nseg = plan.n_segments
+    succs: Dict[int, Set[int]] = {i: set() for i in range(nseg)}
+
+    # Per-processor serialisation edges.
+    proc_last: Dict[int, int] = {}
+    for seg in plan.segments:
+        prev = proc_last.get(seg.processor)
+        if prev is not None:
+            succs[prev].add(seg.index)
+        proc_last[seg.processor] = seg.index
+
+    # Data edges (plus any extra task-level edges).
+    def lift(u: str, v: str) -> None:
+        su = plan.segment_of(u).index
+        sv = plan.segment_of(v).index
+        if su != sv:
+            succs[su].add(sv)
+
+    for u, v in workflow.edges():
+        lift(u, v)
+    for u, v in extra_edges:
+        lift(u, v)
+
+    order = topological_order(list(range(nseg)), succs)
+
+    lam = platform.failure_rate
+    dag = ProbDAG()
+    preds: Dict[int, List[int]] = {i: [] for i in range(nseg)}
+    for u, vs in succs.items():
+        for v in vs:
+            preds[v].append(u)
+    from repro.makespan.two_state import two_state_from_span
+
+    for idx in order:
+        seg = plan.segments[idx]
+        t = two_state_from_span(segment_name(idx), seg.span, lam, clamp=clamp)
+        dag.add_task(t, preds=[segment_name(q) for q in preds[idx]])
+    return dag

@@ -1,0 +1,107 @@
+"""First-order 2-state task model (Equation (1) of the paper).
+
+A task (or checkpointed segment) of total cost ``X = R + W + C`` on a
+processor with exponential failure rate ``λ`` has total execution time
+
+* ``X`` with probability ``1 − λX`` (no failure), and
+* ``(3/2)·X`` with probability ``λX`` (one failure at the expected instant
+  ``X/2``, a recovery, and a successful re-execution),
+
+neglecting the ``Θ(λ²)`` probability of multiple failures.  The expected
+value is ``X·(1 + λX/2)``, which is exactly the paper's Equation (2) when
+``X = R_i^j + W_i^j + C_i^j``.
+
+The model leaves its validity domain when ``λX >= 1``.  By default we
+clamp the probability to ``1 − ε`` and keep going (the paper's experiments
+with ``pfail <= 0.01`` never get close); pass ``clamp=False`` to raise
+:class:`~repro.errors.FirstOrderDomainError` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FirstOrderDomainError
+from repro.util.validation import require_nonnegative
+
+__all__ = [
+    "TwoStateTask",
+    "two_state_probability",
+    "first_order_expected_time",
+    "two_state_from_span",
+]
+
+#: Clamp ceiling for the one-failure probability.
+_P_MAX = 1.0 - 1e-12
+
+#: Re-execution cost multiplier of the one-failure branch: failure at
+#: ``X/2`` on average plus a full re-execution.
+RETRY_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class TwoStateTask:
+    """A 2-state probabilistic task: ``base`` w.p. ``1-p``, ``long`` w.p. ``p``."""
+
+    name: str
+    base: float
+    long: float
+    p: float
+
+    def __post_init__(self) -> None:
+        require_nonnegative(self.base, "base")
+        if self.long < self.base:
+            raise FirstOrderDomainError(
+                f"task {self.name!r}: long duration {self.long} below base "
+                f"{self.base}"
+            )
+        if not (0.0 <= self.p <= 1.0):
+            raise FirstOrderDomainError(
+                f"task {self.name!r}: probability {self.p} outside [0, 1]"
+            )
+
+    @property
+    def mean(self) -> float:
+        """Expected duration."""
+        return (1.0 - self.p) * self.base + self.p * self.long
+
+    @property
+    def variance(self) -> float:
+        """Duration variance."""
+        d = self.long - self.base
+        return self.p * (1.0 - self.p) * d * d
+
+
+def two_state_probability(span: float, failure_rate: float, clamp: bool = True) -> float:
+    """One-failure probability ``λ·X`` of Equation (1), clamped or checked."""
+    require_nonnegative(span, "span")
+    require_nonnegative(failure_rate, "failure_rate")
+    p = failure_rate * span
+    if p >= 1.0:
+        if not clamp:
+            raise FirstOrderDomainError(
+                f"first-order probability λX = {p:.3g} >= 1 "
+                f"(span={span:.3g}, λ={failure_rate:.3g}); the first-order "
+                f"model does not apply"
+            )
+        return _P_MAX
+    return p
+
+
+def first_order_expected_time(
+    span: float, failure_rate: float, clamp: bool = True
+) -> float:
+    """Expected execution time of a segment of cost ``span`` (Equation (2)).
+
+    ``(1 − λX)·X + λX·(3/2)X = X·(1 + λX/2)`` for ``λX < 1``.
+    """
+    p = two_state_probability(span, failure_rate, clamp=clamp)
+    return (1.0 - p) * span + p * (RETRY_FACTOR * span)
+
+
+def two_state_from_span(
+    name: str, span: float, failure_rate: float, clamp: bool = True
+) -> TwoStateTask:
+    """Equation (1): the 2-state variable of a segment of cost ``span``."""
+    p = two_state_probability(span, failure_rate, clamp=clamp)
+    return TwoStateTask(name=name, base=span, long=RETRY_FACTOR * span, p=p)

@@ -1,0 +1,50 @@
+"""Workflow DAG model and Minimal Series-Parallel Graph machinery.
+
+This package provides the substrate of the reproduction:
+
+* :mod:`repro.mspg.graph` — the file-grained workflow DAG model;
+* :mod:`repro.mspg.expr` — M-SPG expression trees and the two composition
+  operators of the paper (§II-A);
+* :mod:`repro.mspg.recognize` — exact recognition of M-SPG DAGs;
+* :mod:`repro.mspg.transform` — transitive reduction and the ``mspgify``
+  completion transform (footnote 2 of the paper, generalised);
+* :mod:`repro.mspg.analysis` — structural analyses (levels, critical path).
+"""
+
+from repro.mspg.graph import Task, Workflow
+from repro.mspg.expr import (
+    EMPTY,
+    EmptyGraph,
+    MSPG,
+    Parallel,
+    Series,
+    TaskNode,
+    parallel,
+    series,
+    tree_edges,
+    tree_sinks,
+    tree_sources,
+)
+from repro.mspg.recognize import recognize, is_mspg
+from repro.mspg.transform import transitive_reduction, mspgify, MspgifyResult
+
+__all__ = [
+    "Task",
+    "Workflow",
+    "MSPG",
+    "EmptyGraph",
+    "EMPTY",
+    "TaskNode",
+    "Series",
+    "Parallel",
+    "series",
+    "parallel",
+    "tree_edges",
+    "tree_sources",
+    "tree_sinks",
+    "recognize",
+    "is_mspg",
+    "transitive_reduction",
+    "mspgify",
+    "MspgifyResult",
+]

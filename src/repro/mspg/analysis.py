@@ -1,0 +1,116 @@
+"""Structural analyses of workflow DAGs.
+
+Helpers shared by generators, the experiment harness and the docs:
+longest-path levels, critical path, width/parallelism profile, and a
+reachability check used to assert that transforms preserve ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from repro.mspg.expr import MSPG, tree_edges, tree_tasks
+from repro.mspg.graph import Workflow
+from repro.mspg.transform import descendants_bitsets
+
+__all__ = [
+    "levels",
+    "level_sets",
+    "critical_path_length",
+    "critical_path",
+    "width",
+    "degree_stats",
+    "tree_respects_workflow_order",
+]
+
+
+def levels(workflow: Workflow) -> Dict[str, int]:
+    """Longest-path level of each task (sources are level 0)."""
+    out: Dict[str, int] = {}
+    for v in workflow.topological_order():
+        preds = workflow.preds(v)
+        out[v] = 1 + max((out[u] for u in preds), default=-1)
+    return out
+
+
+def level_sets(workflow: Workflow) -> List[List[str]]:
+    """Tasks grouped by level, in topological order within each level."""
+    lv = levels(workflow)
+    n = 1 + max(lv.values(), default=-1)
+    groups: List[List[str]] = [[] for _ in range(n)]
+    for v in workflow.topological_order():
+        groups[lv[v]].append(v)
+    return groups
+
+def critical_path(workflow: Workflow) -> Tuple[float, List[str]]:
+    """Length (seconds) and tasks of a weight-critical path."""
+    best: Dict[str, float] = {}
+    back: Dict[str, str] = {}
+    order = workflow.topological_order()
+    for v in order:
+        w = workflow.weight(v)
+        incoming = [(best[u], u) for u in workflow.preds(v)]
+        if incoming:
+            b, u = max(incoming)
+            best[v] = b + w
+            back[v] = u
+        else:
+            best[v] = w
+    if not best:
+        return 0.0, []
+    end = max(best, key=best.__getitem__)
+    path = [end]
+    while path[-1] in back:
+        path.append(back[path[-1]])
+    path.reverse()
+    return best[end], path
+
+
+def critical_path_length(workflow: Workflow) -> float:
+    """Length of the weight-critical path (lower bound on any makespan)."""
+    return critical_path(workflow)[0]
+
+
+def width(workflow: Workflow) -> int:
+    """Maximum number of tasks on one level (a cheap parallelism proxy)."""
+    return max((len(g) for g in level_sets(workflow)), default=0)
+
+
+def degree_stats(workflow: Workflow) -> Dict[str, float]:
+    """Basic degree statistics (used by generator tests and reports)."""
+    indegs = [len(workflow.preds(t)) for t in workflow.task_ids]
+    outdegs = [len(workflow.succs(t)) for t in workflow.task_ids]
+    n = max(1, len(indegs))
+    return {
+        "max_in": float(max(indegs, default=0)),
+        "max_out": float(max(outdegs, default=0)),
+        "mean_in": sum(indegs) / n,
+        "mean_out": sum(outdegs) / n,
+    }
+
+
+def tree_respects_workflow_order(tree: MSPG, workflow: Workflow) -> bool:
+    """Whether the tree's partial order extends the workflow's edges.
+
+    For every workflow edge ``(u, v)``, ``v`` must be reachable from ``u``
+    in the graph the tree denotes.  This is the soundness condition of
+    :func:`repro.mspg.transform.mspgify`: demoted (data-only) edges must
+    remain ordered by the synthetic structure.
+    """
+    nodes = list(tree_tasks(tree))
+    if set(nodes) != set(workflow.task_ids):
+        return False
+    edges = tree_edges(tree)
+    succs: Dict[str, Set[str]] = {v: set() for v in nodes}
+    for u, v in edges:
+        succs[u].add(v)
+    frozen = {u: frozenset(vs) for u, vs in succs.items()}
+    from repro.util.toposort import topological_order
+
+    order = topological_order(nodes, frozen)
+    index = {v: i for i, v in enumerate(order)}
+    desc = descendants_bitsets(order, frozen)
+    for u, v in workflow.edges():
+        if not (desc[u] >> index[v]) & 1:
+            return False
+    return True

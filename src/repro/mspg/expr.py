@@ -1,0 +1,287 @@
+"""M-SPG expression trees.
+
+An M-SPG (§II-A of the paper) is defined recursively from atomic tasks with
+two operators:
+
+* **serial composition** ``G1 ;→ G2`` — adds dependencies from all sinks of
+  ``G1`` to all sources of ``G2`` (sinks/sources are *not* merged, unlike
+  classical SPGs);
+* **parallel composition** ``G1 ‖ G2`` — disjoint union.
+
+We represent M-SPG structure as an immutable expression tree over task ids
+with a *canonical form* that the scheduler relies on:
+
+* :class:`Series` children are :class:`TaskNode` or :class:`Parallel`
+  (never nested :class:`Series`, never empty);
+* :class:`Parallel` children are :class:`TaskNode` or :class:`Series`
+  (never nested :class:`Parallel`, never empty) and there are at least two;
+* the empty graph is the :data:`EMPTY` singleton.
+
+The canonical form makes Algorithm 1's decomposition
+``G = C ;→ (G1‖…‖Gn) ;→ G_{n+1}`` — with ``C`` the *longest possible
+chain* — a simple pattern match (see
+:func:`repro.scheduling.allocate.decompose_head`), and guarantees that the
+recursion cannot loop (the paper warns about decompositions that lead to
+infinite recursions).
+
+Use the smart constructors :func:`series` and :func:`parallel`; they
+normalise arbitrary nestings into canonical form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Set, Tuple, Union
+
+from repro.errors import WorkflowError
+
+__all__ = [
+    "MSPG",
+    "EmptyGraph",
+    "EMPTY",
+    "TaskNode",
+    "Series",
+    "Parallel",
+    "series",
+    "parallel",
+    "chain",
+    "tree_tasks",
+    "tree_size",
+    "tree_weight",
+    "tree_sources",
+    "tree_sinks",
+    "tree_edges",
+    "tree_depth",
+    "validate_canonical",
+]
+
+
+class EmptyGraph:
+    """The empty M-SPG (neutral element of both compositions)."""
+
+    _instance: "EmptyGraph" = None  # type: ignore[assignment]
+
+    def __new__(cls) -> "EmptyGraph":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "EMPTY"
+
+
+#: The unique empty M-SPG.
+EMPTY = EmptyGraph()
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """An atomic task leaf, referencing a task id of some workflow."""
+
+    task_id: str
+
+    def __repr__(self) -> str:
+        return f"T({self.task_id})"
+
+
+@dataclass(frozen=True)
+class Series:
+    """Serial composition ``children[0] ;→ children[1] ;→ …``."""
+
+    children: Tuple["_NonEmpty", ...]
+
+    def __repr__(self) -> str:
+        return "(" + " ; ".join(repr(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Parallel:
+    """Parallel composition ``children[0] ‖ children[1] ‖ …``."""
+
+    children: Tuple["_NonEmpty", ...]
+
+    def __repr__(self) -> str:
+        return "(" + " || ".join(repr(c) for c in self.children) + ")"
+
+
+_NonEmpty = Union[TaskNode, Series, Parallel]
+MSPG = Union[EmptyGraph, TaskNode, Series, Parallel]
+
+
+def series(*parts: MSPG) -> MSPG:
+    """Canonical serial composition of ``parts`` (empties dropped).
+
+    Nested :class:`Series` children are flattened so that the result's
+    children alternate between atoms and :class:`Parallel` nodes.
+    """
+    flat: List[_NonEmpty] = []
+    for part in parts:
+        if isinstance(part, EmptyGraph):
+            continue
+        if isinstance(part, Series):
+            flat.extend(part.children)
+        else:
+            flat.append(part)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Series(tuple(flat))
+
+
+def parallel(*parts: MSPG) -> MSPG:
+    """Canonical parallel composition of ``parts`` (empties dropped)."""
+    flat: List[_NonEmpty] = []
+    for part in parts:
+        if isinstance(part, EmptyGraph):
+            continue
+        if isinstance(part, Parallel):
+            flat.extend(part.children)
+        else:
+            flat.append(part)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Parallel(tuple(flat))
+
+
+def chain(*task_ids: str) -> MSPG:
+    """A chain ``g1 ;→ g2 ;→ … ;→ gn`` of atomic tasks."""
+    return series(*(TaskNode(t) for t in task_ids))
+
+
+# --------------------------------------------------------------------- #
+# tree queries
+# --------------------------------------------------------------------- #
+
+
+def tree_tasks(tree: MSPG) -> Iterator[str]:
+    """Yield the task ids of the tree in left-to-right order."""
+    stack: List[MSPG] = [tree]
+    out: List[str] = []
+    if isinstance(tree, EmptyGraph):
+        return iter(())
+
+    def _walk(node: MSPG) -> Iterator[str]:
+        if isinstance(node, TaskNode):
+            yield node.task_id
+        elif isinstance(node, (Series, Parallel)):
+            for child in node.children:
+                yield from _walk(child)
+
+    return _walk(tree)
+
+
+def tree_size(tree: MSPG) -> int:
+    """Number of atomic tasks in the tree."""
+    return sum(1 for _ in tree_tasks(tree))
+
+
+def tree_weight(tree: MSPG, weights: Mapping[str, float]) -> float:
+    """Sum of the weights of the tree's atomic tasks.
+
+    This is the graph weight used by the PropMap heuristic (Algorithm 1,
+    line 20): "the weight of an M-SPG being the sum of the weights of all
+    its atomic tasks".
+    """
+    return sum(weights[t] for t in tree_tasks(tree))
+
+
+def tree_sources(tree: MSPG) -> List[str]:
+    """Source tasks of the graph the tree denotes."""
+    if isinstance(tree, EmptyGraph):
+        return []
+    if isinstance(tree, TaskNode):
+        return [tree.task_id]
+    if isinstance(tree, Series):
+        return tree_sources(tree.children[0])
+    out: List[str] = []
+    for child in tree.children:
+        out.extend(tree_sources(child))
+    return out
+
+
+def tree_sinks(tree: MSPG) -> List[str]:
+    """Sink tasks of the graph the tree denotes."""
+    if isinstance(tree, EmptyGraph):
+        return []
+    if isinstance(tree, TaskNode):
+        return [tree.task_id]
+    if isinstance(tree, Series):
+        return tree_sinks(tree.children[-1])
+    out: List[str] = []
+    for child in tree.children:
+        out.extend(tree_sinks(child))
+    return out
+
+
+def tree_edges(tree: MSPG) -> Set[Tuple[str, str]]:
+    """The structural edge set of the graph the tree denotes.
+
+    Serial composition contributes the complete bipartite product
+    ``sinks(G_i) × sources(G_{i+1})`` between consecutive children
+    (§II-A); parallel composition contributes nothing.
+    """
+    edges: Set[Tuple[str, str]] = set()
+
+    def _walk(node: MSPG) -> None:
+        if isinstance(node, Series):
+            for child in node.children:
+                _walk(child)
+            for left, right in zip(node.children, node.children[1:]):
+                for u in tree_sinks(left):
+                    for v in tree_sources(right):
+                        edges.add((u, v))
+        elif isinstance(node, Parallel):
+            for child in node.children:
+                _walk(child)
+
+    _walk(tree)
+    return edges
+
+
+def tree_depth(tree: MSPG) -> int:
+    """Nesting depth of the tree (EMPTY and atoms have depth 0)."""
+    if isinstance(tree, (EmptyGraph, TaskNode)):
+        return 0
+    return 1 + max(tree_depth(c) for c in tree.children)
+
+
+def validate_canonical(tree: MSPG) -> None:
+    """Assert the canonical-form invariants; raise ``WorkflowError`` if violated.
+
+    Also checks that no task id appears twice (the operators compose
+    *disjoint* graphs).
+    """
+    seen: Set[str] = set()
+
+    def _walk(node: MSPG, parent: str) -> None:
+        if isinstance(node, EmptyGraph):
+            if parent != "root":
+                raise WorkflowError("EMPTY may only appear as the whole tree")
+            return
+        if isinstance(node, TaskNode):
+            if node.task_id in seen:
+                raise WorkflowError(f"task {node.task_id!r} appears twice")
+            seen.add(node.task_id)
+            return
+        if isinstance(node, Series):
+            if parent == "series":
+                raise WorkflowError("Series nested directly inside Series")
+            if parent == "root_or_parallel_only" or len(node.children) < 2:
+                raise WorkflowError("Series must have >= 2 children")
+            for child in node.children:
+                _walk(child, "series")
+            return
+        if isinstance(node, Parallel):
+            if parent == "parallel":
+                raise WorkflowError("Parallel nested directly inside Parallel")
+            if len(node.children) < 2:
+                raise WorkflowError("Parallel must have >= 2 children")
+            for child in node.children:
+                _walk(child, "parallel")
+            return
+        raise WorkflowError(f"unexpected node type {type(node).__name__}")
+
+    _walk(tree, "root")

@@ -1,0 +1,248 @@
+"""Exact recognition of Minimal Series-Parallel Graphs.
+
+The paper assumes its input workflows *are* M-SPGs (§II-A) but never spells
+out a recognition procedure.  We need one both to validate generated
+workflows and to drive scheduling, so we derive it from the grammar:
+
+* a *disconnected* M-SPG is the parallel composition of its weakly
+  connected components;
+* a *connected* M-SPG with at least two vertices must be a serial
+  composition (parallel composition of non-empty graphs is disconnected,
+  and chains are serial compositions of atoms), i.e. it has a **serial
+  cut**: a partition ``(P, V∖P)`` whose crossing edges are exactly
+  ``sinks(G[P]) × sources(G[V∖P])``.
+
+**Greedy correctness.**  Let ``G = H1 ;→ H2 ;→ … ;→ Hk`` be the coarsest
+serial decomposition of a connected M-SPG.  Every vertex of ``H_{j>1}`` is
+a descendant of every sink of ``H_1`` (serial composition makes the cut a
+complete bipartite), and every vertex of ``H_1`` is an ancestor of some
+sink of ``H_1``.  Hence all of ``H_1`` precedes all of ``H_2 ∪ … ∪ H_k``
+in *every* topological order — the top-level cut points are prefixes of any
+topological order.  Growing a prefix along one arbitrary topological order
+and testing the cut condition therefore finds *all* top-level cuts in a
+single ``O(V·E)`` scan.
+
+The scan maintains, incrementally:
+
+* ``sinks_P`` — vertices of the prefix with no successor inside it;
+* ``sources_rest`` — vertices outside with no predecessor outside;
+* ``cross`` — the set of edges crossing the prefix boundary (all crossing
+  edges run prefix → rest because the prefix is topologically closed).
+
+A prefix is a valid cut iff ``cross == sinks_P × sources_rest``; since
+``cross ⊆ sinks_P × sources_rest`` can be verified edge-by-edge, equality
+reduces to a cardinality check plus membership tests.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import NotMSPGError
+from repro.mspg.expr import EMPTY, MSPG, TaskNode, parallel, series
+from repro.mspg.graph import Workflow
+from repro.util.toposort import topological_order
+
+Node = Hashable
+
+__all__ = ["recognize", "recognize_adjacency", "is_mspg", "serial_cut_prefixes"]
+
+
+def weakly_connected_components(
+    nodes: AbstractSet[Node],
+    succs: Mapping[Node, Iterable[Node]],
+    preds: Mapping[Node, Iterable[Node]],
+) -> List[List[Node]]:
+    """Weakly connected components of the subgraph induced by ``nodes``.
+
+    Components are returned with nodes in the iteration order of ``nodes``
+    (which callers keep topological), so downstream code stays
+    deterministic.
+    """
+    order = list(nodes)
+    node_set = set(order)
+    seen: Set[Node] = set()
+    comp_of: Dict[Node, int] = {}
+    n_comps = 0
+    for start in order:
+        if start in seen:
+            continue
+        stack = [start]
+        seen.add(start)
+        comp_of[start] = n_comps
+        while stack:
+            v = stack.pop()
+            for w in succs.get(v, ()):
+                if w in node_set and w not in seen:
+                    seen.add(w)
+                    comp_of[w] = n_comps
+                    stack.append(w)
+            for w in preds.get(v, ()):
+                if w in node_set and w not in seen:
+                    seen.add(w)
+                    comp_of[w] = n_comps
+                    stack.append(w)
+        n_comps += 1
+    comps: List[List[Node]] = [[] for _ in range(n_comps)]
+    for v in order:
+        comps[comp_of[v]].append(v)
+    return comps
+
+
+def serial_cut_prefixes(
+    topo: Sequence[Node],
+    succs: Mapping[Node, Iterable[Node]],
+    preds: Mapping[Node, Iterable[Node]],
+    relaxed: bool = False,
+) -> List[int]:
+    """Prefix lengths at which a serial cut exists (see module docs)."""
+    return [cut for cut, _ in serial_cut_candidates(topo, succs, preds, relaxed)]
+
+
+def serial_cut_candidates(
+    topo: Sequence[Node],
+    succs: Mapping[Node, Iterable[Node]],
+    preds: Mapping[Node, Iterable[Node]],
+    relaxed: bool = False,
+) -> List[Tuple[int, int]]:
+    """Valid serial cuts as ``(prefix length, completion cost)`` pairs.
+
+    ``topo`` must be a topological order of the (connected) node subset
+    under the *induced* subgraph; adjacency lookups are filtered to it.
+
+    With ``relaxed=True`` a cut only requires every crossing edge to run
+    from a sink of the prefix to a source of the rest (the complete
+    bipartite product may be *incomplete*); this is the condition under
+    which the cut can be fixed by adding dummy edges, used by
+    :func:`repro.mspg.transform.mspgify`.  The *completion cost* is the
+    number of dummy edges the cut would add,
+    ``|sinks(P)|·|sources(V∖P)| − |crossing edges|`` (0 for exact cuts).
+
+    The trivial boundaries 0 and ``len(topo)`` are not reported.
+    """
+    node_set = set(topo)
+    n = len(topo)
+    # preds_in_rest[w]: number of predecessors of w (within node_set) not
+    # yet moved into the prefix.  sources_rest tracks w with count 0.
+    preds_in_rest: Dict[Node, int] = {}
+    for w in topo:
+        preds_in_rest[w] = sum(1 for u in preds.get(w, ()) if u in node_set)
+    succ_in_prefix: Dict[Node, int] = {v: 0 for v in topo}
+
+    in_prefix: Set[Node] = set()
+    sinks_p: Set[Node] = set()
+    sources_rest: Set[Node] = {w for w in topo if preds_in_rest[w] == 0}
+    cross: Set[Tuple[Node, Node]] = set()
+
+    cuts: List[Tuple[int, int]] = []
+    for idx, v in enumerate(topo):
+        in_prefix.add(v)
+        sources_rest.discard(v)
+        sinks_p.add(v)
+        for u in preds.get(v, ()):
+            if u in in_prefix:
+                cross.discard((u, v))
+                if succ_in_prefix[u] == 0:
+                    sinks_p.discard(u)
+                succ_in_prefix[u] += 1
+        for w in succs.get(v, ()):
+            if w in node_set:  # w cannot already be in the prefix (topo order)
+                cross.add((v, w))
+                preds_in_rest[w] -= 1
+                if preds_in_rest[w] == 0:
+                    sources_rest.add(w)
+        if idx == n - 1:
+            break
+        cost = len(sinks_p) * len(sources_rest) - len(cross)
+        if not relaxed and cost != 0:
+            continue
+        ok = True
+        for (u, w) in cross:
+            if succ_in_prefix[u] != 0 or preds_in_rest[w] != 0:
+                ok = False
+                break
+        if ok:
+            cuts.append((idx + 1, cost))
+    return cuts
+
+
+def recognize_adjacency(
+    nodes: Sequence[Node],
+    succs: Mapping[Node, Iterable[Node]],
+    preds: Mapping[Node, Iterable[Node]],
+) -> MSPG:
+    """Recognise the induced subgraph on ``nodes`` as an M-SPG tree.
+
+    Raises :class:`~repro.errors.NotMSPGError` if the graph cannot be
+    produced by the M-SPG grammar.
+    """
+    if not nodes:
+        return EMPTY
+    node_set = set(nodes)
+    filtered_succs = {
+        v: [w for w in succs.get(v, ()) if w in node_set] for v in nodes
+    }
+    topo = topological_order(list(nodes), filtered_succs)
+    return _recognize_rec(topo, succs, preds)
+
+
+def _recognize_rec(
+    topo: Sequence[Node],
+    succs: Mapping[Node, Iterable[Node]],
+    preds: Mapping[Node, Iterable[Node]],
+) -> MSPG:
+    """Recursive recognition; ``topo`` is a topological order of the subset."""
+    if len(topo) == 1:
+        return TaskNode(topo[0])
+    comps = weakly_connected_components(set(topo), succs, preds)
+    if len(comps) > 1:
+        pos = {v: i for i, v in enumerate(topo)}
+        children = []
+        for comp in comps:
+            comp_topo = sorted(comp, key=pos.__getitem__)
+            children.append(_recognize_rec(comp_topo, succs, preds))
+        return parallel(*children)
+    cuts = serial_cut_prefixes(topo, succs, preds)
+    if not cuts:
+        raise NotMSPGError(
+            f"connected subgraph of {len(topo)} tasks has no serial cut "
+            f"(first tasks: {list(topo)[:5]!r})"
+        )
+    boundaries = [0] + cuts + [len(topo)]
+    children = []
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        children.append(_recognize_rec(topo[lo:hi], succs, preds))
+    return series(*children)
+
+
+def recognize(workflow: Workflow) -> MSPG:
+    """Recognise a :class:`~repro.mspg.graph.Workflow` as an M-SPG tree.
+
+    Operates on the workflow's full edge set (data and control edges).
+    Use :func:`repro.mspg.transform.mspgify` for graphs that are not
+    exactly M-SPGs.
+    """
+    succs = workflow.successor_map()
+    preds = workflow.predecessor_map()
+    return recognize_adjacency(workflow.topological_order(), succs, preds)
+
+
+def is_mspg(workflow: Workflow) -> bool:
+    """Whether the workflow's DAG is exactly an M-SPG."""
+    try:
+        recognize(workflow)
+    except NotMSPGError:
+        return False
+    return True

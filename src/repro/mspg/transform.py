@@ -1,0 +1,263 @@
+"""Transitive reduction and the ``mspgify`` completion transform.
+
+The paper's evaluation (§VI-A, footnote 2) notes that some generated LIGO
+workflows are not M-SPGs "because of some incomplete bipartite graphs" and
+handles them by extending those bipartite structures "with dummy
+dependencies carrying empty files (which adds synchronizations but no data
+transfers)".  The future-work section (§VIII) further points to *General
+Series Parallel Graphs* — graphs whose transitive reduction is an M-SPG.
+
+:func:`mspgify` implements both ideas as one transform that works for any
+DAG workflow:
+
+1. compute the **transitive reduction** of the task graph — redundant
+   edges (e.g. Montage's ``mProjectPP → mBackground``, which is implied by
+   the path through ``mDiffFit``/``mConcatFit``/``mBgModel``) are demoted
+   to *data-only*: their files still participate in every cost computation,
+   but they no longer constrain the structural decomposition;
+2. recursively decompose the reduced graph like the exact recogniser, but
+   accept **relaxed serial cuts** (crossing edges all run from prefix sinks
+   to rest sources without forming the complete product) — precisely the
+   cuts that can be completed with dummy edges;
+3. where even relaxed cuts do not exist, fall back to **level
+   synchronisation**: slice the component by longest-path level and treat
+   each level as a parallel group (full bipartite synchronisation between
+   consecutive levels);
+4. materialise, as zero-data control edges on a copy of the workflow,
+   exactly the structural edges of the resulting tree that the original
+   workflow lacked.
+
+The resulting tree is a canonical M-SPG whose partial order extends the
+original workflow's partial order (asserted in tests), so any schedule of
+the transformed workflow is a valid schedule of the original one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Set, Tuple
+
+from repro.errors import NotMSPGError
+from repro.mspg.expr import (
+    EMPTY,
+    MSPG,
+    TaskNode,
+    parallel,
+    series,
+    tree_edges,
+)
+from repro.mspg.graph import Workflow
+from repro.mspg.recognize import serial_cut_candidates, weakly_connected_components
+from repro.util.toposort import topological_order
+
+__all__ = [
+    "transitive_reduction",
+    "descendants_bitsets",
+    "mspgify",
+    "MspgifyResult",
+]
+
+
+def descendants_bitsets(
+    order: Sequence[str], succs: Mapping[str, FrozenSet[str]]
+) -> Dict[str, int]:
+    """Per-node descendant sets as big-int bitsets (node -> bitmask).
+
+    ``desc[v]`` has bit ``i`` set iff ``order[i]`` is reachable from ``v``
+    by a path of length >= 1.  Computed in reverse topological order with
+    O(V·E/word) big-int unions.
+    """
+    index = {v: i for i, v in enumerate(order)}
+    desc: Dict[str, int] = {}
+    for v in reversed(order):
+        bits = 0
+        for w in succs[v]:
+            bits |= desc[w] | (1 << index[w])
+        desc[v] = bits
+    return desc
+
+
+def transitive_reduction(
+    workflow: Workflow,
+) -> Tuple[Dict[str, FrozenSet[str]], Set[Tuple[str, str]]]:
+    """Reduced successor map and the set of removed (redundant) edges.
+
+    An edge ``(u, v)`` is redundant iff some other successor ``w`` of ``u``
+    reaches ``v``; for a DAG the transitive reduction is unique.
+    """
+    order = workflow.topological_order()
+    succs = workflow.successor_map()
+    index = {v: i for i, v in enumerate(order)}
+    desc = descendants_bitsets(order, succs)
+
+    reduced: Dict[str, FrozenSet[str]] = {}
+    removed: Set[Tuple[str, str]] = set()
+    for u in order:
+        mask = 0
+        for w in succs[u]:
+            mask |= desc[w]
+        keep = []
+        for v in succs[u]:
+            if (mask >> index[v]) & 1:
+                removed.add((u, v))
+            else:
+                keep.append(v)
+        reduced[u] = frozenset(keep)
+    return reduced, removed
+
+
+class MspgifyResult:
+    """Outcome of :func:`mspgify`.
+
+    Attributes
+    ----------
+    tree:
+        Canonical M-SPG expression tree over the workflow's task ids.
+    workflow:
+        The *original* workflow (unmodified).  The tree drives scheduling;
+        execution and makespan evaluation only need the original data
+        dependencies, because every cross-superchain data dependency is
+        stable-storage-mediated once superchain exits are checkpointed.
+    added_edges:
+        Dummy synchronisation edges (no data) the tree implies beyond the
+        original edge set — the paper's footnote-2 "dummy dependencies
+        carrying empty files".  Computed lazily: for wide parallel levels
+        the complete bipartite product is quadratic.
+    demoted_edges:
+        Original edges absent from the tree structure (transitive or
+        skip-level edges); their data still counts in every cost model and
+        their ordering is implied transitively by the tree.
+    exact:
+        True iff the input was already an M-SPG: no dummy edges and no
+        transitive edges were removed for the decomposition.
+    """
+
+    def __init__(self, tree: MSPG, workflow: Workflow, reduced_any: bool) -> None:
+        self.tree = tree
+        self.workflow = workflow
+        self._reduced_any = reduced_any
+        self._added: Tuple[Tuple[str, str], ...] = None  # type: ignore[assignment]
+        self._demoted: Tuple[Tuple[str, str], ...] = None  # type: ignore[assignment]
+
+    def _compute_diffs(self) -> None:
+        if self._added is None:
+            structural = tree_edges(self.tree)
+            original = {(u, v) for u, v in self.workflow.edges()}
+            self._added = tuple(sorted(structural - original))
+            self._demoted = tuple(sorted(original - structural))
+
+    @property
+    def added_edges(self) -> Tuple[Tuple[str, str], ...]:
+        self._compute_diffs()
+        return self._added
+
+    @property
+    def demoted_edges(self) -> Tuple[Tuple[str, str], ...]:
+        self._compute_diffs()
+        return self._demoted
+
+    @property
+    def exact(self) -> bool:
+        return not self._reduced_any and not self.added_edges
+
+    def materialize(self) -> Workflow:
+        """Copy of the workflow with every dummy edge added explicitly.
+
+        Quadratic in the width of synchronised levels — intended for tests
+        and small graphs, not for the scheduling pipeline (which consumes
+        the tree directly).
+        """
+        out = self.workflow.copy()
+        for u, v in self.added_edges:
+            out.add_control_edge(u, v)
+        return out
+
+
+def _levels(
+    topo: Sequence[str], preds: Mapping[str, FrozenSet[str]], node_set: Set[str]
+) -> Dict[str, int]:
+    """Longest-path level of each node within the induced subgraph."""
+    level: Dict[str, int] = {}
+    for v in topo:
+        lv = 0
+        for u in preds[v]:
+            if u in node_set:
+                lv = max(lv, level[u] + 1)
+        level[v] = lv
+    return level
+
+
+def _mspgify_rec(
+    topo: List[str],
+    succs: Mapping[str, FrozenSet[str]],
+    preds: Mapping[str, FrozenSet[str]],
+) -> MSPG:
+    if len(topo) == 1:
+        return TaskNode(topo[0])
+    node_set = set(topo)
+    comps = weakly_connected_components(node_set, succs, preds)
+    if len(comps) > 1:
+        pos = {v: i for i, v in enumerate(topo)}
+        return parallel(
+            *(
+                _mspgify_rec(sorted(c, key=pos.__getitem__), succs, preds)
+                for c in comps
+            )
+        )
+    candidates = serial_cut_candidates(topo, succs, preds, relaxed=True)
+    exact = [cut for cut, cost in candidates if cost == 0]
+    if exact:
+        # Exact cuts are free: take the finest exact decomposition.
+        boundaries = [0] + exact + [len(topo)]
+        return series(
+            *(
+                _mspgify_rec(topo[lo:hi], succs, preds)
+                for lo, hi in zip(boundaries, boundaries[1:])
+            )
+        )
+    if candidates:
+        # No free cut: *binary-split* on the single cheapest relaxed cut
+        # (fewest dummy edges; ties towards the middle).  Using every
+        # relaxed cut at once would synchronise whole levels and sever
+        # 1-1 chains (e.g. LIGO's TmpltBank_i -> Inspiral_i); splitting
+        # one boundary at a time lets the recursion rediscover the
+        # parallel fork-join groups inside each half.
+        n = len(topo)
+        cut = min(candidates, key=lambda c: (c[1], abs(c[0] - n / 2)))[0]
+        return series(
+            _mspgify_rec(topo[:cut], succs, preds),
+            _mspgify_rec(topo[cut:], succs, preds),
+        )
+    # Level-synchronisation fallback: slice by longest-path level.  Each
+    # level is an antichain, hence a parallel group of atoms; consecutive
+    # levels become fully synchronised when the tree is materialised.
+    level = _levels(topo, preds, node_set)
+    n_levels = max(level.values()) + 1
+    groups: List[List[str]] = [[] for _ in range(n_levels)]
+    for v in topo:
+        groups[level[v]].append(v)
+    return series(
+        *(parallel(*(TaskNode(v) for v in group)) for group in groups)
+    )
+
+
+def mspgify(workflow: Workflow) -> MspgifyResult:
+    """Transform any DAG workflow into an M-SPG (tree + augmented copy).
+
+    See the module docstring for the algorithm.  For workflows that are
+    already M-SPGs (after transitive reduction) this is the identity up to
+    edge demotion: no dummy edges are added.
+    """
+    order = workflow.topological_order()
+    if not order:
+        return MspgifyResult(EMPTY, workflow, False)
+
+    reduced_succs, removed = transitive_reduction(workflow)
+    reduced_preds: Dict[str, Set[str]] = {v: set() for v in order}
+    for u, vs in reduced_succs.items():
+        for v in vs:
+            reduced_preds[v].add(u)
+    frozen_preds = {v: frozenset(ps) for v, ps in reduced_preds.items()}
+
+    tree = _mspgify_rec(list(order), reduced_succs, frozen_preds)
+    return MspgifyResult(tree, workflow, bool(removed))

@@ -1,0 +1,99 @@
+"""Execution platform model.
+
+The paper's platform (§II, §VI-A) is a homogeneous cluster of ``p``
+processors, each subject to i.i.d. exponentially-distributed fail-stop
+failures with rate ``λ``, connected to a stable storage system with a fixed
+bandwidth.  Checkpointing / reading a file of ``s`` bytes costs ``s / bw``
+seconds.  Rebooting after a failure is instantaneous (the paper's
+first-order model has no downtime term).
+
+Failure rates in the experiments are derived from a per-task failure
+probability ``pfail`` (§VI-A): with average task weight ``w̄``, the rate is
+chosen so that ``pfail = 1 − exp(−λ·w̄)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.util.validation import (
+    require_in_unit_interval,
+    require_nonnegative,
+    require_positive,
+)
+
+__all__ = ["Platform", "lambda_from_pfail", "pfail_from_lambda"]
+
+#: Default stable-storage bandwidth (bytes/second).  The absolute value is
+#: immaterial for the paper's experiments, which always rescale file sizes
+#: to reach a target Communication-to-Computation Ratio (CCR); it only
+#: fixes the unit in which raw generator output is interpreted.
+DEFAULT_BANDWIDTH = 100e6
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A homogeneous failure-prone cluster.
+
+    Parameters
+    ----------
+    processors:
+        Number of processors ``p`` (>= 1).
+    failure_rate:
+        Exponential fail-stop rate ``λ`` per processor, in 1/second.
+        ``0`` models a failure-free platform.
+    bandwidth:
+        Stable-storage bandwidth in bytes/second, shared semantics with the
+        paper: reads and writes both move at this rate and concurrent
+        accesses are not modelled (I/O costs are per-task additive).
+    """
+
+    processors: int
+    failure_rate: float = 0.0
+    bandwidth: float = DEFAULT_BANDWIDTH
+
+    def __post_init__(self) -> None:
+        if int(self.processors) != self.processors or self.processors < 1:
+            raise ValueError(
+                f"processors must be a positive integer, got {self.processors!r}"
+            )
+        require_nonnegative(self.failure_rate, "failure_rate")
+        require_positive(self.bandwidth, "bandwidth")
+
+    def io_seconds(self, nbytes: float) -> float:
+        """Seconds to read or write ``nbytes`` from/to stable storage."""
+        require_nonnegative(nbytes, "nbytes")
+        return nbytes / self.bandwidth
+
+    def with_failure_rate(self, failure_rate: float) -> "Platform":
+        """A copy of this platform with a different failure rate."""
+        return replace(self, failure_rate=failure_rate)
+
+    def with_processors(self, processors: int) -> "Platform":
+        """A copy of this platform with a different processor count."""
+        return replace(self, processors=processors)
+
+    def with_bandwidth(self, bandwidth: float) -> "Platform":
+        """A copy of this platform with a different storage bandwidth."""
+        return replace(self, bandwidth=bandwidth)
+
+
+def lambda_from_pfail(pfail: float, mean_task_weight: float) -> float:
+    """Failure rate ``λ`` such that ``pfail = 1 − exp(−λ·w̄)`` (§VI-A).
+
+    ``pfail`` is the probability that a task of average weight fails at
+    least once during its execution.
+    """
+    require_in_unit_interval(pfail, "pfail", open_right=True)
+    require_positive(mean_task_weight, "mean_task_weight")
+    if pfail == 0:
+        return 0.0
+    return -math.log1p(-pfail) / mean_task_weight
+
+
+def pfail_from_lambda(failure_rate: float, mean_task_weight: float) -> float:
+    """Inverse of :func:`lambda_from_pfail`."""
+    require_nonnegative(failure_rate, "failure_rate")
+    require_positive(mean_task_weight, "mean_task_weight")
+    return -math.expm1(-failure_rate * mean_task_weight)

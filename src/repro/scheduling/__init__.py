@@ -1,0 +1,29 @@
+"""List scheduling of M-SPG workflows (Algorithm 1 of the paper).
+
+* :mod:`repro.scheduling.schedule` — :class:`Superchain` / :class:`Schedule`
+  datatypes;
+* :mod:`repro.scheduling.propmap` — the proportional-mapping processor
+  allocation (procedure ``PropMap``);
+* :mod:`repro.scheduling.linearize` — superchain linearization
+  (procedure ``OnOneProcessor``), random topological sort plus the
+  min-live-volume heuristic sketched in the paper's future work (§VIII);
+* :mod:`repro.scheduling.allocate` — the recursive ``Allocate`` procedure
+  tying everything together.
+"""
+
+from repro.scheduling.schedule import Schedule, Superchain, validate_schedule
+from repro.scheduling.propmap import propmap
+from repro.scheduling.linearize import linearize, LINEARIZERS
+from repro.scheduling.allocate import allocate, decompose_head, schedule_workflow
+
+__all__ = [
+    "Schedule",
+    "Superchain",
+    "validate_schedule",
+    "propmap",
+    "linearize",
+    "LINEARIZERS",
+    "allocate",
+    "decompose_head",
+    "schedule_workflow",
+]

@@ -1,0 +1,150 @@
+"""Recursive list scheduling (procedure ``Allocate`` of Algorithm 1).
+
+``Allocate(G, P)`` decomposes the M-SPG as
+``G = C ;→ (G1 ‖ … ‖ Gn) ;→ G_{n+1}`` with ``C`` the longest possible
+chain (the paper notes this choice avoids infinitely-recursing
+decompositions), then:
+
+* schedules the chain ``C`` on the first processor (one superchain);
+* if a single processor is available, linearises the whole parallel part
+  on it (one superchain); otherwise calls ``PropMap`` and recurses on each
+  component with its processor share;
+* recurses on the tail ``G_{n+1}`` with the full processor set.
+
+On canonical expression trees (see :mod:`repro.mspg.expr`) the
+decomposition is a pattern match: a :class:`Series`' children alternate
+between atoms (the chain prefix) and :class:`Parallel` nodes, so the head
+chain is the maximal run of leading atoms and the parallel part is the
+next child's components.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.mspg.expr import (
+    EMPTY,
+    MSPG,
+    EmptyGraph,
+    Parallel,
+    Series,
+    TaskNode,
+    parallel,
+    series,
+    tree_tasks,
+)
+from repro.mspg.graph import Workflow
+from repro.mspg.transform import mspgify
+from repro.scheduling.linearize import linearize
+from repro.scheduling.propmap import propmap
+from repro.scheduling.schedule import Schedule
+from repro.util.rng import SeedLike, as_rng
+
+__all__ = ["decompose_head", "allocate", "schedule_workflow"]
+
+
+def decompose_head(tree: MSPG) -> Tuple[List[str], List[MSPG], MSPG]:
+    """Split ``tree`` into ``(chain C, parallel components, tail)``.
+
+    ``C`` is the longest chain of atomic tasks at the head of the series
+    decomposition; the parallel components are the children of the first
+    non-atom child (a :class:`Parallel` in canonical form); the tail is
+    the series of the remaining children.
+    """
+    if isinstance(tree, EmptyGraph):
+        return [], [], EMPTY
+    if isinstance(tree, TaskNode):
+        return [tree.task_id], [], EMPTY
+    if isinstance(tree, Parallel):
+        return [], list(tree.children), EMPTY
+    if not isinstance(tree, Series):
+        raise SchedulingError(f"unexpected tree node {type(tree).__name__}")
+
+    chain: List[str] = []
+    i = 0
+    children = tree.children
+    while i < len(children) and isinstance(children[i], TaskNode):
+        chain.append(children[i].task_id)  # type: ignore[union-attr]
+        i += 1
+    if i == len(children):
+        return chain, [], EMPTY
+    head = children[i]
+    if not isinstance(head, Parallel):
+        raise SchedulingError(
+            "non-canonical tree: Series child is neither atom nor Parallel"
+        )
+    tail = series(*children[i + 1 :])
+    return chain, list(head.children), tail
+
+
+def allocate(
+    workflow: Workflow,
+    tree: MSPG,
+    processors: int,
+    seed: SeedLike = None,
+    linearizer: str = "random",
+) -> Schedule:
+    """Schedule ``tree`` (over ``workflow``'s tasks) on ``processors``.
+
+    Returns a :class:`~repro.scheduling.schedule.Schedule` of superchains.
+    ``seed`` controls the random linearisation; reuse the same seed to
+    reproduce the paper's "one schedule per configuration" methodology.
+    """
+    if processors < 1:
+        raise SchedulingError(f"need >= 1 processor, got {processors}")
+    rng = as_rng(seed)
+    weights = {t.id: t.weight for t in workflow.tasks()}
+    schedule = Schedule(processors)
+
+    def on_one_processor(sub: MSPG, proc: int) -> None:
+        tasks = list(tree_tasks(sub))
+        if not tasks:
+            return
+        order = linearize(tasks, workflow, method=linearizer, seed=rng)
+        schedule.add_superchain(proc, order)
+
+    def _allocate(sub: MSPG, procs: Sequence[int]) -> None:
+        if isinstance(sub, EmptyGraph):
+            return
+        if len(procs) == 1:
+            # A sub-M-SPG on a single processor is linearised wholesale
+            # into ONE superchain (the paper's Figure 3: the box
+            # {T2, T5, T6, T10} including its head chain and tail), so
+            # Algorithm 2 may keep data in memory across its internal
+            # chain/parallel boundaries.
+            on_one_processor(sub, procs[0])
+            return
+        chain, components, tail = decompose_head(sub)
+        if chain:
+            schedule.add_superchain(procs[0], chain)
+        if components:
+            graphs, counts = propmap(components, len(procs), weights)
+            i = 0
+            for graph, count in zip(graphs, counts):
+                _allocate(graph, procs[i : i + count])
+                i += count
+        _allocate(tail, procs)
+
+    _allocate(tree, list(range(processors)))
+    if schedule.n_tasks != workflow.n_tasks:
+        raise SchedulingError(
+            f"allocate scheduled {schedule.n_tasks} of {workflow.n_tasks} tasks"
+        )
+    return schedule
+
+
+def schedule_workflow(
+    workflow: Workflow,
+    processors: int,
+    seed: SeedLike = None,
+    linearizer: str = "random",
+    tree: Optional[MSPG] = None,
+) -> Tuple[Schedule, MSPG]:
+    """Convenience wrapper: ``mspgify`` (if needed) then :func:`allocate`.
+
+    Returns the schedule and the M-SPG tree that produced it.
+    """
+    if tree is None:
+        tree = mspgify(workflow).tree
+    return allocate(workflow, tree, processors, seed=seed, linearizer=linearizer), tree

@@ -1,0 +1,137 @@
+"""Superchain linearisation (procedure ``OnOneProcessor``).
+
+The paper linearises a sub-M-SPG on a single processor with a *random*
+topological sort (Algorithm 1, line 39) and notes in its future work
+(§VIII) that a smarter order could "reduce the total volume of output
+files, in the hope of reducing the total checkpointing cost" — a relative
+of the NP-complete *sum cut* problem.
+
+Three linearisers are provided:
+
+* ``"random"`` — the paper's choice: uniform ready-task tie-breaking;
+* ``"deterministic"`` — FIFO Kahn order (reproducible without a seed);
+* ``"minlive"`` — the future-work heuristic: greedily pick the ready task
+  that minimises the volume of live (produced but not yet fully consumed)
+  data, breaking ties at random.  Benchmark
+  ``benchmarks/bench_ablation_linearize.py`` measures its effect.
+
+Only dependencies *within* the superchain's task set constrain the order;
+cross-superchain data always transits through stable storage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.errors import SchedulingError
+from repro.mspg.graph import Workflow
+from repro.util.rng import SeedLike, as_rng
+from repro.util.toposort import random_topological_order, topological_order
+
+__all__ = ["linearize", "LINEARIZERS"]
+
+
+def _induced_succs(
+    tasks: Sequence[str], workflow: Workflow
+) -> Dict[str, List[str]]:
+    inside = set(tasks)
+    return {t: [v for v in workflow.succs(t) if v in inside] for t in tasks}
+
+
+def _linearize_random(
+    tasks: Sequence[str], workflow: Workflow, seed: SeedLike
+) -> List[str]:
+    return random_topological_order(tasks, _induced_succs(tasks, workflow), seed)
+
+
+def _linearize_deterministic(
+    tasks: Sequence[str], workflow: Workflow, seed: SeedLike
+) -> List[str]:
+    return topological_order(tasks, _induced_succs(tasks, workflow))
+
+
+def _linearize_minlive(
+    tasks: Sequence[str], workflow: Workflow, seed: SeedLike
+) -> List[str]:
+    """Greedy min-live-volume topological order.
+
+    The live volume after scheduling a prefix is the total size of files
+    produced by the prefix that still have an unscheduled consumer within
+    the superchain.  At each step we pick the ready task minimising the
+    resulting live volume (its own outputs enter; any file whose last
+    in-chain consumer it is leaves).
+    """
+    rng = as_rng(seed)
+    inside = set(tasks)
+    succs = _induced_succs(tasks, workflow)
+    indeg = {t: 0 for t in tasks}
+    for t in tasks:
+        for v in succs[t]:
+            indeg[v] += 1
+
+    # remaining in-chain consumers per file
+    remaining: Dict[str, int] = {}
+    for t in tasks:
+        for f in workflow.inputs(t):
+            producer = workflow.producer(f)
+            if producer in inside:
+                remaining[f] = remaining.get(f, 0) + 1
+
+    def delta(v: str) -> Tuple[float, float]:
+        gain = sum(
+            workflow.file_size(f)
+            for f in workflow.outputs(v)
+            if remaining.get(f, 0) > 0
+        )
+        released = sum(
+            workflow.file_size(f)
+            for f in workflow.inputs(v)
+            if remaining.get(f, 0) == 1
+        )
+        # Net change first; gross new volume breaks the frequent 0-net ties
+        # (pass-through tasks) in favour of small intermediates.
+        return (gain - released, gain)
+
+    ready = [t for t in tasks if indeg[t] == 0]
+    out: List[str] = []
+    while ready:
+        scores = [delta(v) for v in ready]
+        best = min(scores)
+        candidates = [i for i, s in enumerate(scores) if s == best]
+        i = candidates[int(rng.integers(0, len(candidates)))]
+        ready[i], ready[-1] = ready[-1], ready[i]
+        v = ready.pop()
+        out.append(v)
+        for f in workflow.inputs(v):
+            if f in remaining:
+                remaining[f] -= 1
+        for w in succs[v]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+    if len(out) != len(tasks):
+        raise SchedulingError("cycle among superchain tasks")
+    return out
+
+
+LINEARIZERS: Dict[str, Callable[[Sequence[str], Workflow, SeedLike], List[str]]] = {
+    "random": _linearize_random,
+    "deterministic": _linearize_deterministic,
+    "minlive": _linearize_minlive,
+}
+
+
+def linearize(
+    tasks: Sequence[str],
+    workflow: Workflow,
+    method: str = "random",
+    seed: SeedLike = None,
+) -> List[str]:
+    """Linearise ``tasks`` (a sub-M-SPG's atoms) for one processor."""
+    try:
+        fn = LINEARIZERS[method]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown linearizer {method!r}; choose from {sorted(LINEARIZERS)}"
+        ) from None
+    return fn(tasks, workflow, seed)

@@ -1,0 +1,73 @@
+"""Proportional mapping (procedure ``PropMap`` of Algorithm 1).
+
+Allocates ``p`` processors to ``n`` parallel M-SPG components
+proportionally to their total task weight, following the "proportional
+mapping" heuristic of Pothen & Sun that the paper adopts (§II-C):
+
+* ``n >= p`` — components are sorted by non-increasing weight and greedily
+  merged (longest-processing-time-first binning) into ``p`` groups, each
+  executing on one processor;
+* ``n < p`` — each component gets its own partition, and the ``p - n``
+  surplus processors are handed one at a time to the currently heaviest
+  component, whose effective weight is divided accordingly
+  (``W ← W · (1 − 1/procs)``, i.e. ``W = weight / procs`` — the linear
+  speedup assumption of the heuristic).
+
+Ties broken by lowest index, matching a deterministic reading of the
+paper's ``argmin``/``argmax``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.mspg.expr import EMPTY, MSPG, EmptyGraph, parallel, tree_weight
+
+__all__ = ["propmap"]
+
+
+def propmap(
+    graphs: Sequence[MSPG],
+    p: int,
+    weights: Mapping[str, float],
+) -> Tuple[List[MSPG], List[int]]:
+    """Partition parallel components over ``p`` processors.
+
+    Returns ``(Graphs, procNums)`` with ``len(Graphs) == len(procNums) ==
+    min(n, p)`` and ``sum(procNums) <= p`` (equality when ``n < p``).
+    ``weights`` maps task ids to weights (typically
+    ``{t.id: t.weight for t in workflow.tasks()}``).
+    """
+    graphs = [g for g in graphs if not isinstance(g, EmptyGraph)]
+    n = len(graphs)
+    if p < 1:
+        raise SchedulingError(f"propmap needs p >= 1, got {p}")
+    if n == 0:
+        return [], []
+
+    k = min(n, p)
+    out: List[MSPG] = [EMPTY] * k
+    proc_nums: List[int] = [1] * k
+    w: List[float] = [0.0] * k
+
+    order = sorted(
+        range(n), key=lambda i: (-tree_weight(graphs[i], weights), i)
+    )
+
+    if n >= p:
+        for i in order:
+            j = min(range(k), key=lambda q: (w[q], q))
+            w[j] += tree_weight(graphs[i], weights)
+            out[j] = parallel(out[j], graphs[i])
+    else:
+        for slot, i in enumerate(order):
+            out[slot] = graphs[i]
+            w[slot] = tree_weight(graphs[i], weights)
+        surplus = p - n
+        while surplus:
+            j = max(range(k), key=lambda q: (w[q], -q))
+            proc_nums[j] += 1
+            w[j] *= 1.0 - 1.0 / proc_nums[j]
+            surplus -= 1
+    return out, proc_nums

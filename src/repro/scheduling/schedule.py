@@ -1,0 +1,190 @@
+"""Schedule and superchain datatypes.
+
+A **superchain** (§II-C) is the task set of a sub-M-SPG that was assigned
+to a single processor, linearised into an execution sequence.  Its *entry
+tasks* have predecessors outside the superchain; its *exit tasks* have
+successors outside.  The M-SPG structure guarantees that predecessors of
+entry tasks are exit tasks of earlier superchains, which is what makes the
+"checkpoint every superchain" rule remove all crossover dependencies.
+
+A :class:`Schedule` is an ordered list of superchains per processor.  It
+deliberately stores only task ids: the owning workflow provides weights
+and data, so one schedule can be re-costed under rescaled file sizes (the
+CCR sweeps re-use one schedule per configuration, as the paper does —
+"communications with stable storage are ignored in this phase", §II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import SchedulingError
+from repro.mspg.graph import Workflow
+from repro.util.toposort import is_topological_order, topological_order
+
+__all__ = ["Superchain", "Schedule", "validate_schedule"]
+
+
+@dataclass(frozen=True)
+class Superchain:
+    """A linearised sub-M-SPG assigned to one processor.
+
+    ``index`` is the global creation index; superchains on one processor
+    execute in increasing ``index`` order.
+    """
+
+    index: int
+    processor: int
+    tasks: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise SchedulingError("superchain must contain at least one task")
+        if len(set(self.tasks)) != len(self.tasks):
+            raise SchedulingError("superchain contains a duplicated task")
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def entry_tasks(self, workflow: Workflow) -> List[str]:
+        """Tasks with at least one predecessor outside the superchain."""
+        inside = set(self.tasks)
+        return [t for t in self.tasks if workflow.preds(t) - inside]
+
+    def exit_tasks(self, workflow: Workflow) -> List[str]:
+        """Tasks with at least one successor outside the superchain."""
+        inside = set(self.tasks)
+        return [t for t in self.tasks if workflow.succs(t) - inside]
+
+
+class Schedule:
+    """An ordered assignment of superchains to processors."""
+
+    def __init__(self, n_processors: int) -> None:
+        if n_processors < 1:
+            raise SchedulingError(
+                f"schedule needs >= 1 processor, got {n_processors}"
+            )
+        self.n_processors = n_processors
+        self.superchains: List[Superchain] = []
+        self._by_processor: List[List[Superchain]] = [
+            [] for _ in range(n_processors)
+        ]
+        self._task_location: Dict[str, Tuple[int, int]] = {}
+
+    def add_superchain(self, processor: int, tasks: Sequence[str]) -> Superchain:
+        """Append a superchain to ``processor``'s execution sequence."""
+        if not (0 <= processor < self.n_processors):
+            raise SchedulingError(
+                f"processor {processor} out of range [0, {self.n_processors})"
+            )
+        sc = Superchain(len(self.superchains), processor, tuple(tasks))
+        for pos, t in enumerate(sc.tasks):
+            if t in self._task_location:
+                raise SchedulingError(f"task {t!r} scheduled twice")
+            self._task_location[t] = (sc.index, pos)
+        self.superchains.append(sc)
+        self._by_processor[processor].append(sc)
+        return sc
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_tasks(self) -> int:
+        """Total number of scheduled tasks."""
+        return len(self._task_location)
+
+    def processor_sequence(self, processor: int) -> List[Superchain]:
+        """Superchains of ``processor`` in execution order."""
+        if not (0 <= processor < self.n_processors):
+            raise SchedulingError(
+                f"processor {processor} out of range [0, {self.n_processors})"
+            )
+        return list(self._by_processor[processor])
+
+    def location(self, task_id: str) -> Tuple[int, int]:
+        """``(superchain index, position)`` of a task."""
+        try:
+            return self._task_location[task_id]
+        except KeyError:
+            raise SchedulingError(f"task {task_id!r} is not scheduled") from None
+
+    def superchain_of(self, task_id: str) -> Superchain:
+        """The superchain containing ``task_id``."""
+        return self.superchains[self.location(task_id)[0]]
+
+    def processor_of(self, task_id: str) -> int:
+        """The processor executing ``task_id``."""
+        return self.superchain_of(task_id).processor
+
+    def task_sequence(self, processor: int) -> List[str]:
+        """All tasks of ``processor`` in execution order."""
+        out: List[str] = []
+        for sc in self._by_processor[processor]:
+            out.extend(sc.tasks)
+        return out
+
+    def used_processors(self) -> List[int]:
+        """Processors with at least one superchain."""
+        return [p for p in range(self.n_processors) if self._by_processor[p]]
+
+    def __iter__(self) -> Iterator[Superchain]:
+        return iter(self.superchains)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(p={self.n_processors}, superchains={len(self.superchains)}, "
+            f"tasks={self.n_tasks})"
+        )
+
+
+def validate_schedule(schedule: Schedule, workflow: Workflow) -> None:
+    """Assert a schedule is a legal execution of the workflow.
+
+    Checks:
+
+    1. every workflow task is scheduled exactly once;
+    2. within each superchain, the linearisation respects the workflow
+       dependencies among the superchain's tasks;
+    3. the superchain-level precedence graph (data dependencies between
+       superchains plus per-processor sequencing) is acyclic, i.e. the
+       execution cannot deadlock.
+    """
+    scheduled = set()
+    for sc in schedule.superchains:
+        scheduled.update(sc.tasks)
+    missing = set(workflow.task_ids) - scheduled
+    extra = scheduled - set(workflow.task_ids)
+    if missing or extra:
+        raise SchedulingError(
+            f"schedule/workflow mismatch: missing={sorted(missing)[:5]} "
+            f"extra={sorted(extra)[:5]}"
+        )
+
+    for sc in schedule.superchains:
+        inside = set(sc.tasks)
+        succs = {
+            t: [v for v in workflow.succs(t) if v in inside] for t in sc.tasks
+        }
+        if not is_topological_order(sc.tasks, succs):
+            raise SchedulingError(
+                f"superchain {sc.index} linearisation violates dependencies"
+            )
+
+    # Superchain-level acyclicity.
+    n = len(schedule.superchains)
+    succs_sc: Dict[int, Set[int]] = {i: set() for i in range(n)}
+    for sc in schedule.superchains:
+        for t in sc.tasks:
+            for v in workflow.succs(t):
+                j = schedule.location(v)[0]
+                if j != sc.index:
+                    succs_sc[sc.index].add(j)
+    for p in range(schedule.n_processors):
+        seq = schedule.processor_sequence(p)
+        for a, b in zip(seq, seq[1:]):
+            succs_sc[a.index].add(b.index)
+    topological_order(list(range(n)), succs_sc)  # raises CycleError on cycle

@@ -1,0 +1,122 @@
+"""Batch simulation of checkpointed executions and the CKPTNONE restart model.
+
+``simulate_plan`` is the library's ground truth for CKPTALL/CKPTSOME: it
+samples every segment's execution time under *exponential* failures (any
+number of retries, exact truncated-exponential losses — strictly more
+faithful than the 2-state model) and propagates completion times through
+the segment DAG with the shared longest-path kernel.
+
+``simulate_ckptnone`` implements the restart model underlying Theorem 1:
+the whole schedule is one atomic unit of failure-free length ``W_par``
+exposed to the union of the used processors' failure processes (rate
+``p·λ``); any failure restarts it from scratch.  (The true CKPTNONE
+execution could restart only the affected crossover closure, but
+evaluating that is the paper's #P-complete result — the restart model is
+the semantics the paper's estimator prices.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.checkpoint.plan import CheckpointPlan
+from repro.errors import SimulationError
+from repro.makespan.ckptnone import failure_free_makespan
+from repro.makespan.probdag import ProbDAG
+from repro.makespan.segment_dag import build_segment_dag
+from repro.mspg.graph import Workflow
+from repro.platform import Platform
+from repro.scheduling.schedule import Schedule
+from repro.simulation.sampling import sample_segment_times, truncated_exponential
+from repro.util.rng import SeedLike, as_rng
+
+__all__ = ["SimulationResult", "simulate_plan", "simulate_ckptnone"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Summary of a batch of simulated executions."""
+
+    mean: float
+    stderr: float
+    trials: int
+    samples: np.ndarray
+
+    @property
+    def ci95(self) -> Tuple[float, float]:
+        """Approximate 95% confidence interval for the expected makespan."""
+        delta = 1.96 * self.stderr
+        return (self.mean - delta, self.mean + delta)
+
+
+def _summarise(samples: np.ndarray) -> SimulationResult:
+    trials = samples.size
+    mean = float(samples.mean())
+    stderr = (
+        float(samples.std(ddof=1)) / sqrt(trials) if trials > 1 else 0.0
+    )
+    return SimulationResult(mean=mean, stderr=stderr, trials=trials, samples=samples)
+
+
+def simulate_plan(
+    workflow: Workflow,
+    schedule: Schedule,
+    plan: CheckpointPlan,
+    platform: Platform,
+    trials: int = 10_000,
+    seed: SeedLike = None,
+    dag: Optional[ProbDAG] = None,
+    batch: int = 8192,
+) -> SimulationResult:
+    """Simulate a checkpointed execution under exponential failures.
+
+    ``dag`` may pass a prebuilt segment DAG (structure only; its 2-state
+    probabilities are ignored — durations are sampled exactly).
+    """
+    if dag is None:
+        dag = build_segment_dag(workflow, schedule, plan, platform)
+    # Segment spans in the DAG's topological node order.
+    spans = dag.base
+    rng = as_rng(seed)
+    out = np.empty(trials)
+    done = 0
+    while done < trials:
+        m = min(batch, trials - done)
+        durations = sample_segment_times(spans, platform.failure_rate, m, rng)
+        out[done : done + m] = dag.makespans(durations)
+        done += m
+    return _summarise(out)
+
+
+def simulate_ckptnone(
+    workflow: Workflow,
+    schedule: Schedule,
+    platform: Platform,
+    trials: int = 10_000,
+    seed: SeedLike = None,
+    count_idle_processors: bool = False,
+) -> SimulationResult:
+    """Simulate the CKPTNONE restart model (semantics of Theorem 1).
+
+    One attempt lasts ``W_par``; failures arrive at the aggregate rate
+    ``p·λ``; each failed attempt wastes a truncated-exponential time and
+    the execution restarts from scratch.
+    """
+    wpar = failure_free_makespan(workflow, schedule)
+    p = (
+        platform.processors
+        if count_idle_processors
+        else len(schedule.used_processors())
+    )
+    rate = p * platform.failure_rate
+    rng = as_rng(seed)
+    if rate == 0.0 or wpar == 0.0:
+        return _summarise(np.full(trials, wpar))
+    samples = sample_segment_times(
+        np.array([wpar]), rate, trials, rng
+    ).ravel()
+    return _summarise(samples)

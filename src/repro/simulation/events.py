@@ -1,0 +1,30 @@
+"""Event datatypes for single-trajectory replay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Event", "EVENT_KINDS"]
+
+#: ``attempt`` — a segment attempt starts; ``failure`` — the attempt was
+#: killed by a processor failure; ``complete`` — the attempt succeeded and
+#: the segment's checkpoint (if any) is on stable storage.
+EVENT_KINDS = ("attempt", "failure", "complete")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped occurrence during a replayed execution."""
+
+    time: float
+    kind: str
+    processor: int
+    segment: int
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError(f"negative event time {self.time}")

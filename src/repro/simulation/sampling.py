@@ -1,0 +1,106 @@
+"""Sampling of segment execution times under exponential failures.
+
+A segment of failure-free cost ``X`` on a processor with exponential
+failure rate ``λ`` (no downtime, as in the paper's model) executes as a
+sequence of attempts: each attempt fails within its ``X``-second window
+with probability ``1 − e^{−λX}``; a failed attempt wastes a
+truncated-exponential amount of time on ``[0, X]``, and the segment
+completes at the first successful attempt:
+
+.. math:: T = X + \\sum_{i=1}^{K} L_i,\\qquad K \\sim \\mathrm{Geom},\\;
+          L_i \\sim \\mathrm{TruncExp}(λ; X)
+
+with ``E[T] = (e^{λX} − 1)/λ`` — the classical result the first-order
+model (Equation (1)) truncates at order ``λ²``.
+
+Sampling is vectorised: failure *counts* come from one geometric draw per
+matrix cell, and the (rare) loss times are drawn in a single flat batch
+and scattered back with ``np.add.at``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.util.rng import SeedLike, as_rng
+
+__all__ = [
+    "sample_segment_times",
+    "expected_exponential_time",
+    "truncated_exponential",
+]
+
+
+def expected_exponential_time(span: float, failure_rate: float) -> float:
+    """Exact expected execution time ``(e^{λX} − 1)/λ`` of a segment.
+
+    Tends to ``X·(1 + λX/2)`` (Equation (2)) as ``λX → 0``.
+    """
+    if span < 0:
+        raise SimulationError(f"span must be >= 0, got {span}")
+    if failure_rate == 0 or span == 0:
+        return span
+    lx = failure_rate * span
+    # expm1 keeps precision for small λX.
+    return math.expm1(lx) / failure_rate
+
+
+def truncated_exponential(
+    rng: np.random.Generator, rate: float, upper: Union[float, np.ndarray], size: int
+) -> np.ndarray:
+    """Draw ``size`` samples of Exp(rate) conditioned on being < ``upper``.
+
+    Inverse-CDF: ``F(t) = (1 − e^{−rate·t}) / (1 − e^{−rate·upper})``.
+    """
+    u = rng.random(size)
+    scale = -np.expm1(-rate * np.asarray(upper, dtype=float))
+    return -np.log1p(-u * scale) / rate
+
+
+def sample_segment_times(
+    spans: np.ndarray,
+    failure_rate: float,
+    trials: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Sample a ``(trials, n)`` matrix of segment execution times.
+
+    ``spans`` holds each segment's failure-free cost ``X``; each matrix
+    cell is an independent execution (attempts until success).
+    """
+    spans = np.asarray(spans, dtype=float)
+    if spans.ndim != 1:
+        raise SimulationError(f"spans must be 1-D, got shape {spans.shape}")
+    if np.any(spans < 0):
+        raise SimulationError("spans must be >= 0")
+    if trials < 1:
+        raise SimulationError(f"trials must be >= 1, got {trials}")
+    rng = as_rng(seed)
+    n = spans.size
+    out = np.tile(spans, (trials, 1))
+    if failure_rate == 0 or n == 0:
+        return out
+
+    # Failure count per cell: geometric number of attempts (>= 1) minus
+    # the final success.
+    success_p = np.exp(-failure_rate * spans)
+    # rng.geometric requires p > 0; λX is finite so success_p > 0.
+    attempts = rng.geometric(np.broadcast_to(success_p, out.shape))
+    failures = attempts - 1
+    total_failures = int(failures.sum())
+    if total_failures == 0:
+        return out
+
+    rows, cols = np.nonzero(failures)
+    counts = failures[rows, cols]
+    flat_rows = np.repeat(rows, counts)
+    flat_cols = np.repeat(cols, counts)
+    losses = truncated_exponential(
+        rng, failure_rate, spans[flat_cols], flat_rows.size
+    )
+    np.add.at(out, (flat_rows, flat_cols), losses)
+    return out

@@ -1,0 +1,20 @@
+"""Shared low-level utilities (RNG handling, topological sorts, tables)."""
+
+from repro.util.rng import as_rng, spawn_rngs
+from repro.util.toposort import (
+    topological_order,
+    random_topological_order,
+    is_topological_order,
+)
+from repro.util.tables import format_table
+from repro.util.asciiplot import ascii_xy_plot
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "topological_order",
+    "random_topological_order",
+    "is_topological_order",
+    "format_table",
+    "ascii_xy_plot",
+]

@@ -1,0 +1,108 @@
+"""Minimal ASCII line/scatter plots for terminal-only experiment output.
+
+The paper's figures plot *relative expected makespan* against CCR on a log
+x-axis.  :func:`ascii_xy_plot` renders multiple named series on a character
+grid so that the benchmark harness can show the qualitative shape (who wins,
+where the crossover sits) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_xy_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(v: float, log: bool) -> float:
+    if log:
+        if v <= 0:
+            raise ValueError(f"log-scale axis requires positive values, got {v}")
+        return math.log10(v)
+    return v
+
+
+def ascii_xy_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    title: Optional[str] = None,
+    ybounds: Optional[Tuple[float, float]] = None,
+    hline: Optional[float] = None,
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` series on a character grid.
+
+    ``hline`` draws a horizontal reference line (the paper's figures mark
+    ``y = 1``, the break-even line between strategies).
+    Non-finite y values are skipped (the paper notes CKPTNONE leaves the
+    plotted range in the high-failure corner; we reproduce that by letting
+    the series drop out of the grid).
+    """
+    pts: List[Tuple[float, float, int]] = []
+    labels = list(series)
+    for si, label in enumerate(labels):
+        for x, y in series[label]:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            pts.append((_transform(x, logx), _transform(y, logy), si))
+    if not pts:
+        return (title or "") + "\n(no finite points)"
+
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    if hline is not None:
+        ys.append(_transform(hline, logy))
+    xmin, xmax = min(xs), max(xs)
+    if ybounds is not None:
+        ymin, ymax = (_transform(ybounds[0], logy), _transform(ybounds[1], logy))
+    else:
+        ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return min(width - 1, max(0, int(round((x - xmin) / (xmax - xmin) * (width - 1)))))
+
+    def row(y: float) -> int:
+        # Row 0 is the top of the plot.
+        return min(
+            height - 1,
+            max(0, int(round((ymax - y) / (ymax - ymin) * (height - 1)))),
+        )
+
+    if hline is not None:
+        r = row(_transform(hline, logy))
+        for c in range(width):
+            grid[r][c] = "-"
+
+    for x, y, si in pts:
+        if ybounds is not None and not (ymin <= y <= ymax):
+            continue
+        grid[row(y)][col(x)] = _MARKERS[si % len(_MARKERS)]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    inv_y = (lambda v: 10**v) if logy else (lambda v: v)
+    lines.append(f"{inv_y(ymax):10.3g} +" + "".join(grid[0]))
+    for r in range(1, height - 1):
+        lines.append(" " * 10 + " |" + "".join(grid[r]))
+    lines.append(f"{inv_y(ymin):10.3g} +" + "".join(grid[height - 1]))
+    inv_x = (lambda v: 10**v) if logx else (lambda v: v)
+    left = f"{inv_x(xmin):.3g}"
+    right = f"{inv_x(xmax):.3g}"
+    axis = " " * 12 + left + " " * max(1, width - len(left) - len(right)) + right
+    lines.append(axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(labels)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

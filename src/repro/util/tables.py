@@ -1,0 +1,59 @@
+"""Fixed-width text tables for experiment output.
+
+The benchmark harness prints paper-style tables (one row per CCR value,
+one column per strategy/processor count).  No third-party table library is
+used; this keeps the dependency footprint at numpy only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(x: object, digits: int = 4) -> str:
+    """Format numbers compactly: floats to *digits* significant figures."""
+    if isinstance(x, bool) or not isinstance(x, (int, float)):
+        return str(x)
+    if isinstance(x, int):
+        return str(x)
+    if x != x:  # NaN
+        return "nan"
+    if x == float("inf"):
+        return "inf"
+    if x == 0:
+        return "0"
+    ax = abs(x)
+    if ax >= 10 ** (digits + 2) or ax < 10 ** (-digits):
+        return f"{x:.{digits - 1}e}"
+    return f"{x:.{digits}g}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    digits: int = 4,
+) -> str:
+    """Render rows as a fixed-width table with a rule under the header."""
+    str_rows: List[List[str]] = [
+        [format_float(cell, digits) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["require_positive", "require_nonnegative", "require_in_unit_interval"]
+
+
+def require_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_nonnegative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return the value."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in_unit_interval(
+    value: float, name: str, *, open_right: bool = False
+) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1`` (or ``< 1``)."""
+    upper_ok = value < 1 if open_right else value <= 1
+    if not (0 <= value and upper_ok):
+        bound = "[0, 1)" if open_right else "[0, 1]"
+        raise ValueError(f"{name} must be in {bound}, got {value!r}")
+    return value

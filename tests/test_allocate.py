@@ -1,0 +1,139 @@
+"""Tests for the Allocate recursive list scheduler (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.generators import genome, ligo, montage
+from repro.generators.random_mspg import random_tree, workflow_from_tree
+from repro.mspg.expr import EMPTY, Parallel, TaskNode, chain, parallel, series
+from repro.mspg.recognize import recognize
+from repro.mspg.transform import mspgify
+from repro.scheduling.allocate import allocate, decompose_head, schedule_workflow
+from repro.scheduling.schedule import validate_schedule
+from repro.util.rng import as_rng
+from tests.conftest import make_chain, make_fig2_workflow
+
+
+class TestDecomposeHead:
+    def test_empty(self):
+        assert decompose_head(EMPTY) == ([], [], EMPTY)
+
+    def test_atom(self):
+        chain_, par, tail = decompose_head(TaskNode("a"))
+        assert chain_ == ["a"] and par == [] and tail is EMPTY
+
+    def test_pure_chain(self):
+        chain_, par, tail = decompose_head(chain("a", "b", "c"))
+        assert chain_ == ["a", "b", "c"]
+        assert par == [] and tail is EMPTY
+
+    def test_parallel_root(self):
+        t = parallel(TaskNode("a"), TaskNode("b"))
+        chain_, par, tail = decompose_head(t)
+        assert chain_ == []
+        assert len(par) == 2 and tail is EMPTY
+
+    def test_longest_chain_extracted(self):
+        t = series(
+            TaskNode("a"),
+            TaskNode("b"),
+            parallel(TaskNode("c"), TaskNode("d")),
+            TaskNode("e"),
+        )
+        chain_, par, tail = decompose_head(t)
+        assert chain_ == ["a", "b"]
+        assert {c.task_id for c in par} == {"c", "d"}
+        assert tail == TaskNode("e")
+
+
+class TestAllocateBasics:
+    def test_chain_single_superchain(self):
+        wf = make_chain(6)
+        tree = recognize(wf)
+        sched = allocate(wf, tree, 3, seed=0)
+        validate_schedule(sched, wf)
+        assert len(sched.superchains) == 1
+        assert sched.superchains[0].processor == 0
+
+    def test_zero_processors_rejected(self):
+        wf = make_chain(2)
+        with pytest.raises(SchedulingError):
+            allocate(wf, recognize(wf), 0)
+
+    def test_fig2_uses_processors(self):
+        wf = make_fig2_workflow()
+        sched = allocate(wf, recognize(wf), 2, seed=0)
+        validate_schedule(sched, wf)
+        assert len(sched.used_processors()) == 2
+
+    def test_fig2_single_processor(self):
+        wf = make_fig2_workflow()
+        sched = allocate(wf, recognize(wf), 1, seed=0)
+        validate_schedule(sched, wf)
+        assert sched.used_processors() == [0]
+        # a sub-M-SPG on one processor is a single superchain (Figure 3)
+        assert len(sched.superchains) == 1
+
+    def test_fig2_two_processors_matches_figure3(self):
+        """The paper's Figure 3 mapping: chain task T1, one superchain per
+        branch, tail task T13."""
+        wf = make_fig2_workflow()
+        sched = allocate(wf, recognize(wf), 2, seed=0)
+        validate_schedule(sched, wf)
+        groups = [frozenset(sc.tasks) for sc in sched.superchains]
+        assert frozenset({"T1"}) in groups
+        assert frozenset({"T13"}) in groups
+        assert frozenset({"T2", "T5", "T6", "T10"}) in groups
+        assert frozenset({"T3", "T4", "T7", "T8", "T9", "T11", "T12"}) in groups
+        assert len(sched.superchains) == 4
+
+    def test_deterministic_given_seed(self):
+        wf = make_fig2_workflow()
+        a = allocate(wf, recognize(wf), 3, seed=42)
+        b = allocate(wf, recognize(wf), 3, seed=42)
+        assert [(sc.processor, sc.tasks) for sc in a.superchains] == [
+            (sc.processor, sc.tasks) for sc in b.superchains
+        ]
+
+    def test_more_processors_than_tasks(self):
+        wf = make_fig2_workflow()
+        sched = allocate(wf, recognize(wf), 64, seed=1)
+        validate_schedule(sched, wf)
+
+
+@pytest.mark.parametrize("gen", [montage, genome, ligo])
+@pytest.mark.parametrize("p", [1, 4, 16])
+class TestAllocateFamilies:
+    def test_valid_schedules(self, gen, p):
+        wf = gen(50, seed=2)
+        sched, tree = schedule_workflow(wf, p, seed=7)
+        validate_schedule(sched, wf)
+        assert sched.n_tasks == wf.n_tasks
+        assert len(sched.used_processors()) <= p
+
+
+class TestScheduleWorkflowWrapper:
+    def test_tree_reuse(self):
+        wf = genome(50, seed=0)
+        tree = mspgify(wf).tree
+        sched, tree_out = schedule_workflow(wf, 4, seed=1, tree=tree)
+        assert tree_out is tree
+        validate_schedule(sched, wf)
+
+    def test_linearizer_forwarded(self):
+        wf = genome(50, seed=0)
+        sched, _ = schedule_workflow(wf, 4, seed=1, linearizer="minlive")
+        validate_schedule(sched, wf)
+
+
+class TestAllocateProperty:
+    @given(st.integers(2, 40), st.integers(0, 5000), st.integers(1, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_random_mspg_schedules_validate(self, n, seed, p):
+        tree = random_tree(n, as_rng(seed))
+        wf = workflow_from_tree(tree, seed=seed)
+        sched = allocate(wf, recognize(wf), p, seed=seed)
+        validate_schedule(sched, wf)
+        assert sched.n_tasks == n

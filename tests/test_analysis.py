@@ -1,0 +1,104 @@
+"""Tests for repro.mspg.analysis."""
+
+import pytest
+
+from repro.mspg.analysis import (
+    critical_path,
+    critical_path_length,
+    degree_stats,
+    level_sets,
+    levels,
+    tree_respects_workflow_order,
+    width,
+)
+from repro.mspg.expr import TaskNode, chain, parallel, series
+from repro.mspg.graph import Workflow
+from tests.conftest import make_chain, make_fig2_workflow
+
+
+class TestLevels:
+    def test_chain(self):
+        wf = make_chain(4)
+        assert levels(wf) == {"T1": 0, "T2": 1, "T3": 2, "T4": 3}
+
+    def test_fig2_levels(self):
+        lv = levels(make_fig2_workflow())
+        assert lv["T1"] == 0
+        assert lv["T13"] == 4
+
+    def test_level_sets_partition(self):
+        wf = make_fig2_workflow()
+        sets = level_sets(wf)
+        flat = [t for group in sets for t in group]
+        assert sorted(flat) == sorted(wf.task_ids)
+
+    def test_width(self):
+        assert width(make_chain(5)) == 1
+        assert width(make_fig2_workflow()) == 5  # T5..T9 on level 2
+
+    def test_empty(self):
+        assert width(Workflow()) == 0
+
+
+class TestCriticalPath:
+    def test_chain(self):
+        wf = make_chain(5, weight=3.0)
+        length, path = critical_path(wf)
+        assert length == pytest.approx(15.0)
+        assert path == ["T1", "T2", "T3", "T4", "T5"]
+
+    def test_fig2(self):
+        wf = make_fig2_workflow()
+        length, path = critical_path(wf)
+        # heaviest route: T1(1) + T4(4) + T9(9) + T12(12) + T13(13) = 39
+        assert length == pytest.approx(39.0)
+        assert path[0] == "T1" and path[-1] == "T13"
+
+    def test_empty(self):
+        assert critical_path_length(Workflow()) == 0.0
+
+
+class TestDegreeStats:
+    def test_chain(self):
+        stats = degree_stats(make_chain(3))
+        assert stats["max_in"] == 1.0
+        assert stats["max_out"] == 1.0
+
+    def test_fig2(self):
+        stats = degree_stats(make_fig2_workflow())
+        assert stats["max_in"] == 3.0  # T11/T12/T13 have three preds
+        assert stats["max_out"] == 3.0
+
+
+class TestTreeRespects:
+    def test_accepts_matching(self):
+        wf = make_chain(3)
+        tree = chain("T1", "T2", "T3")
+        assert tree_respects_workflow_order(tree, wf)
+
+    def test_rejects_wrong_order(self):
+        wf = make_chain(3)
+        tree = chain("T3", "T2", "T1")
+        assert not tree_respects_workflow_order(tree, wf)
+
+    def test_rejects_missing_task(self):
+        wf = make_chain(3)
+        tree = chain("T1", "T2")
+        assert not tree_respects_workflow_order(tree, wf)
+
+    def test_accepts_transitive_cover(self):
+        # workflow edge a->c covered transitively by tree a;b;c
+        wf = Workflow()
+        for t in ("a", "b", "c"):
+            wf.add_task(t, 1.0)
+        wf.add_control_edge("a", "c")
+        tree = chain("a", "b", "c")
+        assert tree_respects_workflow_order(tree, wf)
+
+    def test_rejects_parallelised_dependency(self):
+        wf = Workflow()
+        for t in ("a", "b"):
+            wf.add_task(t, 1.0)
+        wf.add_control_edge("a", "b")
+        tree = parallel(TaskNode("a"), TaskNode("b"))
+        assert not tree_respects_workflow_order(tree, wf)

@@ -1,0 +1,91 @@
+"""Tests for the high-level run_strategies facade."""
+
+import pytest
+
+from repro.api import run_strategies
+from repro.experiments.ccr import ccr_of
+from repro.generators import genome, montage
+from repro.scheduling.schedule import validate_schedule
+
+
+class TestRunStrategies:
+    def test_full_pipeline(self):
+        wf = genome(50, seed=1)
+        out = run_strategies(wf, 5, pfail=1e-3, ccr=0.01, seed=2)
+        validate_schedule(out.schedule, out.workflow)
+        assert out.em_some > 0 and out.em_all > 0 and out.em_none > 0
+        assert out.plan_some.n_tasks == wf.n_tasks
+        assert out.plan_all.n_segments == wf.n_tasks
+        assert out.dag_some.n == out.plan_some.n_segments
+
+    def test_ccr_applied(self):
+        wf = montage(50, seed=1)
+        out = run_strategies(wf, 5, ccr=0.25, seed=2)
+        assert ccr_of(out.workflow, out.platform) == pytest.approx(0.25)
+
+    def test_no_ccr_keeps_raw_sizes(self):
+        wf = montage(50, seed=1)
+        out = run_strategies(wf, 5, seed=2)
+        assert out.workflow.total_file_bytes == pytest.approx(wf.total_file_bytes)
+
+    def test_ratios(self):
+        wf = genome(50, seed=1)
+        out = run_strategies(wf, 5, pfail=1e-3, ccr=0.01, seed=2)
+        assert out.ratio_all == pytest.approx(out.em_all / out.em_some)
+        assert out.ratio_none == pytest.approx(out.em_none / out.em_some)
+
+    def test_summary_text(self):
+        wf = genome(50, seed=1)
+        out = run_strategies(wf, 5, pfail=1e-3, ccr=0.01, seed=2)
+        text = out.summary()
+        assert "E[makespan]" in text
+        assert "superchains" in text
+
+    def test_reproducible(self):
+        wf = genome(50, seed=1)
+        a = run_strategies(wf, 5, pfail=1e-3, ccr=0.01, seed=9)
+        b = run_strategies(wf, 5, pfail=1e-3, ccr=0.01, seed=9)
+        assert a.em_some == b.em_some
+        assert a.em_all == b.em_all
+
+    def test_method_selection(self):
+        wf = genome(50, seed=1)
+        out_pa = run_strategies(wf, 5, ccr=0.01, seed=2, method="pathapprox")
+        out_nm = run_strategies(wf, 5, ccr=0.01, seed=2, method="normal")
+        # same pipeline, different estimator: values close but not required equal
+        assert out_pa.em_some == pytest.approx(out_nm.em_some, rel=0.1)
+
+    def test_linearizer_option(self):
+        wf = montage(50, seed=1)
+        out = run_strategies(wf, 5, ccr=0.01, seed=2, linearizer="minlive")
+        validate_schedule(out.schedule, out.workflow)
+
+
+class TestPaperClaims:
+    """Qualitative reproduction of the §VI-C observations, cell-level."""
+
+    def test_ckptsome_beats_ckptall(self):
+        """'A clear observation is that CKPTSOME always outperforms CKPTALL.'"""
+        for fam, gen in (("genome", genome), ("montage", montage)):
+            for ccr in (0.01, 0.1):
+                wf = gen(50, seed=3)
+                out = run_strategies(wf, 5, pfail=1e-2, ccr=ccr, seed=4)
+                assert out.ratio_all >= 1.0 - 5e-3, (fam, ccr)
+
+    def test_cheap_checkpoint_converges_to_all(self):
+        """As CCR -> 0 the ratio all/some converges to 1."""
+        wf = genome(50, seed=3)
+        lo = run_strategies(wf, 5, pfail=1e-2, ccr=1e-6, seed=4)
+        hi = run_strategies(wf, 5, pfail=1e-2, ccr=1e-1, seed=4)
+        assert abs(lo.ratio_all - 1.0) < 1e-3
+        assert hi.ratio_all >= lo.ratio_all - 1e-9
+
+    def test_ckptnone_wins_when_failures_rare_and_ckpt_expensive(self):
+        wf = montage(50, seed=3)
+        out = run_strategies(wf, 5, pfail=1e-4, ccr=1.0, seed=4)
+        assert out.ratio_none < 1.0
+
+    def test_ckptnone_loses_when_failures_frequent_and_ckpt_cheap(self):
+        wf = montage(50, seed=3)
+        out = run_strategies(wf, 5, pfail=1e-2, ccr=1e-3, seed=4)
+        assert out.ratio_none > 1.0

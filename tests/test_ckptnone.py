@@ -1,0 +1,96 @@
+"""Tests for the CKPTNONE Theorem 1 estimator."""
+
+import pytest
+
+from repro.makespan.ckptnone import (
+    ckptnone_expected_makespan,
+    failure_free_makespan,
+)
+from repro.platform import Platform
+from repro.scheduling.allocate import schedule_workflow
+from repro.scheduling.schedule import Schedule
+from tests.conftest import make_chain, make_fig2_workflow
+
+
+class TestFailureFreeMakespan:
+    def test_chain_on_one_processor(self, chain5):
+        sched, _ = schedule_workflow(chain5, 1, seed=0)
+        assert failure_free_makespan(chain5, sched) == pytest.approx(50.0)
+
+    def test_no_io_in_wpar(self, chain5):
+        """W_par ignores file sizes entirely (CKPTNONE keeps data in memory)."""
+        sched, _ = schedule_workflow(chain5, 1, seed=0)
+        scaled = chain5.scale_file_sizes(1e6)
+        assert failure_free_makespan(scaled, sched) == pytest.approx(50.0)
+
+    def test_parallelism_helps(self, fig2_workflow):
+        s1, _ = schedule_workflow(fig2_workflow, 1, seed=0)
+        s4, _ = schedule_workflow(fig2_workflow, 4, seed=0)
+        w1 = failure_free_makespan(fig2_workflow, s1)
+        w4 = failure_free_makespan(fig2_workflow, s4)
+        assert w1 == pytest.approx(fig2_workflow.total_weight)
+        assert w4 < w1
+
+    def test_at_least_critical_path(self, fig2_workflow):
+        from repro.mspg.analysis import critical_path_length
+
+        sched, _ = schedule_workflow(fig2_workflow, 8, seed=1)
+        assert (
+            failure_free_makespan(fig2_workflow, sched)
+            >= critical_path_length(fig2_workflow) - 1e-9
+        )
+
+    def test_serialization_respected(self):
+        wf = make_chain(2)
+        sched = Schedule(1)
+        # reversed-position superchains are illegal; use separate chains
+        sched.add_superchain(0, ["T1"])
+        sched.add_superchain(0, ["T2"])
+        assert failure_free_makespan(wf, sched) == pytest.approx(20.0)
+
+
+class TestTheorem1:
+    def test_formula(self, chain5):
+        sched, _ = schedule_workflow(chain5, 1, seed=0)
+        lam = 1e-4
+        plat = Platform(1, failure_rate=lam)
+        wpar = 50.0
+        q = 1 * lam * wpar
+        expected = (1 - q) * wpar + q * 1.5 * wpar
+        assert ckptnone_expected_makespan(chain5, sched, plat) == pytest.approx(
+            expected
+        )
+
+    def test_reliable_platform(self, chain5):
+        sched, _ = schedule_workflow(chain5, 1, seed=0)
+        plat = Platform(1, failure_rate=0.0)
+        assert ckptnone_expected_makespan(chain5, sched, plat) == pytest.approx(50.0)
+
+    def test_idle_processors_excluded_by_default(self, chain5):
+        sched, _ = schedule_workflow(chain5, 4, seed=0)  # chain uses 1 proc
+        lam = 1e-4
+        plat = Platform(4, failure_rate=lam)
+        em_used = ckptnone_expected_makespan(chain5, sched, plat)
+        em_all = ckptnone_expected_makespan(
+            chain5, sched, plat, count_idle_processors=True
+        )
+        assert em_all > em_used  # 4λ vs 1λ exposure
+
+    def test_monotone_in_rate(self, fig2_workflow):
+        sched, _ = schedule_workflow(fig2_workflow, 2, seed=0)
+        ems = [
+            ckptnone_expected_makespan(
+                fig2_workflow, sched, Platform(2, failure_rate=lam)
+            )
+            for lam in (0.0, 1e-5, 1e-4)
+        ]
+        assert ems == sorted(ems)
+
+    def test_matches_restart_simulation_small_lambda(self, fig2_workflow):
+        from repro.simulation.batch import simulate_ckptnone
+
+        sched, _ = schedule_workflow(fig2_workflow, 2, seed=0)
+        plat = Platform(2, failure_rate=1e-6)
+        est = ckptnone_expected_makespan(fig2_workflow, sched, plat)
+        sim = simulate_ckptnone(fig2_workflow, sched, plat, trials=30_000, seed=1)
+        assert est == pytest.approx(sim.mean, rel=5e-3)

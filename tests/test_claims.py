@@ -1,0 +1,111 @@
+"""Tests for the automated paper-claim checkers."""
+
+import pytest
+
+from repro.experiments.claims import (
+    CLAIM_CHECKERS,
+    check_all_claims,
+    render_claims,
+)
+from repro.experiments.results import CellResult
+
+
+def cell(family="genome", n=50, p=3, pfail=0.001, ccr=0.001,
+         em_some=100.0, em_all=110.0, em_none=120.0):
+    return CellResult(
+        family, n, n, p, pfail, ccr, em_some, em_all, em_none, 10, n, 5, 1
+    )
+
+
+def good_grid():
+    """A synthetic grid satisfying every claim."""
+    cells = []
+    for n in (50, 300):
+        for pfail in (0.01, 0.001):
+            for i, ccr in enumerate((1e-3, 1e-2, 1e-1)):
+                # ratio_all grows with CCR from 1; ratio_none falls with
+                # CCR, grows with pfail and n
+                ratio_all = 1.0 + 0.05 * i
+                ratio_none = (1.5 - 0.4 * i) * (1.2 if pfail == 0.01 else 1.0)
+                ratio_none *= 1.1 if n == 300 else 1.0
+                cells.append(
+                    cell(
+                        n=n,
+                        pfail=pfail,
+                        ccr=ccr,
+                        em_some=100.0,
+                        em_all=100.0 * ratio_all,
+                        em_none=100.0 * ratio_none,
+                    )
+                )
+    return cells
+
+
+class TestCheckers:
+    def test_good_grid_passes_everything(self):
+        results = check_all_claims(good_grid())
+        assert all(r.holds for r in results)
+        assert len(results) == len(CLAIM_CHECKERS)
+
+    def test_c1_catches_losing_cell(self):
+        cells = good_grid()
+        cells.append(cell(ccr=0.5, em_some=100.0, em_all=90.0))
+        r = CLAIM_CHECKERS["C1"](cells)
+        assert not r.holds
+        assert "0.9" in r.detail
+
+    def test_c2_catches_divergence_at_low_ccr(self):
+        cells = [
+            cell(ccr=1e-3, em_all=150.0),  # far from 1 at the lowest CCR
+            cell(ccr=1e-1, em_all=101.0),
+        ]
+        r = CLAIM_CHECKERS["C2"](cells)
+        assert not r.holds
+
+    def test_c3_catches_inverted_trend(self):
+        cells = [
+            cell(ccr=1e-3, em_none=100.0),
+            cell(ccr=1e-1, em_none=160.0),  # none *grows* with CCR: wrong
+        ]
+        r = CLAIM_CHECKERS["C3"](cells)
+        assert not r.holds
+
+    def test_c4_catches_pfail_inversion(self):
+        cells = [
+            cell(pfail=0.001, em_none=150.0),
+            cell(pfail=0.01, em_none=110.0),  # higher pfail helps none: wrong
+        ]
+        r = CLAIM_CHECKERS["C4"](cells)
+        assert not r.holds
+
+    def test_c5_single_size_not_applicable(self):
+        r = CLAIM_CHECKERS["C5"]([cell()])
+        assert r.holds
+
+    def test_c6_flags_mid_grid_winner(self):
+        cells = good_grid()
+        # a CKPTNONE win in the cheap-checkpoint, HIGH-failure corner —
+        # the combination the claim forbids
+        cells.append(
+            cell(pfail=0.05, ccr=1e-7, em_none=80.0, em_some=100.0)
+        )
+        r = CLAIM_CHECKERS["C6"](cells)
+        assert not r.holds
+
+    def test_render(self):
+        out = render_claims(check_all_claims(good_grid()))
+        assert "HOLDS" in out and "C1" in out
+
+
+class TestAgainstRealGrid:
+    def test_ci_grid_claims(self):
+        """The actual CI-sized fig5 grid must satisfy every claim."""
+        from repro.experiments.figures import PAPER_FIGURES, run_figure
+
+        spec = PAPER_FIGURES["fig5"].shrink(
+            sizes=[50], pfails=[0.01, 0.001], ccr_points=3,
+            processors_per_size=2,
+        )
+        results = check_all_claims(run_figure(spec))
+        broken = [r for r in results if not r.holds]
+        assert not broken, render_claims(broken)

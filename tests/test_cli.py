@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestGenerate:
+    def test_json(self, tmp_path, capsys):
+        out = tmp_path / "wf.json"
+        assert main(
+            ["generate", "--family", "genome", "--ntasks", "50", "--out", str(out)]
+        ) == 0
+        assert out.exists()
+        from repro.generators.serialization import load_workflow
+
+        assert load_workflow(out).n_tasks > 0
+
+    def test_dax(self, tmp_path):
+        out = tmp_path / "wf.dax"
+        assert main(
+            ["generate", "--family", "ligo", "--ntasks", "50", "--out", str(out)]
+        ) == 0
+        from repro.generators.dax import read_dax
+
+        assert read_dax(out).n_tasks > 0
+
+    def test_bad_extension(self, tmp_path, capsys):
+        out = tmp_path / "wf.yaml"
+        assert main(
+            ["generate", "--family", "genome", "--out", str(out)]
+        ) == 2
+
+
+class TestEvaluate:
+    def test_prints_summary(self, capsys):
+        rc = main(
+            [
+                "evaluate",
+                "--family",
+                "genome",
+                "--ntasks",
+                "50",
+                "--processors",
+                "5",
+                "--pfail",
+                "0.001",
+                "--ccr",
+                "0.01",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "E[makespan]" in out
+        assert "all/some=" in out
+
+
+class TestFigure:
+    def test_tiny_grid_with_csv(self, tmp_path, capsys):
+        csv = tmp_path / "fig5.csv"
+        rc = main(
+            [
+                "figure",
+                "fig5",
+                "--sizes",
+                "50",
+                "--pfails",
+                "0.001",
+                "--ccr-points",
+                "2",
+                "--processors-per-size",
+                "1",
+                "--csv",
+                str(csv),
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        assert csv.exists()
+        out = capsys.readouterr().out
+        assert "all/some" in out
+
+
+class TestAccuracy:
+    def test_runs(self, capsys):
+        rc = main(
+            [
+                "accuracy",
+                "--families",
+                "genome",
+                "--ntasks",
+                "50",
+                "--processors",
+                "3",
+                "--pfails",
+                "0.001",
+                "--mc-trials",
+                "5000",
+            ]
+        )
+        assert rc == 0
+        assert "pathapprox" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_replay(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--family",
+                "montage",
+                "--ntasks",
+                "50",
+                "--processors",
+                "4",
+                "--pfail",
+                "0.01",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan=" in out

@@ -1,0 +1,126 @@
+"""Tests for DAX XML and JSON workflow I/O."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.generators import genome, ligo, montage
+from repro.generators.dax import read_dax, write_dax
+from repro.generators.serialization import (
+    load_workflow,
+    save_workflow,
+    workflow_from_json,
+    workflow_to_json,
+)
+from repro.mspg.graph import Workflow
+from tests.conftest import add_data_edge
+
+
+def assert_same_workflow(a: Workflow, b: Workflow) -> None:
+    assert a.task_ids == b.task_ids
+    for t in a.task_ids:
+        assert a.weight(t) == pytest.approx(b.weight(t))
+        assert a.task(t).category == b.task(t).category
+        assert a.inputs(t) == b.inputs(t)
+        assert a.outputs(t) == b.outputs(t)
+    assert set(a.file_names) == set(b.file_names)
+    for f in a.file_names:
+        assert a.file_size(f) == pytest.approx(b.file_size(f))
+        assert a.producer(f) == b.producer(f)
+    assert sorted(a.edges()) == sorted(b.edges())
+
+
+@pytest.mark.parametrize("gen", [montage, genome, ligo])
+class TestDaxRoundTrip:
+    def test_round_trip(self, gen, tmp_path):
+        wf = gen(50, seed=11)
+        path = tmp_path / "wf.dax"
+        write_dax(wf, path)
+        assert_same_workflow(wf, read_dax(path))
+
+
+class TestDaxEdgeCases:
+    def test_control_edges_survive(self, tmp_path):
+        wf = Workflow("ctl")
+        wf.add_task("a", 1.0)
+        wf.add_task("b", 2.0)
+        wf.add_control_edge("a", "b")
+        path = tmp_path / "ctl.dax"
+        write_dax(wf, path)
+        back = read_dax(path)
+        assert back.has_edge("a", "b")
+        assert back.is_control_edge("a", "b")
+
+    def test_workflow_inputs_survive(self, tmp_path):
+        wf = Workflow("io")
+        wf.add_task("a", 1.0)
+        wf.add_file("raw", 123.0, producer=None)
+        wf.add_input("a", "raw")
+        path = tmp_path / "io.dax"
+        write_dax(wf, path)
+        back = read_dax(path)
+        assert back.workflow_inputs() == ["raw"]
+        assert back.file_size("raw") == pytest.approx(123.0)
+
+    def test_bad_xml_raises(self, tmp_path):
+        path = tmp_path / "bad.dax"
+        path.write_text("<adag><job></adag>")
+        with pytest.raises(SerializationError):
+            read_dax(path)
+
+    def test_inconsistent_sizes_raise(self, tmp_path):
+        path = tmp_path / "inc.dax"
+        path.write_text(
+            """<?xml version="1.0"?>
+<adag name="x">
+ <job id="a" name="a" runtime="1.0">
+  <uses file="f" link="output" size="10"/>
+ </job>
+ <job id="b" name="b" runtime="1.0">
+  <uses file="f" link="input" size="20"/>
+ </job>
+</adag>"""
+        )
+        with pytest.raises(SerializationError):
+            read_dax(path)
+
+    def test_two_producers_raise(self, tmp_path):
+        path = tmp_path / "two.dax"
+        path.write_text(
+            """<?xml version="1.0"?>
+<adag name="x">
+ <job id="a" name="a"><uses file="f" link="output" size="1"/></job>
+ <job id="b" name="b"><uses file="f" link="output" size="1"/></job>
+</adag>"""
+        )
+        with pytest.raises(SerializationError):
+            read_dax(path)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_dict(self):
+        wf = montage(50, seed=2)
+        assert_same_workflow(wf, workflow_from_json(workflow_to_json(wf)))
+
+    def test_round_trip_file(self, tmp_path):
+        wf = genome(50, seed=2)
+        path = tmp_path / "wf.json"
+        save_workflow(wf, path)
+        assert_same_workflow(wf, load_workflow(path))
+
+    def test_bad_schema(self):
+        with pytest.raises(SerializationError):
+            workflow_from_json({"schema": "nope"})
+
+    def test_bad_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_workflow(path)
+
+    def test_control_edges_survive(self):
+        wf = Workflow("ctl")
+        wf.add_task("a", 1.0)
+        wf.add_task("b", 2.0)
+        wf.add_control_edge("a", "b")
+        back = workflow_from_json(workflow_to_json(wf))
+        assert back.has_edge("a", "b")

@@ -1,0 +1,152 @@
+"""Tests for the discrete distribution algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.makespan.distribution import DiscreteDistribution
+
+
+def dist(values, probs):
+    return DiscreteDistribution(np.array(values, float), np.array(probs, float))
+
+
+class TestConstruction:
+    def test_sorted_and_normalised(self):
+        d = dist([3.0, 1.0], [2.0, 2.0])
+        assert list(d.values) == [1.0, 3.0]
+        assert d.probs.sum() == pytest.approx(1.0)
+
+    def test_duplicate_values_merged(self):
+        d = dist([1.0, 1.0, 2.0], [0.25, 0.25, 0.5])
+        assert d.n_atoms == 2
+        assert d.cdf(1.0) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            dist([], [])
+
+    def test_negative_prob_rejected(self):
+        with pytest.raises(EvaluationError):
+            dist([1.0], [-0.5])
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(EvaluationError):
+            dist([1.0], [0.0])
+
+    def test_point(self):
+        d = DiscreteDistribution.point(5.0)
+        assert d.mean() == 5.0 and d.variance() == 0.0
+
+    def test_two_state(self):
+        d = DiscreteDistribution.two_state(10.0, 15.0, 0.2)
+        assert d.mean() == pytest.approx(11.0)
+
+    def test_two_state_degenerate(self):
+        assert DiscreteDistribution.two_state(10.0, 15.0, 0.0).n_atoms == 1
+        assert DiscreteDistribution.two_state(10.0, 15.0, 1.0).mean() == 15.0
+        assert DiscreteDistribution.two_state(10.0, 10.0, 0.5).n_atoms == 1
+
+
+class TestMoments:
+    def test_mean_var(self):
+        d = dist([0.0, 10.0], [0.5, 0.5])
+        assert d.mean() == pytest.approx(5.0)
+        assert d.variance() == pytest.approx(25.0)
+
+    def test_cdf(self):
+        d = dist([1.0, 2.0, 3.0], [0.2, 0.3, 0.5])
+        assert d.cdf(0.5) == 0.0
+        assert d.cdf(1.0) == pytest.approx(0.2)
+        assert d.cdf(2.5) == pytest.approx(0.5)
+        assert d.cdf(3.0) == pytest.approx(1.0)
+
+    def test_quantile(self):
+        d = dist([1.0, 2.0, 3.0], [0.2, 0.3, 0.5])
+        assert d.quantile(0.1) == 1.0
+        assert d.quantile(0.5) == 2.0
+        assert d.quantile(1.0) == 3.0
+        with pytest.raises(EvaluationError):
+            d.quantile(1.5)
+
+
+class TestAlgebra:
+    def test_convolve_means_add(self):
+        a = DiscreteDistribution.two_state(1.0, 2.0, 0.3)
+        b = DiscreteDistribution.two_state(10.0, 20.0, 0.1)
+        c = a.convolve(b)
+        assert c.mean() == pytest.approx(a.mean() + b.mean())
+
+    def test_convolve_variances_add(self):
+        a = DiscreteDistribution.two_state(1.0, 2.0, 0.3)
+        b = DiscreteDistribution.two_state(10.0, 20.0, 0.1)
+        assert a.convolve(b).variance() == pytest.approx(
+            a.variance() + b.variance()
+        )
+
+    def test_shift(self):
+        d = DiscreteDistribution.two_state(1.0, 2.0, 0.5).shift(10.0)
+        assert d.mean() == pytest.approx(11.5)
+
+    def test_max_with_point_masses(self):
+        a = DiscreteDistribution.point(3.0)
+        b = DiscreteDistribution.point(5.0)
+        assert a.max_with(b).mean() == 5.0
+
+    def test_max_two_state_exact(self):
+        a = DiscreteDistribution.two_state(0.0, 10.0, 0.5)
+        b = DiscreteDistribution.two_state(0.0, 10.0, 0.5)
+        m = a.max_with(b)
+        # P(max=0) = 0.25, P(max=10) = 0.75
+        assert m.mean() == pytest.approx(7.5)
+
+    def test_max_dominates_components(self):
+        a = DiscreteDistribution.two_state(2.0, 8.0, 0.4)
+        b = DiscreteDistribution.two_state(3.0, 5.0, 0.3)
+        m = a.max_with(b)
+        assert m.mean() >= max(a.mean(), b.mean()) - 1e-12
+
+    def test_repr(self):
+        assert "atoms=" in repr(DiscreteDistribution.point(1.0))
+
+
+class TestTruncation:
+    def test_noop_below_limit(self):
+        d = DiscreteDistribution.two_state(1.0, 2.0, 0.5)
+        assert d.truncate(10) is d
+
+    def test_atom_budget_respected(self):
+        d = DiscreteDistribution.point(0.0)
+        for i in range(12):
+            d = d.convolve(DiscreteDistribution.two_state(1.0, 2.0, 0.3), 64)
+        assert d.n_atoms <= 64
+
+    def test_mean_preserved(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 100, size=500)
+        probs = rng.uniform(0.1, 1.0, size=500)
+        d = dist(values, probs)
+        t = d.truncate(16)
+        assert t.n_atoms <= 16
+        assert t.mean() == pytest.approx(d.mean(), rel=1e-12)
+
+    def test_invalid_budget(self):
+        with pytest.raises(EvaluationError):
+            DiscreteDistribution.point(0.0).truncate(0)
+
+    @given(st.integers(0, 10_000), st.integers(2, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_mean_property(self, seed, atoms):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 300))
+        d = dist(rng.uniform(0, 1000, n), rng.uniform(1e-6, 1.0, n))
+        t = d.truncate(atoms)
+        assert t.n_atoms <= atoms
+        assert t.mean() == pytest.approx(d.mean(), rel=1e-9)
+        # CDF distortion bounded by one bin of mass; a bin holds at most
+        # 1/atoms of target mass plus one straddling atom.
+        bound = 1.0 / atoms + float(d.probs.max())
+        for x in rng.uniform(0, 1000, 5):
+            assert abs(t.cdf(x) - d.cdf(x)) <= bound + 1e-9

@@ -1,0 +1,244 @@
+"""Tests for the five expected-makespan evaluators, cross-validated
+against exact enumeration on small DAGs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.makespan.api import EVALUATORS, expected_makespan
+from repro.makespan.dodin import dodin
+from repro.makespan.exact import exact
+from repro.makespan.montecarlo import montecarlo, montecarlo_result, sample_makespans
+from repro.makespan.normal import clark_max, normal
+from repro.makespan.pathapprox import k_longest_paths, pathapprox
+from repro.makespan.probdag import ProbDAG
+from repro.util.rng import as_rng
+
+
+def chain_dag(durations, p=0.1):
+    dag = ProbDAG()
+    prev = None
+    for i, d in enumerate(durations):
+        dag.add(f"t{i}", d, 1.5 * d, p, preds=[prev] if prev else [])
+        prev = f"t{i}"
+    return dag
+
+
+def random_dag(seed, n_max=10, p_max=0.4):
+    rng = as_rng(seed)
+    n = int(rng.integers(2, n_max + 1))
+    dag = ProbDAG()
+    names = []
+    for i in range(n):
+        preds = [nm for nm in names if rng.random() < 0.35]
+        base = float(rng.uniform(1.0, 20.0))
+        dag.add(f"v{i}", base, 1.5 * base, float(rng.uniform(0.0, p_max)), preds)
+        names.append(f"v{i}")
+    return dag
+
+
+class TestExact:
+    def test_single_node(self):
+        dag = chain_dag([10.0], p=0.2)
+        assert exact(dag) == pytest.approx(0.8 * 10 + 0.2 * 15)
+
+    def test_chain_sum_of_means(self):
+        dag = chain_dag([5.0, 10.0], p=0.3)
+        means = 0.7 * 5 + 0.3 * 7.5 + 0.7 * 10 + 0.3 * 15
+        assert exact(dag) == pytest.approx(means)
+
+    def test_independent_pair(self):
+        dag = ProbDAG()
+        dag.add("a", 10.0, 20.0, 0.5)
+        dag.add("b", 10.0, 20.0, 0.5)
+        # max: 10 w.p. .25 else 20
+        assert exact(dag) == pytest.approx(0.25 * 10 + 0.75 * 20)
+
+    def test_limit_enforced(self):
+        dag = chain_dag([1.0] * 25)
+        with pytest.raises(EvaluationError):
+            exact(dag, limit=20)
+
+    def test_empty(self):
+        assert exact(ProbDAG()) == 0.0
+
+
+class TestMonteCarlo:
+    def test_zero_probability_deterministic(self):
+        dag = chain_dag([3.0, 4.0], p=0.0)
+        assert montecarlo(dag, trials=100, seed=0) == pytest.approx(7.0)
+
+    def test_seeded_reproducible(self):
+        dag = random_dag(3)
+        assert montecarlo(dag, trials=2000, seed=1) == montecarlo(
+            dag, trials=2000, seed=1
+        )
+
+    def test_result_ci_contains_exact(self):
+        dag = random_dag(7)
+        res = montecarlo_result(dag, trials=60_000, seed=2)
+        lo, hi = res.ci95
+        truth = exact(dag)
+        assert lo - 1e-9 <= truth <= hi + 1e-9 or abs(truth - res.mean) / truth < 0.01
+
+    def test_antithetic_variance_not_higher(self):
+        dag = chain_dag([10.0] * 6, p=0.3)
+        plain = sample_makespans(dag, 40_000, seed=3).std()
+        anti = sample_makespans(dag, 40_000, seed=3, antithetic=True)
+        # pairwise-averaged antithetic estimator variance
+        pairs = (anti[0::2] + anti[1::2]) / 2
+        plain_pairs = sample_makespans(dag, 40_000, seed=4)
+        plain_pairs = (plain_pairs[0::2] + plain_pairs[1::2]) / 2
+        assert pairs.std() <= plain_pairs.std() * 1.05
+
+    def test_invalid_trials(self):
+        with pytest.raises(EvaluationError):
+            montecarlo(random_dag(1), trials=0)
+
+    def test_batching_equivalent(self):
+        dag = random_dag(5)
+        a = montecarlo(dag, trials=5000, seed=9, batch=512)
+        b = montecarlo(dag, trials=5000, seed=9, batch=5000)
+        assert a == pytest.approx(b)
+
+
+class TestNormal:
+    def test_clark_max_symmetric(self):
+        # E[max of two iid N(0,1)] = 1/sqrt(pi)
+        m, v = clark_max(0.0, 1.0, 0.0, 1.0)
+        assert m == pytest.approx(1.0 / np.sqrt(np.pi), rel=1e-6)
+
+    def test_clark_max_dominant(self):
+        m, v = clark_max(100.0, 1.0, 0.0, 1.0)
+        assert m == pytest.approx(100.0, abs=1e-6)
+
+    def test_clark_degenerate(self):
+        m, v = clark_max(3.0, 0.0, 5.0, 0.0)
+        assert (m, v) == (5.0, 0.0)
+
+    def test_chain_exact(self):
+        dag = chain_dag([5.0, 10.0, 2.0], p=0.3)
+        assert normal(dag) == pytest.approx(exact(dag))
+
+    def test_empty(self):
+        assert normal(ProbDAG()) == 0.0
+
+
+class TestDodin:
+    def test_chain_exact(self):
+        dag = chain_dag([5.0, 10.0, 2.0], p=0.3)
+        assert dodin(dag) == pytest.approx(exact(dag), rel=1e-9)
+
+    def test_parallel_exact(self):
+        dag = ProbDAG()
+        dag.add("a", 10.0, 20.0, 0.5)
+        dag.add("b", 10.0, 20.0, 0.5)
+        assert dodin(dag) == pytest.approx(exact(dag), rel=1e-9)
+
+    def test_series_parallel_exact(self):
+        dag = ProbDAG()
+        dag.add("s", 1.0, 1.5, 0.2)
+        dag.add("a", 5.0, 7.5, 0.2, preds=["s"])
+        dag.add("b", 6.0, 9.0, 0.2, preds=["s"])
+        dag.add("t", 1.0, 1.5, 0.2, preds=["a", "b"])
+        assert dodin(dag) == pytest.approx(exact(dag), rel=1e-6)
+
+    def test_empty(self):
+        assert dodin(ProbDAG()) == 0.0
+
+    def test_non_sp_overestimates_but_close(self):
+        # interleaved bipartite (not SP): duplication biases upward
+        dag = ProbDAG()
+        dag.add("a", 5.0, 7.5, 0.2)
+        dag.add("b", 5.0, 7.5, 0.2)
+        dag.add("c", 5.0, 7.5, 0.2, preds=["a", "b"])
+        dag.add("d", 5.0, 7.5, 0.2, preds=["a"])
+        truth = exact(dag)
+        est = dodin(dag)
+        assert est >= truth - 1e-9
+        assert est <= truth * 1.2
+
+
+class TestPathApprox:
+    def test_k_longest_on_diamond(self):
+        dag = ProbDAG()
+        dag.add("a", 1.0, 1.0, 0.0)
+        dag.add("b", 2.0, 2.0, 0.0, preds=["a"])
+        dag.add("c", 5.0, 5.0, 0.0, preds=["a"])
+        dag.add("d", 1.0, 1.0, 0.0, preds=["b", "c"])
+        paths = k_longest_paths(dag, 2)
+        assert [dag.names[i] for i in paths[0]] == ["a", "c", "d"]
+        assert [dag.names[i] for i in paths[1]] == ["a", "b", "d"]
+
+    def test_k_exceeds_path_count(self):
+        dag = chain_dag([1.0, 2.0])
+        assert len(k_longest_paths(dag, 50)) == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            k_longest_paths(chain_dag([1.0]), 0)
+
+    def test_chain_exact(self):
+        dag = chain_dag([5.0, 10.0, 2.0], p=0.3)
+        assert pathapprox(dag) == pytest.approx(exact(dag), rel=1e-9)
+
+    def test_single_dominant_path(self):
+        dag = random_dag(11)
+        assert pathapprox(dag, k=1) <= exact(dag) + 1e-9
+
+    def test_factoring_reduces_overestimate(self):
+        # shared heavy spine + parallel legs
+        dag = ProbDAG()
+        dag.add("spine", 100.0, 150.0, 0.3)
+        for i in range(6):
+            dag.add(f"leg{i}", 1.0, 1.5, 0.3, preds=["spine"])
+        truth = exact(dag)
+        fact = pathapprox(dag, factor_common=True)
+        naive = pathapprox(dag, factor_common=False)
+        assert abs(fact - truth) <= abs(naive - truth) + 1e-9
+
+    def test_empty(self):
+        assert pathapprox(ProbDAG()) == 0.0
+
+
+class TestDispatch:
+    def test_methods_registered(self):
+        assert set(EVALUATORS) == {
+            "montecarlo",
+            "dodin",
+            "normal",
+            "pathapprox",
+            "exact",
+        }
+
+    def test_unknown_method(self):
+        with pytest.raises(EvaluationError):
+            expected_makespan(chain_dag([1.0]), "nope")
+
+    def test_kwargs_forwarded(self):
+        dag = chain_dag([1.0, 2.0])
+        assert expected_makespan(dag, "montecarlo", trials=10, seed=0) > 0
+
+
+class TestCrossValidation:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_all_methods_close_to_exact(self, seed):
+        dag = random_dag(seed, n_max=9, p_max=0.3)
+        truth = exact(dag)
+        assert montecarlo(dag, trials=30_000, seed=seed) == pytest.approx(
+            truth, rel=0.03
+        )
+        assert pathapprox(dag, k=30) == pytest.approx(truth, rel=0.08)
+        assert normal(dag) == pytest.approx(truth, rel=0.15)
+        assert dodin(dag) == pytest.approx(truth, rel=0.15)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_estimates_at_least_critical_path(self, seed):
+        dag = random_dag(seed)
+        floor = dag.deterministic_makespan() * 0.999
+        assert pathapprox(dag) >= floor * 0.999
+        assert dodin(dag) >= floor * 0.98

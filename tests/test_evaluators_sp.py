@@ -1,0 +1,113 @@
+"""Series-parallel evaluator properties.
+
+On DAGs that are *exactly* series-parallel (materialised from random
+M-SPG expression trees), Dodin's reduction never needs duplication, so it
+must agree with brute-force enumeration up to truncation error; the other
+estimators get the same differential treatment at looser tolerances.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.random_mspg import random_tree
+from repro.makespan.dodin import dodin
+from repro.makespan.exact import exact
+from repro.makespan.montecarlo import montecarlo
+from repro.makespan.normal import normal
+from repro.makespan.pathapprox import pathapprox
+from repro.makespan.probdag import ProbDAG
+from repro.mspg.expr import MSPG, tree_edges, tree_tasks
+from repro.util.rng import as_rng
+from repro.util.toposort import topological_order
+
+
+def tree_to_probdag(tree: MSPG, rng) -> ProbDAG:
+    """Materialise an expression tree into a 2-state ProbDAG."""
+    tasks = list(tree_tasks(tree))
+    edges = tree_edges(tree)
+    succs = {t: [] for t in tasks}
+    preds = {t: [] for t in tasks}
+    for u, v in edges:
+        succs[u].append(v)
+        preds[v].append(u)
+    order = topological_order(tasks, succs)
+    dag = ProbDAG()
+    for t in order:
+        base = float(rng.uniform(1.0, 30.0))
+        dag.add(t, base, 1.5 * base, float(rng.uniform(0.0, 0.35)), preds[t])
+    return dag
+
+
+@st.composite
+def sp_probdags(draw):
+    n = draw(st.integers(2, 13))
+    seed = draw(st.integers(0, 100_000))
+    rng = as_rng(seed)
+    tree = random_tree(n, rng)
+    return tree_to_probdag(tree, rng)
+
+
+class TestSeriesParallelAgreement:
+    @given(sp_probdags())
+    @settings(max_examples=40, deadline=None)
+    def test_dodin_exact_on_sp(self, dag):
+        truth = exact(dag)
+        assert dodin(dag, max_atoms=4096) == pytest.approx(truth, rel=2e-3)
+
+    @given(sp_probdags())
+    @settings(max_examples=25, deadline=None)
+    def test_montecarlo_tracks_exact(self, dag):
+        truth = exact(dag)
+        assert montecarlo(dag, trials=40_000, seed=7) == pytest.approx(
+            truth, rel=0.03
+        )
+
+    @given(sp_probdags())
+    @settings(max_examples=25, deadline=None)
+    def test_pathapprox_reasonable_on_sp(self, dag):
+        truth = exact(dag)
+        assert pathapprox(dag) == pytest.approx(truth, rel=0.06)
+
+    @given(sp_probdags())
+    @settings(max_examples=25, deadline=None)
+    def test_all_estimates_dominate_base_critical_path(self, dag):
+        floor = dag.deterministic_makespan()
+        assert exact(dag) >= floor - 1e-9
+        assert pathapprox(dag) >= floor * 0.999
+        assert dodin(dag) >= floor * 0.99
+
+    @given(sp_probdags())
+    @settings(max_examples=25, deadline=None)
+    def test_all_estimates_below_all_long_makespan(self, dag):
+        import numpy as np
+
+        ceiling = float(dag.makespans(dag.long[None, :])[0])
+        assert exact(dag) <= ceiling + 1e-9
+        assert pathapprox(dag) <= ceiling * 1.001
+        assert normal(dag) <= ceiling * 1.02
+
+
+class TestChainClosedForm:
+    """On a chain the makespan is a sum: every estimator must nail it."""
+
+    def make_chain_dag(self, seed):
+        rng = as_rng(seed)
+        dag = ProbDAG()
+        prev = []
+        total_mean = 0.0
+        for i in range(int(rng.integers(2, 12))):
+            base = float(rng.uniform(1, 50))
+            p = float(rng.uniform(0, 0.5))
+            dag.add(f"c{i}", base, 1.5 * base, p, prev)
+            prev = [f"c{i}"]
+            total_mean += (1 - p) * base + p * 1.5 * base
+        return dag, total_mean
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_everything_matches_sum_of_means(self, seed):
+        dag, total = self.make_chain_dag(seed)
+        assert exact(dag) == pytest.approx(total)
+        assert normal(dag) == pytest.approx(total)
+        assert pathapprox(dag) == pytest.approx(total, rel=1e-9)
+        assert dodin(dag) == pytest.approx(total, rel=1e-6)

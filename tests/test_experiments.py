@@ -1,0 +1,169 @@
+"""Tests for the figure/accuracy experiment harness."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.accuracy import render_accuracy, run_accuracy
+from repro.experiments.figures import (
+    PAPER_FIGURES,
+    PAPER_PROCESSORS,
+    FigureSpec,
+    log_grid,
+    run_cell,
+    run_figure,
+)
+from repro.experiments.results import (
+    CellResult,
+    render_cells_table,
+    render_figure,
+    results_to_csv,
+)
+
+
+class TestLogGrid:
+    def test_endpoints(self):
+        grid = log_grid(1e-3, 1e0, 4)
+        assert grid[0] == pytest.approx(1e-3)
+        assert grid[-1] == pytest.approx(1.0)
+        assert len(grid) == 4
+
+    def test_log_spacing(self):
+        grid = log_grid(1e-4, 1e-2, 3)
+        assert grid[1] == pytest.approx(1e-3)
+
+    def test_single_point(self):
+        assert log_grid(0.5, 2.0, 1) == (0.5,)
+
+    def test_invalid(self):
+        with pytest.raises(ExperimentError):
+            log_grid(0.0, 1.0, 3)
+        with pytest.raises(ExperimentError):
+            log_grid(2.0, 1.0, 3)
+
+
+class TestSpecs:
+    def test_paper_figures_defined(self):
+        assert set(PAPER_FIGURES) == {"fig5", "fig6", "fig7"}
+        assert PAPER_FIGURES["fig5"].family == "genome"
+        assert PAPER_FIGURES["fig6"].family == "montage"
+        assert PAPER_FIGURES["fig7"].family == "ligo"
+
+    def test_paper_grids(self):
+        spec = PAPER_FIGURES["fig5"]
+        assert spec.sizes == (50, 300, 1000)
+        assert spec.pfails == (0.01, 0.001, 0.0001)
+        assert min(spec.ccrs) == pytest.approx(1e-4)
+        assert max(spec.ccrs) == pytest.approx(1e-2)
+        assert PAPER_PROCESSORS[1000] == (61, 123, 184, 245)
+
+    def test_shrink(self):
+        spec = PAPER_FIGURES["fig6"].shrink(
+            sizes=[50], pfails=[0.001], ccr_points=3, processors_per_size=2
+        )
+        assert spec.sizes == (50,)
+        assert len(spec.ccrs) == 3
+        assert spec.processors[50] == (3, 5)
+        # the original is untouched
+        assert PAPER_FIGURES["fig6"].sizes == (50, 300, 1000)
+
+
+class TestRunCell:
+    def test_basic(self):
+        cell = run_cell("genome", 50, 5, 0.001, 0.01, seed=1)
+        assert cell.em_some > 0
+        assert cell.ratio_all >= 1.0 - 1e-9
+        assert cell.checkpoints_some <= cell.checkpoints_all
+        assert cell.checkpoints_all == cell.ntasks
+
+    def test_deterministic(self):
+        a = run_cell("montage", 50, 5, 0.001, 0.1, seed=4)
+        b = run_cell("montage", 50, 5, 0.001, 0.1, seed=4)
+        assert a == b
+
+
+class TestRunFigure:
+    def test_small_grid(self):
+        spec = PAPER_FIGURES["fig5"].shrink(
+            sizes=[50], pfails=[0.001], ccr_points=2, processors_per_size=2
+        )
+        messages = []
+        cells = run_figure(spec, progress=messages.append)
+        assert len(cells) == 2 * 2  # 2 processors x 2 CCR points
+        assert len(messages) == len(cells)
+        # schedule reuse: same config except CCR shares checkpoint_all count
+        assert cells[0].superchains == cells[1].superchains
+
+    def test_missing_processors_config(self):
+        spec = FigureSpec(
+            name="x", family="genome", sizes=(42,), ccrs=(0.01,), pfails=(0.001,)
+        )
+        with pytest.raises(ExperimentError):
+            run_figure(spec)
+
+
+class TestResults:
+    def make_cells(self):
+        return [
+            CellResult("genome", 50, 47, 3, 0.001, ccr, 100.0, 110.0, 120.0, 20, 47, 10, 1)
+            for ccr in (1e-3, 1e-2)
+        ]
+
+    def test_ratios(self):
+        c = self.make_cells()[0]
+        assert c.ratio_all == pytest.approx(1.1)
+        assert c.ratio_none == pytest.approx(1.2)
+
+    def test_csv(self, tmp_path):
+        cells = self.make_cells()
+        path = tmp_path / "out.csv"
+        text = results_to_csv(cells, path)
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        assert "ratio_all" in lines[0]
+
+    def test_render_table(self):
+        out = render_cells_table(self.make_cells(), title="t")
+        assert "genome" in out and "t" in out
+
+    def test_render_figure(self):
+        out = render_figure(self.make_cells(), title="fig")
+        assert "all/some p=3" in out
+        assert "pfail=0.001" in out
+
+
+class TestAccuracy:
+    def test_small_study(self):
+        rows = run_accuracy(
+            families=("genome",),
+            ntasks=50,
+            processors=5,
+            pfails=(0.001,),
+            mc_trials=20_000,
+            seed=1,
+        )
+        methods = {r.method for r in rows}
+        assert "pathapprox" in methods and "normal" in methods and "dodin" in methods
+        assert any(r.method.startswith("montecarlo") for r in rows)
+        for r in rows:
+            if r.method == "pathapprox":
+                assert abs(r.relative_error) < 0.02
+            assert r.runtime_seconds >= 0
+
+    def test_invalid_plan(self):
+        with pytest.raises(ExperimentError):
+            run_accuracy(plan="nope")
+
+    def test_render(self):
+        rows = run_accuracy(
+            families=("genome",),
+            ntasks=50,
+            processors=3,
+            pfails=(0.001,),
+            mc_trials=5_000,
+            seed=1,
+        )
+        out = render_accuracy(rows, title="acc")
+        assert "rel.err %" in out

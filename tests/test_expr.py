@@ -1,0 +1,135 @@
+"""Tests for M-SPG expression trees (repro.mspg.expr)."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.mspg.expr import (
+    EMPTY,
+    EmptyGraph,
+    Parallel,
+    Series,
+    TaskNode,
+    chain,
+    parallel,
+    series,
+    tree_depth,
+    tree_edges,
+    tree_sinks,
+    tree_size,
+    tree_sources,
+    tree_tasks,
+    tree_weight,
+    validate_canonical,
+)
+
+
+def T(x):
+    return TaskNode(x)
+
+
+class TestSmartConstructors:
+    def test_empty_series(self):
+        assert series() is EMPTY
+
+    def test_empty_parallel(self):
+        assert parallel() is EMPTY
+
+    def test_singleton_unwrapped(self):
+        assert series(T("a")) == T("a")
+        assert parallel(T("a")) == T("a")
+
+    def test_empty_dropped(self):
+        assert series(EMPTY, T("a"), EMPTY) == T("a")
+
+    def test_series_flattens(self):
+        t = series(series(T("a"), T("b")), T("c"))
+        assert isinstance(t, Series)
+        assert len(t.children) == 3
+
+    def test_parallel_flattens(self):
+        t = parallel(parallel(T("a"), T("b")), T("c"))
+        assert isinstance(t, Parallel)
+        assert len(t.children) == 3
+
+    def test_no_series_in_series(self):
+        t = series(T("a"), series(T("b"), parallel(T("c"), T("d"))))
+        validate_canonical(t)
+
+    def test_chain(self):
+        t = chain("a", "b", "c")
+        assert isinstance(t, Series)
+        assert list(tree_tasks(t)) == ["a", "b", "c"]
+
+    def test_empty_singleton(self):
+        assert EmptyGraph() is EMPTY
+
+
+class TestQueries:
+    def setup_method(self):
+        # (a ; (b || (c ; d)) ; e)
+        self.t = series(T("a"), parallel(T("b"), series(T("c"), T("d"))), T("e"))
+
+    def test_tasks_in_order(self):
+        assert list(tree_tasks(self.t)) == ["a", "b", "c", "d", "e"]
+
+    def test_size(self):
+        assert tree_size(self.t) == 5
+        assert tree_size(EMPTY) == 0
+
+    def test_weight(self):
+        w = {k: i + 1.0 for i, k in enumerate("abcde")}
+        assert tree_weight(self.t, w) == pytest.approx(15.0)
+
+    def test_sources_sinks(self):
+        assert tree_sources(self.t) == ["a"]
+        assert tree_sinks(self.t) == ["e"]
+        par = parallel(T("x"), T("y"))
+        assert set(tree_sources(par)) == {"x", "y"}
+        assert set(tree_sinks(par)) == {"x", "y"}
+
+    def test_edges(self):
+        edges = tree_edges(self.t)
+        assert ("a", "b") in edges and ("a", "c") in edges
+        assert ("b", "e") in edges and ("d", "e") in edges
+        assert ("c", "d") in edges
+        assert ("c", "e") not in edges  # c is not a sink of the parallel part
+        assert len(edges) == 5
+
+    def test_edges_bipartite(self):
+        # (a || b) ; (c || d) must produce the complete 2x2 product (§II-A)
+        t = series(parallel(T("a"), T("b")), parallel(T("c"), T("d")))
+        assert tree_edges(t) == {("a", "c"), ("a", "d"), ("b", "c"), ("b", "d")}
+
+    def test_depth(self):
+        assert tree_depth(EMPTY) == 0
+        assert tree_depth(T("a")) == 0
+        assert tree_depth(self.t) == 3  # Series > Parallel > Series > atoms
+
+    def test_repr_smoke(self):
+        assert "||" in repr(parallel(T("a"), T("b")))
+        assert ";" in repr(chain("a", "b"))
+
+
+class TestValidateCanonical:
+    def test_accepts_canonical(self):
+        validate_canonical(series(T("a"), parallel(T("b"), T("c"))))
+        validate_canonical(EMPTY)
+        validate_canonical(T("a"))
+
+    def test_rejects_duplicate_task(self):
+        with pytest.raises(WorkflowError):
+            validate_canonical(Series((T("a"), T("a"))))
+
+    def test_rejects_nested_series(self):
+        bad = Series((Series((T("a"), T("b"))), T("c")))
+        with pytest.raises(WorkflowError):
+            validate_canonical(bad)
+
+    def test_rejects_nested_parallel(self):
+        bad = Parallel((Parallel((T("a"), T("b"))), T("c")))
+        with pytest.raises(WorkflowError):
+            validate_canonical(bad)
+
+    def test_rejects_short_parallel(self):
+        with pytest.raises(WorkflowError):
+            validate_canonical(Parallel((T("a"),)))

@@ -1,0 +1,190 @@
+"""Structural tests for the Pegasus-style workflow generators."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.generators import (
+    FAMILIES,
+    cybershake,
+    generate,
+    genome,
+    ligo,
+    montage,
+    sipht,
+)
+from repro.mspg.analysis import levels
+from repro.mspg.recognize import is_mspg
+from repro.mspg.transform import mspgify
+
+ALL_SIZES = (50, 300)
+
+
+def categories(wf):
+    out = {}
+    for t in wf.tasks():
+        out[t.category] = out.get(t.category, 0) + 1
+    return out
+
+
+class TestGenerateDispatch:
+    def test_known_families(self):
+        for fam in ("montage", "genome", "ligo", "cybershake", "sipht", "random"):
+            assert fam in FAMILIES
+            wf = generate(fam, 50, seed=0)
+            assert wf.n_tasks > 0
+
+    def test_unknown_family(self):
+        with pytest.raises(WorkflowError):
+            generate("nope", 50)
+
+    def test_case_insensitive(self):
+        assert generate("MONTAGE", 50, seed=0).n_tasks > 0
+
+
+@pytest.mark.parametrize("fam", ["montage", "genome", "ligo", "cybershake", "sipht"])
+class TestCommonProperties:
+    def test_size_close_to_request(self, fam):
+        for n in ALL_SIZES:
+            wf = generate(fam, n, seed=1)
+            assert abs(wf.n_tasks - n) / n < 0.15
+
+    def test_deterministic_with_seed(self, fam):
+        a = generate(fam, 50, seed=9)
+        b = generate(fam, 50, seed=9)
+        assert a.task_ids == b.task_ids
+        assert [t.weight for t in a.tasks()] == [t.weight for t in b.tasks()]
+        assert a.edges() == b.edges()
+
+    def test_seeds_differ(self, fam):
+        a = generate(fam, 50, seed=1)
+        b = generate(fam, 50, seed=2)
+        assert [t.weight for t in a.tasks()] != [t.weight for t in b.tasks()]
+
+    def test_positive_weights_and_sizes(self, fam):
+        wf = generate(fam, 50, seed=3)
+        assert all(t.weight > 0 for t in wf.tasks())
+        assert all(wf.file_size(f) >= 0 for f in wf.file_names)
+
+    def test_acyclic_connected_enough(self, fam):
+        wf = generate(fam, 50, seed=4)
+        wf.validate()
+        assert wf.workflow_inputs(), "entry tasks should read workflow inputs"
+        assert wf.workflow_outputs(), "final results should exist"
+
+    def test_mspgify_sound(self, fam):
+        from repro.mspg.analysis import tree_respects_workflow_order
+
+        wf = generate(fam, 50, seed=5)
+        res = mspgify(wf)
+        assert tree_respects_workflow_order(res.tree, wf)
+
+
+class TestMontageStructure:
+    def test_task_mix(self):
+        wf = montage(50, seed=0)
+        cats = categories(wf)
+        for single in ("mConcatFit", "mBgModel", "mImgtbl", "mAdd", "mJPEG"):
+            assert cats[single] == 1
+        assert cats["mProjectPP"] == cats["mBackground"]
+        assert cats["mDiffFit"] >= cats["mProjectPP"] - 1
+
+    def test_diff_fit_has_two_projections(self):
+        wf = montage(50, seed=0)
+        for t in wf.tasks():
+            if t.category == "mDiffFit":
+                preds = wf.preds(t.id)
+                assert len(preds) == 2
+
+    def test_not_raw_mspg_but_transformable(self):
+        wf = montage(50, seed=0)
+        assert not is_mspg(wf)  # incomplete bipartite + skip edges
+        res = mspgify(wf)
+        assert len(res.demoted_edges) > 0  # mProjectPP -> mBackground demoted
+
+    def test_bgmodel_file_shared(self):
+        wf = montage(50, seed=0)
+        (bg,) = [t.id for t in wf.tasks() if t.category == "mBgModel"]
+        (corr,) = wf.outputs(bg)
+        assert len(wf.consumers(corr)) == len(
+            [t for t in wf.tasks() if t.category == "mBackground"]
+        )
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkflowError):
+            montage(5)
+
+
+class TestGenomeStructure:
+    def test_exact_mspg(self):
+        assert is_mspg(genome(50, seed=0))
+        assert mspgify(genome(300, seed=1)).exact
+
+    def test_pipeline_chains(self):
+        wf = genome(50, seed=0)
+        cats = categories(wf)
+        assert (
+            cats["filterContams"]
+            == cats["sol2sanger"]
+            == cats["fastq2bfq"]
+            == cats["map"]
+        )
+        assert cats["maqIndex"] == 1 and cats["pileup"] == 1
+
+    def test_depth(self):
+        wf = genome(50, seed=0)
+        assert max(levels(wf).values()) == 8  # split + 4 chain + 2 merges + idx + pileup
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkflowError):
+            genome(5)
+
+
+class TestLigoStructure:
+    def test_two_stages(self):
+        wf = ligo(300, seed=0)
+        cats = categories(wf)
+        assert cats["TmpltBank"] == cats["Inspiral1"]
+        assert cats["TrigBank"] == cats["Inspiral2"]
+        assert cats["Thinca1"] == -(-cats["Inspiral1"] // 5)
+        assert cats["Thinca2"] == -(-cats["Inspiral2"] // 4)
+
+    def test_not_mspg_footnote2(self):
+        # the paper's footnote 2: generated LIGO is not an M-SPG
+        wf = ligo(300, seed=0)
+        assert not is_mspg(wf)
+        res = mspgify(wf)
+        assert len(res.added_edges) > 0  # dummy dependencies added
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkflowError):
+            ligo(4)
+
+
+class TestCybershakeStructure:
+    def test_sgt_fanout(self):
+        wf = cybershake(50, seed=0)
+        cats = categories(wf)
+        assert cats["ExtractSGT"] == 2
+        assert cats["SeismogramSynthesis"] == cats["PeakValCalc"]
+        synths = [t.id for t in wf.tasks() if t.category == "SeismogramSynthesis"]
+        for s in synths:
+            assert len(wf.preds(s)) == 2  # both SGT files
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkflowError):
+            cybershake(4)
+
+
+class TestSiphtStructure:
+    def test_exact_mspg(self):
+        assert is_mspg(sipht(50, seed=0))
+
+    def test_joins(self):
+        wf = sipht(50, seed=0)
+        cats = categories(wf)
+        assert cats["SRNA"] == 1 and cats["SRNAAnnotate"] == 1
+        assert cats["Patser"] == wf.n_tasks - 12
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkflowError):
+            sipht(10)

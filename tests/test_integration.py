@@ -1,0 +1,124 @@
+"""End-to-end integration tests: full pipelines per family, cross-module
+invariants, and statistical agreement between the analytic estimates and
+the exponential-failure simulator."""
+
+import pytest
+
+from repro.api import run_strategies
+from repro.checkpoint.strategies import ckpt_all_plan, ckpt_some_plan
+from repro.experiments.ccr import scale_to_ccr
+from repro.generators import cybershake, genome, ligo, montage, sipht
+from repro.makespan.api import expected_makespan
+from repro.makespan.segment_dag import build_segment_dag
+from repro.mspg.transform import mspgify
+from repro.platform import Platform, lambda_from_pfail
+from repro.scheduling.allocate import allocate
+from repro.scheduling.schedule import validate_schedule
+from repro.simulation import simulate_plan
+
+FAMS = {
+    "montage": montage,
+    "genome": genome,
+    "ligo": ligo,
+    "cybershake": cybershake,
+    "sipht": sipht,
+}
+
+
+@pytest.mark.parametrize("fam", sorted(FAMS))
+class TestFullPipeline:
+    def test_pipeline_runs_and_validates(self, fam):
+        wf = FAMS[fam](50, seed=6)
+        out = run_strategies(wf, 5, pfail=1e-3, ccr=0.05, seed=7)
+        validate_schedule(out.schedule, out.workflow)
+        # superchain exits are always checkpointed: crossover freedom
+        tails = set(out.plan_some.checkpointed_tasks())
+        for sc in out.schedule.superchains:
+            assert sc.tasks[-1] in tails
+        # ckpt_some is never more aggressive than ckpt_all
+        assert out.plan_some.n_segments <= out.plan_all.n_segments
+        # segment DAG consistency
+        assert out.dag_some.n == out.plan_some.n_segments
+        assert out.dag_all.n == wf.n_tasks
+
+    def test_estimator_vs_simulator(self, fam):
+        """PathApprox on the 2-state DAG tracks the exponential-failure
+        simulator within 2% at pfail = 1e-3."""
+        wf = FAMS[fam](50, seed=6)
+        lam = lambda_from_pfail(1e-3, wf.mean_weight)
+        plat = Platform(5, failure_rate=lam, bandwidth=1e8)
+        wf_s = scale_to_ccr(wf, plat, 0.05)
+        sched = allocate(wf_s, mspgify(wf_s).tree, 5, seed=8)
+        plan = ckpt_some_plan(wf_s, sched, plat)
+        dag = build_segment_dag(wf_s, sched, plan, plat)
+        est = expected_makespan(dag, "pathapprox")
+        sim = simulate_plan(wf_s, sched, plan, plat, trials=20_000, seed=9)
+        assert est == pytest.approx(sim.mean, rel=0.02)
+
+
+class TestCrossStrategyInvariants:
+    def test_expected_io_ordering(self):
+        """CKPTSOME never spends more I/O time than CKPTALL."""
+        for fam in ("montage", "genome", "ligo"):
+            wf = FAMS[fam](50, seed=2)
+            out = run_strategies(wf, 5, pfail=1e-3, ccr=0.1, seed=3)
+            assert (
+                out.plan_some.total_io_seconds
+                <= out.plan_all.total_io_seconds + 1e-9
+            )
+
+    def test_compute_conserved(self):
+        """Both plans cover exactly the workflow's compute seconds."""
+        wf = genome(50, seed=2)
+        out = run_strategies(wf, 5, pfail=1e-3, ccr=0.1, seed=3)
+        assert out.plan_some.total_compute_seconds == pytest.approx(
+            out.workflow.total_weight
+        )
+        assert out.plan_all.total_compute_seconds == pytest.approx(
+            out.workflow.total_weight
+        )
+
+    def test_more_processors_do_not_hurt_much(self):
+        """Expected makespan roughly improves with processors (list
+        scheduling is a heuristic, so allow slack)."""
+        wf = genome(300, seed=2)
+        em = {}
+        for p in (4, 16):
+            out = run_strategies(wf, p, pfail=1e-3, ccr=0.01, seed=3)
+            em[p] = out.em_some
+        assert em[16] <= em[4] * 1.10
+
+    def test_failure_rate_increases_makespan(self):
+        wf = montage(50, seed=2)
+        ems = [
+            run_strategies(wf, 5, pfail=pf, ccr=0.1, seed=3).em_some
+            for pf in (1e-4, 1e-3, 1e-2)
+        ]
+        assert ems == sorted(ems)
+
+
+class TestCcrTrends:
+    """The monotone trends visible in every panel of Figures 5-7."""
+
+    def test_ratio_all_monotone_in_ccr(self):
+        wf = genome(300, seed=5)
+        ratios = [
+            run_strategies(wf, 18, pfail=1e-3, ccr=c, seed=6).ratio_all
+            for c in (1e-4, 1e-3, 1e-2)
+        ]
+        assert ratios[0] <= ratios[-1] + 1e-6
+        assert ratios[0] == pytest.approx(1.0, abs=0.02)
+
+    def test_ratio_none_decreasing_in_ccr(self):
+        wf = montage(50, seed=5)
+        ratios = [
+            run_strategies(wf, 5, pfail=1e-3, ccr=c, seed=6).ratio_none
+            for c in (1e-3, 1e-1, 1.0)
+        ]
+        assert ratios[0] >= ratios[-1] - 1e-6
+
+    def test_ckptnone_worse_for_bigger_workflows(self):
+        """'CKPTNONE becomes worse when the number of tasks increases.'"""
+        small = run_strategies(genome(50, seed=5), 5, pfail=1e-2, ccr=1e-3, seed=6)
+        large = run_strategies(genome(300, seed=5), 18, pfail=1e-2, ccr=1e-3, seed=6)
+        assert large.ratio_none > small.ratio_none

@@ -1,0 +1,95 @@
+"""Tests for superchain linearisation heuristics."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.mspg.graph import Workflow
+from repro.scheduling.linearize import LINEARIZERS, linearize
+from repro.util.toposort import is_topological_order
+from tests.conftest import add_data_edge, make_fig2_workflow
+
+
+def induced_succs(tasks, wf):
+    inside = set(tasks)
+    return {t: [v for v in wf.succs(t) if v in inside] for t in tasks}
+
+
+class TestLinearizeBasics:
+    def test_unknown_method(self, fig2_workflow):
+        with pytest.raises(SchedulingError):
+            linearize(fig2_workflow.task_ids, fig2_workflow, method="nope")
+
+    @pytest.mark.parametrize("method", sorted(LINEARIZERS))
+    def test_valid_topological(self, method, fig2_workflow):
+        tasks = fig2_workflow.task_ids
+        order = linearize(tasks, fig2_workflow, method=method, seed=1)
+        assert is_topological_order(order, induced_succs(tasks, fig2_workflow))
+        assert sorted(order) == sorted(tasks)
+
+    @pytest.mark.parametrize("method", sorted(LINEARIZERS))
+    def test_subset_only_constrained_by_internal_edges(self, method, fig2_workflow):
+        # T5 and T7 are unrelated: any order is fine; just check validity.
+        tasks = ["T5", "T7", "T10"]
+        order = linearize(tasks, fig2_workflow, method=method, seed=0)
+        assert set(order) == set(tasks)
+        assert order.index("T5") < order.index("T10")
+
+    def test_random_seeded(self, fig2_workflow):
+        tasks = fig2_workflow.task_ids
+        a = linearize(tasks, fig2_workflow, method="random", seed=5)
+        b = linearize(tasks, fig2_workflow, method="random", seed=5)
+        assert a == b
+
+    def test_random_varies(self, fig2_workflow):
+        tasks = fig2_workflow.task_ids
+        orders = {
+            tuple(linearize(tasks, fig2_workflow, method="random", seed=s))
+            for s in range(20)
+        }
+        assert len(orders) > 1
+
+
+class TestMinLive:
+    def test_prefers_releasing_order(self):
+        """minlive should drain a producer's consumers before piling up new
+        large files."""
+        wf = Workflow("live")
+        for t in ("src", "big", "small", "sink"):
+            wf.add_task(t, 1.0)
+        add_data_edge(wf, "src", "big", size=1e9)
+        add_data_edge(wf, "src", "small", size=1e3)
+        add_data_edge(wf, "big", "sink", size=1e9)
+        add_data_edge(wf, "small", "sink", size=1e3)
+        order = linearize(wf.task_ids, wf, method="minlive", seed=0)
+        # 'small' (tiny output) is scheduled before 'big' (huge output)
+        assert order.index("small") < order.index("big")
+
+    def test_live_volume_not_worse_than_random_on_average(self):
+        """Sanity: on a fork-join, minlive's peak live volume is <= the
+        worst random order's."""
+
+        def peak_live(order, wf):
+            remaining = {
+                f: len(wf.consumers(f)) for f in wf.file_names if wf.consumers(f)
+            }
+            live = 0.0
+            peak = 0.0
+            for t in order:
+                for f in wf.outputs(t):
+                    if remaining.get(f, 0) > 0:
+                        live += wf.file_size(f)
+                for f in wf.inputs(t):
+                    if f in remaining:
+                        remaining[f] -= 1
+                        if remaining[f] == 0:
+                            live -= wf.file_size(f)
+                peak = max(peak, live)
+            return peak
+
+        wf = make_fig2_workflow()
+        ml = peak_live(linearize(wf.task_ids, wf, "minlive", seed=0), wf)
+        randoms = [
+            peak_live(linearize(wf.task_ids, wf, "random", seed=s), wf)
+            for s in range(10)
+        ]
+        assert ml <= max(randoms)

@@ -1,0 +1,75 @@
+"""Tests for repro.platform."""
+
+import math
+
+import pytest
+
+from repro.platform import Platform, lambda_from_pfail, pfail_from_lambda
+
+
+class TestPlatform:
+    def test_io_seconds(self):
+        plat = Platform(4, bandwidth=1e6)
+        assert plat.io_seconds(2e6) == pytest.approx(2.0)
+
+    def test_io_seconds_negative_raises(self):
+        with pytest.raises(ValueError):
+            Platform(4).io_seconds(-1)
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            Platform(0)
+        with pytest.raises(ValueError):
+            Platform(2.5)  # type: ignore[arg-type]
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Platform(1, failure_rate=-1e-9)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Platform(1, bandwidth=0.0)
+
+    def test_with_failure_rate(self):
+        plat = Platform(4, failure_rate=0.0)
+        other = plat.with_failure_rate(1e-6)
+        assert other.failure_rate == 1e-6
+        assert other.processors == 4
+        assert plat.failure_rate == 0.0  # original untouched
+
+    def test_with_processors(self):
+        assert Platform(4).with_processors(8).processors == 8
+
+    def test_with_bandwidth(self):
+        assert Platform(4).with_bandwidth(5.0).bandwidth == 5.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Platform(4).processors = 8  # type: ignore[misc]
+
+
+class TestPfailConversion:
+    def test_round_trip(self):
+        for pfail in (0.01, 0.001, 0.0001):
+            lam = lambda_from_pfail(pfail, 25.0)
+            assert pfail_from_lambda(lam, 25.0) == pytest.approx(pfail)
+
+    def test_definition(self):
+        # pfail = 1 - exp(-λ w̄)  (§VI-A)
+        lam = lambda_from_pfail(0.01, 10.0)
+        assert 1 - math.exp(-lam * 10.0) == pytest.approx(0.01)
+
+    def test_zero_pfail(self):
+        assert lambda_from_pfail(0.0, 5.0) == 0.0
+
+    def test_pfail_one_rejected(self):
+        with pytest.raises(ValueError):
+            lambda_from_pfail(1.0, 5.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            lambda_from_pfail(0.01, 0.0)
+
+    def test_monotone_in_pfail(self):
+        lams = [lambda_from_pfail(p, 10.0) for p in (1e-4, 1e-3, 1e-2)]
+        assert lams == sorted(lams)

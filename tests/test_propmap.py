@@ -1,0 +1,114 @@
+"""Tests for the PropMap proportional-mapping procedure (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.mspg.expr import EMPTY, TaskNode, chain, parallel, tree_tasks, tree_weight
+from repro.scheduling.propmap import propmap
+
+
+def atoms(weights):
+    """One TaskNode per weight; returns (graphs, weight map)."""
+    graphs = []
+    wmap = {}
+    for i, w in enumerate(weights):
+        tid = f"t{i}"
+        graphs.append(TaskNode(tid))
+        wmap[tid] = float(w)
+    return graphs, wmap
+
+
+class TestMoreGraphsThanProcessors:
+    def test_lpt_binning(self):
+        graphs, w = atoms([5, 4, 3, 3, 3])
+        out, counts = propmap(graphs, 2, w)
+        assert counts == [1, 1]
+        loads = sorted(tree_weight(g, w) for g in out)
+        # LPT on [5,4,3,3,3] over 2 bins: {5,3} and {4,3,3} -> 8 and 10
+        assert loads == [8.0, 10.0]
+
+    def test_all_tasks_kept(self):
+        graphs, w = atoms(range(1, 8))
+        out, counts = propmap(graphs, 3, w)
+        tasks = [t for g in out for t in tree_tasks(g)]
+        assert sorted(tasks) == sorted(f"t{i}" for i in range(7))
+
+    def test_equal_counts(self):
+        graphs, w = atoms([1] * 6)
+        out, counts = propmap(graphs, 6, w)
+        assert len(out) == 6
+        assert counts == [1] * 6
+
+
+class TestMoreProcessorsThanGraphs:
+    def test_surplus_to_heaviest(self):
+        graphs, w = atoms([10, 1])
+        out, counts = propmap(graphs, 5, w)
+        # sorted: heavy first; surplus 3 processors
+        # W: [10, 1] -> give to 10 (W=5) -> to 10 (W=3.33) -> to 10 (W=2.5)
+        assert counts == [4, 1]
+
+    def test_effective_weight_update(self):
+        graphs, w = atoms([6, 5])
+        out, counts = propmap(graphs, 4, w)
+        # surplus 2: first to 6 (W -> 3), then to 5 (W -> 2.5)
+        assert counts == [2, 2]
+
+    def test_total_processors_used(self):
+        graphs, w = atoms([3, 2, 1])
+        _, counts = propmap(graphs, 10, w)
+        assert sum(counts) == 10
+
+    def test_sorted_by_weight(self):
+        graphs, w = atoms([1, 100])
+        out, counts = propmap(graphs, 2, w)
+        assert tree_weight(out[0], w) == 100.0
+
+
+class TestEdgeCases:
+    def test_empty_input(self):
+        out, counts = propmap([], 4, {})
+        assert out == [] and counts == []
+
+    def test_empty_graphs_filtered(self):
+        graphs, w = atoms([2])
+        out, counts = propmap([EMPTY, graphs[0], EMPTY], 2, w)
+        assert len(out) == 1
+        assert counts == [2]
+
+    def test_zero_processors_rejected(self):
+        graphs, w = atoms([1])
+        with pytest.raises(SchedulingError):
+            propmap(graphs, 0, w)
+
+    def test_composite_graph_weights(self):
+        g1 = chain("a", "b")
+        g2 = parallel(TaskNode("c"), TaskNode("d"))
+        w = {"a": 1.0, "b": 2.0, "c": 10.0, "d": 1.0}
+        out, counts = propmap([g1, g2], 1, w)
+        # single processor: everything merged into one parallel bundle
+        assert len(out) == 1
+        assert sorted(tree_tasks(out[0])) == ["a", "b", "c", "d"]
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(0.1, 100.0), min_size=1, max_size=15),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_invariants(self, weights, p):
+        graphs, w = atoms(weights)
+        out, counts = propmap(graphs, p, w)
+        k = min(len(weights), p)
+        assert len(out) == len(counts) == k
+        assert sum(counts) <= max(p, k)
+        tasks = sorted(t for g in out for t in tree_tasks(g))
+        assert tasks == sorted(w)
+        assert all(c >= 1 for c in counts)
+        if len(weights) >= p:
+            assert all(c == 1 for c in counts)
+        else:
+            assert sum(counts) == p

@@ -1,0 +1,133 @@
+"""Tests for exact M-SPG recognition, including round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotMSPGError
+from repro.generators.random_mspg import random_tree, workflow_from_tree
+from repro.mspg.expr import (
+    tree_edges,
+    tree_size,
+    tree_tasks,
+    validate_canonical,
+)
+from repro.mspg.graph import Workflow
+from repro.mspg.recognize import is_mspg, recognize, serial_cut_prefixes
+from repro.util.rng import as_rng
+from tests.conftest import add_data_edge, make_chain, make_fig2_workflow
+
+
+class TestRecognizeBasics:
+    def test_single_task(self):
+        wf = Workflow()
+        wf.add_task("a", 1.0)
+        assert recognize(wf).task_id == "a"
+
+    def test_chain(self):
+        wf = make_chain(4)
+        tree = recognize(wf)
+        assert list(tree_tasks(tree)) == ["T1", "T2", "T3", "T4"]
+        validate_canonical(tree)
+
+    def test_fig2(self):
+        wf = make_fig2_workflow()
+        tree = recognize(wf)
+        validate_canonical(tree)
+        assert tree_size(tree) == 13
+        # structural edges reproduce the drawing exactly
+        assert tree_edges(tree) == {(u, v) for u, v in wf.edges()}
+
+    def test_parallel_components(self):
+        wf = Workflow()
+        for t in ("a", "b", "c"):
+            wf.add_task(t, 1.0)
+        tree = recognize(wf)
+        assert {n.task_id for n in tree.children} == {"a", "b", "c"}
+
+    def test_incomplete_bipartite_rejected(self):
+        wf = Workflow()
+        for t in ("a", "b", "c", "d"):
+            wf.add_task(t, 1.0)
+        wf.add_control_edge("a", "c")
+        wf.add_control_edge("a", "d")
+        wf.add_control_edge("b", "d")
+        with pytest.raises(NotMSPGError):
+            recognize(wf)
+        assert not is_mspg(wf)
+
+    def test_transitive_edge_rejected(self):
+        # a -> b -> c plus a -> c: raw graph is not an M-SPG
+        wf = Workflow()
+        for t in ("a", "b", "c"):
+            wf.add_task(t, 1.0)
+        wf.add_control_edge("a", "b")
+        wf.add_control_edge("b", "c")
+        wf.add_control_edge("a", "c")
+        assert not is_mspg(wf)
+
+    def test_bipartite_complete_accepted(self):
+        # Figure 1(c): complete bipartite is an M-SPG
+        wf = Workflow()
+        for t in ("a", "b", "c", "d"):
+            wf.add_task(t, 1.0)
+        for u in ("a", "b"):
+            for v in ("c", "d"):
+                wf.add_control_edge(u, v)
+        assert is_mspg(wf)
+
+
+class TestSerialCutPrefixes:
+    def test_chain_cuts_everywhere(self):
+        wf = make_chain(5)
+        succs = wf.successor_map()
+        preds = wf.predecessor_map()
+        cuts = serial_cut_prefixes(wf.topological_order(), succs, preds)
+        assert cuts == [1, 2, 3, 4]
+
+    def test_diamond_cuts_at_ends(self):
+        wf = Workflow()
+        for t in ("a", "b", "c", "d"):
+            wf.add_task(t, 1.0)
+        for u, v in [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]:
+            wf.add_control_edge(u, v)
+        cuts = serial_cut_prefixes(
+            wf.topological_order(), wf.successor_map(), wf.predecessor_map()
+        )
+        assert cuts == [1, 3]
+
+    def test_relaxed_accepts_incomplete(self):
+        wf = Workflow()
+        for t in ("a", "b", "c", "d"):
+            wf.add_task(t, 1.0)
+        wf.add_control_edge("a", "c")
+        wf.add_control_edge("a", "d")
+        wf.add_control_edge("b", "d")
+        topo = wf.topological_order()
+        strict = serial_cut_prefixes(topo, wf.successor_map(), wf.predecessor_map())
+        relaxed = serial_cut_prefixes(
+            topo, wf.successor_map(), wf.predecessor_map(), relaxed=True
+        )
+        assert strict == []
+        assert relaxed == [2]
+
+
+class TestRoundTripProperty:
+    @given(st.integers(1, 40), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_tree_round_trips(self, n, seed):
+        """A DAG materialised from a random M-SPG tree must recognise as an
+        M-SPG whose structural edges equal the original tree's edges."""
+        tree = random_tree(n, as_rng(seed))
+        wf = workflow_from_tree(tree, seed=seed)
+        recognised = recognize(wf)
+        validate_canonical(recognised)
+        assert set(tree_tasks(recognised)) == set(tree_tasks(tree))
+        assert tree_edges(recognised) == tree_edges(tree)
+
+    @given(st.integers(2, 30), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_generators_weights_positive(self, n, seed):
+        tree = random_tree(n, as_rng(seed))
+        wf = workflow_from_tree(tree, seed=seed)
+        assert all(t.weight > 0 for t in wf.tasks())

@@ -1,0 +1,126 @@
+"""Tests for the publication-aware plan refinement extension."""
+
+import pytest
+
+from repro.checkpoint.plan import CheckpointPlan
+from repro.checkpoint.refine import delayed_publishers, refine_plan
+from repro.checkpoint.segments import SuperchainCostModel
+from repro.checkpoint.strategies import ckpt_some_plan
+from repro.errors import CheckpointError
+from repro.generators import ligo
+from repro.makespan.pathapprox import pathapprox
+from repro.makespan.segment_dag import build_segment_dag
+from repro.mspg.graph import Workflow
+from repro.platform import Platform, lambda_from_pfail
+from repro.scheduling.allocate import schedule_workflow
+from repro.scheduling.schedule import Schedule
+from tests.conftest import add_data_edge
+
+
+def blocking_workflow():
+    """P0 runs [A, b, C] (merged by local I/O savings); P1 waits for b.
+
+    ``b -> C`` carries a huge file, so the local DP keeps b and C in one
+    segment (saving its checkpoint + re-read); but ``b -> y`` feeds the
+    other processor, so the merged segment publishes b's data only after
+    C's 100 seconds.  Splitting after b costs ~8s of I/O and saves ~100s
+    of waiting — exactly the global effect Algorithm 2 cannot see.
+    """
+    wf = Workflow("blocking")
+    wf.add_task("A", 100.0)
+    wf.add_task("b", 1.0)
+    wf.add_task("C", 100.0)
+    wf.add_task("y", 100.0)
+    add_data_edge(wf, "A", "b", size=1e4)
+    add_data_edge(wf, "b", "C", size=400e6)  # expensive to checkpoint
+    add_data_edge(wf, "b", "y", size=1e4)
+    wf.add_file("y.out", 1e4, producer="y")
+    wf.add_file("C.out", 1e4, producer="C")
+
+    sched = Schedule(2)
+    sched.add_superchain(0, ["A", "b", "C"])
+    sched.add_superchain(1, ["y"])
+    plat = Platform(2, failure_rate=1e-6, bandwidth=1e8)
+    return wf, sched, plat
+
+
+def build_plan(wf, sched, plat):
+    plan = CheckpointPlan("ckpt_some")
+    for sc in sched.superchains:
+        model = SuperchainCostModel(wf, sc, plat)
+        from repro.checkpoint.dp import optimal_checkpoint_positions
+
+        positions, _ = optimal_checkpoint_positions(model)
+        start = 0
+        for end in positions:
+            plan.add_segment(
+                sc.index,
+                sc.processor,
+                sc.tasks[start : end + 1],
+                model.read_cost(start, end),
+                model.compute(start, end),
+                model.ckpt_cost(start, end),
+            )
+            start = end + 1
+    return plan
+
+
+class TestDelayedPublishers:
+    def test_detects_blocking_segment(self):
+        wf, sched, plat = blocking_workflow()
+        plan = build_plan(wf, sched, plat)
+        # local DP merges b with C: checkpointing b->C (8s of I/O) costs
+        # more than the tiny failure-risk increase
+        assert any(set(s.tasks) >= {"b", "C"} for s in plan.segments)
+        pubs = delayed_publishers(plan, wf)
+        assert pubs, "b's delayed publication must be detected"
+
+    def test_no_publishers_in_singleton_plan(self):
+        wf, sched, plat = blocking_workflow()
+        from repro.checkpoint.strategies import ckpt_all_plan
+
+        plan = ckpt_all_plan(wf, sched, plat)
+        assert delayed_publishers(plan, wf) == []
+
+
+class TestRefinePlan:
+    def test_repairs_blocking_merge(self):
+        wf, sched, plat = blocking_workflow()
+        plan = build_plan(wf, sched, plat)
+        before = pathapprox(build_segment_dag(wf, sched, plan, plat))
+        refined, after, applied = refine_plan(plan, wf, sched, plat)
+        assert applied >= 1
+        assert after < before * 0.75  # ~100s of the ~300s recovered
+        # split after b: its segment now ends at b
+        assert any(seg.tasks[-1] == "b" for seg in refined.segments)
+
+    def test_never_worse(self):
+        wf = ligo(50, seed=4)
+        lam = lambda_from_pfail(1e-3, wf.mean_weight)
+        plat = Platform(3, failure_rate=lam, bandwidth=1e8)
+        sched, _ = schedule_workflow(wf, 3, seed=5)
+        plan = ckpt_some_plan(wf, sched, plat)
+        before = pathapprox(build_segment_dag(wf, sched, plan, plat))
+        refined, after, _ = refine_plan(plan, wf, sched, plat)
+        assert after <= before * (1 + 1e-9)
+        assert refined.n_tasks == wf.n_tasks
+
+    def test_input_plan_untouched(self):
+        wf, sched, plat = blocking_workflow()
+        plan = build_plan(wf, sched, plat)
+        n_before = plan.n_segments
+        refine_plan(plan, wf, sched, plat)
+        assert plan.n_segments == n_before
+
+    def test_coverage_mismatch_rejected(self):
+        wf, sched, plat = blocking_workflow()
+        incomplete = CheckpointPlan("x")
+        incomplete.add_segment(0, 0, ["A"], 0.0, 100.0, 0.0)
+        with pytest.raises(CheckpointError):
+            refine_plan(incomplete, wf, sched, plat)
+
+    def test_max_rounds_respected(self):
+        wf, sched, plat = blocking_workflow()
+        plan = build_plan(wf, sched, plat)
+        _, _, applied = refine_plan(plan, wf, sched, plat, max_rounds=0)
+        assert applied == 0

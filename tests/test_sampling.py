@@ -1,0 +1,105 @@
+"""Tests for exponential-failure sampling (repro.simulation.sampling)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.sampling import (
+    expected_exponential_time,
+    sample_segment_times,
+    truncated_exponential,
+)
+from repro.util.rng import as_rng
+
+
+class TestExpectedExponentialTime:
+    def test_closed_form(self):
+        lam, x = 1e-3, 100.0
+        assert expected_exponential_time(x, lam) == pytest.approx(
+            (math.exp(lam * x) - 1) / lam
+        )
+
+    def test_reliable(self):
+        assert expected_exponential_time(42.0, 0.0) == 42.0
+
+    def test_zero_span(self):
+        assert expected_exponential_time(0.0, 1.0) == 0.0
+
+    def test_negative_span_rejected(self):
+        with pytest.raises(SimulationError):
+            expected_exponential_time(-1.0, 0.1)
+
+    def test_above_first_order(self):
+        """The exact expectation dominates the first-order truncation."""
+        from repro.makespan.two_state import first_order_expected_time
+
+        for lx in (0.01, 0.1, 0.5):
+            lam = lx / 50.0
+            assert expected_exponential_time(50.0, lam) >= first_order_expected_time(
+                50.0, lam
+            )
+
+
+class TestTruncatedExponential:
+    def test_within_bounds(self):
+        rng = as_rng(0)
+        samples = truncated_exponential(rng, rate=0.1, upper=5.0, size=10_000)
+        assert np.all(samples >= 0)
+        assert np.all(samples <= 5.0)
+
+    def test_mean_matches_theory(self):
+        rng = as_rng(1)
+        lam, ub = 0.2, 10.0
+        samples = truncated_exponential(rng, lam, ub, 200_000)
+        theory = 1 / lam - ub / (math.exp(lam * ub) - 1)
+        assert samples.mean() == pytest.approx(theory, rel=0.01)
+
+    def test_vector_upper(self):
+        rng = as_rng(2)
+        uppers = np.array([1.0, 2.0, 3.0, 4.0])
+        samples = truncated_exponential(rng, 0.5, uppers, 4)
+        assert np.all(samples <= uppers)
+
+
+class TestSampleSegmentTimes:
+    def test_shape(self):
+        out = sample_segment_times(np.array([1.0, 2.0]), 1e-3, 50, seed=0)
+        assert out.shape == (50, 2)
+
+    def test_reliable_platform_exact_spans(self):
+        spans = np.array([3.0, 7.0])
+        out = sample_segment_times(spans, 0.0, 10, seed=0)
+        assert np.allclose(out, spans)
+
+    def test_at_least_span(self):
+        spans = np.array([5.0, 10.0])
+        out = sample_segment_times(spans, 0.05, 2000, seed=1)
+        assert np.all(out >= spans - 1e-12)
+
+    def test_mean_matches_closed_form(self):
+        spans = np.array([40.0])
+        lam = 5e-3
+        out = sample_segment_times(spans, lam, 300_000, seed=2)
+        assert out.mean() == pytest.approx(
+            expected_exponential_time(40.0, lam), rel=0.01
+        )
+
+    def test_seeded_reproducible(self):
+        spans = np.array([1.0, 2.0, 3.0])
+        a = sample_segment_times(spans, 0.1, 100, seed=7)
+        b = sample_segment_times(spans, 0.1, 100, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            sample_segment_times(np.array([[1.0]]), 0.1, 10)
+        with pytest.raises(SimulationError):
+            sample_segment_times(np.array([-1.0]), 0.1, 10)
+        with pytest.raises(SimulationError):
+            sample_segment_times(np.array([1.0]), 0.1, 0)
+
+    def test_zero_segments(self):
+        out = sample_segment_times(np.zeros(0), 0.1, 5)
+        assert out.shape == (5, 0)

@@ -1,0 +1,124 @@
+"""Tests for Schedule/Superchain datatypes and schedule validation."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.mspg.graph import Workflow
+from repro.scheduling.schedule import Schedule, Superchain, validate_schedule
+from tests.conftest import add_data_edge, make_chain, make_fig2_workflow
+
+
+class TestSuperchain:
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            Superchain(0, 0, ())
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchedulingError):
+            Superchain(0, 0, ("a", "a"))
+
+    def test_entry_exit(self, fig2_workflow):
+        sc = Superchain(0, 0, ("T2", "T5", "T6", "T10"))
+        assert sc.entry_tasks(fig2_workflow) == ["T2"]
+        assert sc.exit_tasks(fig2_workflow) == ["T10"]
+
+    def test_entry_exit_multi(self, fig2_workflow):
+        sc = Superchain(1, 1, ("T3", "T4", "T7", "T8", "T9", "T11", "T12"))
+        assert sc.entry_tasks(fig2_workflow) == ["T3", "T4"]
+        assert sc.exit_tasks(fig2_workflow) == ["T11", "T12"]
+
+    def test_len(self):
+        assert len(Superchain(0, 0, ("a", "b"))) == 2
+
+
+class TestSchedule:
+    def test_add_and_query(self):
+        sched = Schedule(2)
+        sc = sched.add_superchain(1, ["a", "b"])
+        assert sched.superchain_of("a") is sc
+        assert sched.processor_of("b") == 1
+        assert sched.location("b") == (0, 1)
+        assert sched.task_sequence(1) == ["a", "b"]
+        assert sched.used_processors() == [1]
+
+    def test_duplicate_task_rejected(self):
+        sched = Schedule(1)
+        sched.add_superchain(0, ["a"])
+        with pytest.raises(SchedulingError):
+            sched.add_superchain(0, ["a"])
+
+    def test_processor_out_of_range(self):
+        sched = Schedule(2)
+        with pytest.raises(SchedulingError):
+            sched.add_superchain(2, ["a"])
+        with pytest.raises(SchedulingError):
+            sched.processor_sequence(5)
+
+    def test_unknown_task(self):
+        sched = Schedule(1)
+        with pytest.raises(SchedulingError):
+            sched.location("ghost")
+
+    def test_execution_order_per_processor(self):
+        sched = Schedule(2)
+        sched.add_superchain(0, ["a"])
+        sched.add_superchain(1, ["b"])
+        sched.add_superchain(0, ["c"])
+        seq = sched.processor_sequence(0)
+        assert [sc.tasks for sc in seq] == [("a",), ("c",)]
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(SchedulingError):
+            Schedule(0)
+
+    def test_iter_repr(self):
+        sched = Schedule(1)
+        sched.add_superchain(0, ["a"])
+        assert len(list(sched)) == 1
+        assert "superchains=1" in repr(sched)
+
+
+class TestValidateSchedule:
+    def test_missing_task(self, chain5):
+        sched = Schedule(1)
+        sched.add_superchain(0, ["T1", "T2"])
+        with pytest.raises(SchedulingError, match="missing"):
+            validate_schedule(sched, chain5)
+
+    def test_extra_task(self, chain5):
+        sched = Schedule(1)
+        sched.add_superchain(0, ["T1", "T2", "T3", "T4", "T5", ])
+        sched.add_superchain(0, ["ghost"])
+        with pytest.raises(SchedulingError, match="extra"):
+            validate_schedule(sched, chain5)
+
+    def test_order_violation(self, chain5):
+        sched = Schedule(1)
+        sched.add_superchain(0, ["T2", "T1", "T3", "T4", "T5"])
+        with pytest.raises(SchedulingError, match="linearisation"):
+            validate_schedule(sched, chain5)
+
+    def test_cross_superchain_cycle(self):
+        wf = Workflow("x")
+        for t in ("a", "b", "c", "d"):
+            wf.add_task(t, 1.0)
+        add_data_edge(wf, "a", "b")
+        add_data_edge(wf, "c", "d")
+        sched = Schedule(2)
+        # P0: [b] then [c]; P1: [d] then [a].
+        # Data: [a]->[b] and [c]->[d]; serialisation closes the cycle
+        # [b]->[c]->[d]->[a]->[b]: the execution deadlocks.
+        sched.add_superchain(0, ["b"])
+        sched.add_superchain(1, ["d"])
+        sched.add_superchain(0, ["c"])
+        sched.add_superchain(1, ["a"])
+        with pytest.raises(Exception):
+            validate_schedule(sched, wf)
+
+    def test_ok(self, fig2_workflow):
+        sched = Schedule(2)
+        sched.add_superchain(0, ["T1"])
+        sched.add_superchain(0, ["T2", "T5", "T6", "T10"])
+        sched.add_superchain(1, ["T3", "T4", "T7", "T8", "T9", "T11", "T12"])
+        sched.add_superchain(0, ["T13"])
+        validate_schedule(sched, fig2_workflow)

@@ -1,0 +1,108 @@
+"""Tests for building the 2-state segment macro-DAG."""
+
+import pytest
+
+from repro.checkpoint.strategies import ckpt_all_plan, ckpt_some_plan
+from repro.errors import EvaluationError
+from repro.generators import genome, ligo, montage
+from repro.makespan.segment_dag import build_segment_dag, segment_name
+from repro.makespan.two_state import first_order_expected_time
+from repro.platform import Platform, lambda_from_pfail
+from repro.scheduling.allocate import schedule_workflow
+from tests.conftest import make_chain, make_fig2_workflow
+
+
+def pipeline(wf, p=4, pfail=1e-3, seed=3):
+    lam = lambda_from_pfail(pfail, wf.mean_weight)
+    plat = Platform(p, failure_rate=lam, bandwidth=1e8)
+    sched, _ = schedule_workflow(wf, p, seed=seed)
+    return plat, sched
+
+
+class TestBuild:
+    def test_node_per_segment(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow)
+        plan = ckpt_some_plan(fig2_workflow, sched, plat)
+        dag = build_segment_dag(fig2_workflow, sched, plan, plat)
+        assert dag.n == plan.n_segments
+        assert set(dag.names) == {segment_name(i) for i in range(plan.n_segments)}
+
+    def test_two_state_weights_match_equation_1(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow)
+        plan = ckpt_some_plan(fig2_workflow, sched, plat)
+        dag = build_segment_dag(fig2_workflow, sched, plan, plat)
+        for seg in plan.segments:
+            i = dag.index(segment_name(seg.index))
+            t = dag.task(i)
+            assert t.base == pytest.approx(seg.span)
+            assert t.long == pytest.approx(1.5 * seg.span)
+            assert t.p == pytest.approx(
+                min(plat.failure_rate * seg.span, 1 - 1e-12)
+            )
+
+    def test_reliable_platform_deterministic(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow, pfail=0.0)
+        plan = ckpt_all_plan(fig2_workflow, sched, plat)
+        dag = build_segment_dag(fig2_workflow, sched, plan, plat)
+        assert all(t.p == 0.0 for t in dag.tasks())
+
+    def test_plan_workflow_mismatch_rejected(self, fig2_workflow, chain5):
+        plat, sched = pipeline(fig2_workflow)
+        plan = ckpt_some_plan(fig2_workflow, sched, plat)
+        with pytest.raises(EvaluationError):
+            build_segment_dag(chain5, sched, plan, plat)
+
+    @pytest.mark.parametrize("gen", [montage, genome, ligo])
+    def test_families_acyclic_and_complete(self, gen):
+        wf = gen(50, seed=5)
+        plat, sched = pipeline(wf)
+        for plan in (
+            ckpt_some_plan(wf, sched, plat),
+            ckpt_all_plan(wf, sched, plat),
+        ):
+            dag = build_segment_dag(wf, sched, plan, plat)
+            assert dag.n == plan.n_segments
+            # construction order is topological by ProbDAG invariant;
+            # makespan must be at least the heaviest segment
+            heaviest = max(s.span for s in plan.segments)
+            assert dag.deterministic_makespan() >= heaviest
+
+
+class TestSemantics:
+    def test_chain_single_processor_sums(self):
+        wf = make_chain(4, weight=10.0, size=1e6)
+        plat, sched = pipeline(wf, p=1, pfail=0.0)
+        plan = ckpt_all_plan(wf, sched, plat)
+        dag = build_segment_dag(wf, sched, plan, plat)
+        # serialized singleton segments: makespan = sum of spans
+        assert dag.deterministic_makespan() == pytest.approx(
+            sum(s.span for s in plan.segments)
+        )
+
+    def test_failure_free_makespan_includes_io(self):
+        wf = make_chain(3, weight=10.0, size=1e8)  # 1 second per file at 1e8
+        plat, sched = pipeline(wf, p=1, pfail=0.0)
+        plan = ckpt_all_plan(wf, sched, plat)
+        dag = build_segment_dag(wf, sched, plan, plat)
+        # 3 tasks * 10s + per-task read+write: T1 reads input + writes f12;
+        # T2 reads f12 writes f23; T3 reads f23 writes result: 6 file ops
+        assert dag.deterministic_makespan() == pytest.approx(30.0 + 6.0)
+
+    def test_extra_edges_lifted(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow)
+        plan = ckpt_all_plan(fig2_workflow, sched, plat)
+        base = build_segment_dag(fig2_workflow, sched, plan, plat)
+        extra = build_segment_dag(
+            fig2_workflow, sched, plan, plat, extra_edges=[("T5", "T7")]
+        )
+        assert extra.n_edges >= base.n_edges
+
+    def test_expected_makespan_sane(self, fig2_workflow):
+        from repro.makespan.api import expected_makespan
+
+        plat, sched = pipeline(fig2_workflow, pfail=1e-2)
+        plan = ckpt_some_plan(fig2_workflow, sched, plat)
+        dag = build_segment_dag(fig2_workflow, sched, plan, plat)
+        em = expected_makespan(dag, "pathapprox")
+        det = dag.deterministic_makespan()
+        assert det <= em <= 1.5 * det + 1e-9

@@ -1,0 +1,166 @@
+"""Tests for the superchain segment cost model (R/W/C of §IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.segments import SuperchainCostModel
+from repro.errors import CheckpointError
+from repro.makespan.two_state import first_order_expected_time
+from repro.mspg.graph import Workflow
+from repro.platform import Platform
+from repro.scheduling.schedule import Superchain
+from tests.conftest import add_data_edge, make_chain, make_fig4_workflow
+
+BW = 1e6  # 1 MB/s so sizes in MB == seconds
+
+
+def model(wf, tasks, lam=0.0, save_final=True):
+    sc = Superchain(0, 0, tuple(tasks))
+    plat = Platform(1, failure_rate=lam, bandwidth=BW)
+    return SuperchainCostModel(wf, sc, plat, save_final_outputs=save_final)
+
+
+class TestChainCosts:
+    def test_compute(self, chain5):
+        m = model(chain5, chain5.task_ids)
+        assert m.compute(0, 4) == pytest.approx(50.0)
+        assert m.compute(1, 2) == pytest.approx(20.0)
+
+    def test_read_first_segment_reads_workflow_input(self, chain5):
+        m = model(chain5, chain5.task_ids)
+        assert m.read_cost(0, 0) == pytest.approx(1.0)  # 1 MB input file
+
+    def test_read_inside_segment_free(self, chain5):
+        m = model(chain5, chain5.task_ids)
+        # segment [0..4]: only the workflow input crosses the boundary
+        assert m.read_cost(0, 4) == pytest.approx(1.0)
+
+    def test_ckpt_last_segment_saves_result(self, chain5):
+        m = model(chain5, chain5.task_ids)
+        assert m.ckpt_cost(4, 4) == pytest.approx(1.0)  # 'result' file
+
+    def test_ckpt_final_optional(self, chain5):
+        m = model(chain5, chain5.task_ids, save_final=False)
+        assert m.ckpt_cost(4, 4) == pytest.approx(0.0)
+
+    def test_middle_segment(self, chain5):
+        m = model(chain5, chain5.task_ids)
+        # segment [1..2]: reads f_T1_T2, checkpoints f_T3_T4
+        assert m.read_cost(1, 2) == pytest.approx(1.0)
+        assert m.ckpt_cost(1, 2) == pytest.approx(1.0)
+
+    def test_span(self, chain5):
+        m = model(chain5, chain5.task_ids)
+        assert m.span(1, 2) == pytest.approx(22.0)
+
+    def test_invalid_slice(self, chain5):
+        m = model(chain5, chain5.task_ids)
+        with pytest.raises(CheckpointError):
+            m.compute(3, 1)
+        with pytest.raises(CheckpointError):
+            m.read_cost(0, 5)
+
+
+class TestFig4Semantics:
+    """Pin down the paper's Figure 4 extended-checkpoint example.
+
+    Linearisation T1 T2 T3 T4 T5 T6, checkpoints after T2 and T4 (and the
+    final T6).  The checkpoint after T4 must also save T3's output for T5
+    (T3 is un-checkpointed with a yet-to-be-executed successor).
+    """
+
+    def setup_method(self):
+        self.wf = make_fig4_workflow()
+        self.order = ["T1", "T2", "T3", "T4", "T5", "T6"]
+        self.m = model(self.wf, self.order)
+
+    def test_ckpt_after_t2_saves_both_outputs(self):
+        # segment [0..1] = {T1, T2}: T2's outputs for T3 and T4 both live
+        assert self.m.ckpt_cost(0, 1) == pytest.approx(2.0)
+
+    def test_ckpt_after_t4_includes_t3_output(self):
+        # segment [2..3] = {T3, T4}: saves T3->T5 and T4->T5
+        assert self.m.ckpt_cost(2, 3) == pytest.approx(2.0)
+
+    def test_read_for_t5_segment(self):
+        # segment [4..4] = {T5}: reads T3->T5 and T4->T5 from storage
+        assert self.m.read_cost(4, 4) == pytest.approx(2.0)
+
+    def test_read_t3_t4_segment_reads_t2_outputs(self):
+        assert self.m.read_cost(2, 3) == pytest.approx(2.0)
+
+    def test_whole_chain_single_segment(self):
+        # everything in memory: read nothing (no workflow inputs), save T6
+        assert self.m.read_cost(0, 5) == pytest.approx(0.0)
+        assert self.m.ckpt_cost(0, 5) == pytest.approx(1.0)
+
+
+class TestDeduplication:
+    def test_shared_output_saved_once(self):
+        """§VI-A: a file consumed by two successors is checkpointed once."""
+        wf = Workflow("shared")
+        for t in ("a", "b", "c"):
+            wf.add_task(t, 1.0)
+        wf.add_file("f", 3e6, producer="a")
+        wf.add_input("b", "f")
+        wf.add_input("c", "f")
+        m = model(wf, ["a", "b", "c"])
+        assert m.ckpt_cost(0, 0) == pytest.approx(3.0)  # once, not twice
+
+    def test_shared_input_read_once(self):
+        wf = Workflow("sharedr")
+        for t in ("a", "b", "c"):
+            wf.add_task(t, 1.0)
+        wf.add_file("f", 5e6, producer="a")
+        wf.add_input("b", "f")
+        wf.add_input("c", "f")
+        m = model(wf, ["a", "b", "c"])
+        # segment [1..2] reads f once even though b and c both consume it
+        assert m.read_cost(1, 2) == pytest.approx(5.0)
+
+    def test_partially_consumed_shared_file_still_saved(self):
+        wf = Workflow("partial")
+        for t in ("a", "b", "c"):
+            wf.add_task(t, 1.0)
+        wf.add_file("f", 2e6, producer="a")
+        wf.add_input("b", "f")
+        wf.add_input("c", "f")
+        m = model(wf, ["a", "b", "c"])
+        # segment [0..1] contains consumer b, but c is outside -> still saved
+        assert m.ckpt_cost(0, 1) == pytest.approx(2.0)
+
+
+class TestTables:
+    def test_span_table_matches_pairwise(self, fig4_workflow):
+        order = ["T1", "T2", "T3", "T4", "T5", "T6"]
+        m = model(fig4_workflow, order)
+        table = m.span_table()
+        for i in range(6):
+            for j in range(i, 6):
+                assert table[i, j] == pytest.approx(m.span(i, j)), (i, j)
+        assert np.isnan(table[3, 1])
+
+    def test_expected_time_table_formula(self, fig4_workflow):
+        order = ["T1", "T2", "T3", "T4", "T5", "T6"]
+        lam = 1e-4
+        m = model(fig4_workflow, order, lam=lam)
+        table = m.expected_time_table()
+        for i in range(6):
+            for j in range(i, 6):
+                assert table[i, j] == pytest.approx(
+                    first_order_expected_time(m.span(i, j), lam)
+                )
+
+    def test_expected_equals_span_when_reliable(self, chain5):
+        m = model(chain5, chain5.task_ids, lam=0.0)
+        spans = m.span_table()
+        expected = m.expected_time_table()
+        mask = ~np.isnan(spans)
+        assert np.allclose(spans[mask], expected[mask])
+
+    def test_cross_superchain_read(self, fig2_workflow):
+        # superchain {T2,T5,T6,T10} must read T1's output from storage
+        m = model(fig2_workflow, ["T2", "T5", "T6", "T10"])
+        assert m.read_cost(0, 0) == pytest.approx(1.0)
+        # and checkpoint T10's output for T13 (outside)
+        assert m.ckpt_cost(3, 3) == pytest.approx(1.0)

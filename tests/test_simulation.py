@@ -1,0 +1,164 @@
+"""Tests for batch simulation and single-trajectory replay."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.strategies import ckpt_all_plan, ckpt_some_plan
+from repro.generators import genome, montage
+from repro.makespan.api import expected_makespan
+from repro.makespan.ckptnone import ckptnone_expected_makespan
+from repro.makespan.segment_dag import build_segment_dag
+from repro.platform import Platform, lambda_from_pfail
+from repro.scheduling.allocate import schedule_workflow
+from repro.simulation import (
+    Event,
+    replay_plan,
+    simulate_ckptnone,
+    simulate_plan,
+)
+from tests.conftest import make_fig2_workflow
+
+
+def pipeline(wf, p=4, pfail=1e-3, seed=3, ccr_scale=1.0):
+    lam = lambda_from_pfail(pfail, wf.mean_weight)
+    plat = Platform(p, failure_rate=lam, bandwidth=1e8)
+    sched, _ = schedule_workflow(wf, p, seed=seed)
+    return plat, sched
+
+
+class TestSimulatePlan:
+    def test_reliable_equals_deterministic(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow, pfail=0.0)
+        plan = ckpt_some_plan(fig2_workflow, sched, plat)
+        dag = build_segment_dag(fig2_workflow, sched, plan, plat)
+        res = simulate_plan(fig2_workflow, sched, plan, plat, trials=50, seed=0)
+        assert res.mean == pytest.approx(dag.deterministic_makespan())
+        assert res.stderr == pytest.approx(0.0, abs=1e-12)
+
+    def test_agrees_with_first_order_estimate(self):
+        wf = genome(50, seed=1)
+        plat, sched = pipeline(wf, pfail=1e-3)
+        plan = ckpt_some_plan(wf, sched, plat)
+        dag = build_segment_dag(wf, sched, plan, plat)
+        est = expected_makespan(dag, "pathapprox")
+        sim = simulate_plan(wf, sched, plan, plat, trials=30_000, seed=2)
+        assert est == pytest.approx(sim.mean, rel=0.01)
+
+    def test_simulation_dominates_estimate(self):
+        """Exact exponential failures >= first-order (truncated) model."""
+        wf = montage(50, seed=1)
+        plat, sched = pipeline(wf, pfail=1e-2)
+        plan = ckpt_all_plan(wf, sched, plat)
+        dag = build_segment_dag(wf, sched, plan, plat)
+        est = expected_makespan(dag, "montecarlo", trials=30_000, seed=3)
+        sim = simulate_plan(wf, sched, plan, plat, trials=30_000, seed=3)
+        assert sim.mean >= est * 0.995
+
+    def test_prebuilt_dag_reused(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow)
+        plan = ckpt_some_plan(fig2_workflow, sched, plat)
+        dag = build_segment_dag(fig2_workflow, sched, plan, plat)
+        res = simulate_plan(
+            fig2_workflow, sched, plan, plat, trials=100, seed=1, dag=dag
+        )
+        assert res.trials == 100
+
+    def test_ci_fields(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow, pfail=1e-2)
+        plan = ckpt_some_plan(fig2_workflow, sched, plat)
+        res = simulate_plan(fig2_workflow, sched, plan, plat, trials=500, seed=4)
+        lo, hi = res.ci95
+        assert lo <= res.mean <= hi
+        assert res.samples.shape == (500,)
+
+
+class TestSimulateCkptNone:
+    def test_reliable(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow, pfail=0.0)
+        res = simulate_ckptnone(fig2_workflow, sched, plat, trials=10, seed=0)
+        from repro.makespan.ckptnone import failure_free_makespan
+
+        assert res.mean == pytest.approx(failure_free_makespan(fig2_workflow, sched))
+
+    def test_matches_theorem1_at_small_rate(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow)
+        plat = plat.with_failure_rate(1e-7)
+        est = ckptnone_expected_makespan(fig2_workflow, sched, plat)
+        sim = simulate_ckptnone(fig2_workflow, sched, plat, trials=20_000, seed=1)
+        assert est == pytest.approx(sim.mean, rel=0.005)
+
+    def test_exceeds_theorem1_at_large_rate(self, fig2_workflow):
+        """Theorem 1 truncates at one failure; the restart model compounds."""
+        plat, sched = pipeline(fig2_workflow)
+        plat = plat.with_failure_rate(5e-3)
+        est = ckptnone_expected_makespan(fig2_workflow, sched, plat)
+        sim = simulate_ckptnone(fig2_workflow, sched, plat, trials=20_000, seed=1)
+        assert sim.mean > est
+
+
+class TestReplay:
+    def test_reliable_no_failures(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow, pfail=0.0)
+        plan = ckpt_some_plan(fig2_workflow, sched, plat)
+        trace = replay_plan(fig2_workflow, sched, plan, plat, seed=0)
+        assert trace.n_failures == 0
+        assert trace.wasted_seconds == 0.0
+        dag = build_segment_dag(fig2_workflow, sched, plan, plat)
+        assert trace.makespan == pytest.approx(dag.deterministic_makespan())
+
+    def test_failures_recorded(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow)
+        plat = plat.with_failure_rate(1e-2)
+        plan = ckpt_some_plan(fig2_workflow, sched, plat)
+        trace = replay_plan(fig2_workflow, sched, plan, plat, seed=3)
+        failures = [e for e in trace.events if e.kind == "failure"]
+        assert len(failures) == trace.n_failures
+        # detail strings are rounded to 3 decimals
+        assert trace.wasted_seconds == pytest.approx(
+            sum(float(e.detail.split("=")[1][:-1]) for e in failures),
+            abs=1e-3 * max(1, len(failures)),
+        )
+
+    def test_event_ordering(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow, pfail=1e-3)
+        plan = ckpt_some_plan(fig2_workflow, sched, plat)
+        trace = replay_plan(fig2_workflow, sched, plan, plat, seed=1)
+        completes = {
+            e.segment: e.time for e in trace.events if e.kind == "complete"
+        }
+        assert len(completes) == plan.n_segments
+        assert trace.makespan == pytest.approx(max(completes.values()))
+
+    def test_failures_by_processor(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow)
+        plat = plat.with_failure_rate(5e-2)
+        plan = ckpt_some_plan(fig2_workflow, sched, plat)
+        trace = replay_plan(fig2_workflow, sched, plan, plat, seed=2)
+        assert sum(trace.failures_by_processor().values()) == trace.n_failures
+
+    def test_gantt_lines(self, fig2_workflow):
+        plat, sched = pipeline(fig2_workflow, pfail=1e-2)
+        plan = ckpt_some_plan(fig2_workflow, sched, plat)
+        trace = replay_plan(fig2_workflow, sched, plan, plat, seed=2)
+        lines = trace.gantt_lines(40)
+        assert lines
+        assert all(line.startswith("P") for line in lines)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            Event(1.0, "nope", 0, 0)
+        with pytest.raises(ValueError):
+            Event(-1.0, "attempt", 0, 0)
+
+    def test_replay_mean_consistent_with_batch(self):
+        wf = genome(50, seed=1)
+        plat, sched = pipeline(wf, pfail=1e-2)
+        plan = ckpt_some_plan(wf, sched, plat)
+        replays = np.array(
+            [
+                replay_plan(wf, sched, plan, plat, seed=s).makespan
+                for s in range(200)
+            ]
+        )
+        batch = simulate_plan(wf, sched, plan, plat, trials=20_000, seed=9)
+        assert replays.mean() == pytest.approx(batch.mean, rel=0.05)

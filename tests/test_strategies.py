@@ -1,0 +1,136 @@
+"""Tests for the CKPTALL / CKPTSOME plan builders."""
+
+import pytest
+
+from repro.checkpoint.plan import CheckpointPlan, Segment
+from repro.checkpoint.strategies import (
+    STRATEGIES,
+    ckpt_all_plan,
+    ckpt_some_plan,
+    plan_for_strategy,
+)
+from repro.errors import CheckpointError
+from repro.generators import genome, ligo, montage
+from repro.platform import Platform, lambda_from_pfail
+from repro.scheduling.allocate import schedule_workflow
+from tests.conftest import make_fig2_workflow
+
+
+def pipeline(gen_or_wf, p=4, pfail=1e-3, seed=3):
+    wf = gen_or_wf if not callable(gen_or_wf) else gen_or_wf(50, seed=seed)
+    lam = lambda_from_pfail(pfail, wf.mean_weight)
+    plat = Platform(p, failure_rate=lam, bandwidth=1e8)
+    sched, _ = schedule_workflow(wf, p, seed=seed)
+    return wf, plat, sched
+
+
+class TestSegmentAndPlanTypes:
+    def test_segment_span(self):
+        seg = Segment(0, 0, 0, ("a",), 1.0, 2.0, 3.0)
+        assert seg.span == pytest.approx(6.0)
+        assert len(seg) == 1
+
+    def test_segment_validation(self):
+        with pytest.raises(CheckpointError):
+            Segment(0, 0, 0, (), 0, 0, 0)
+        with pytest.raises(CheckpointError):
+            Segment(0, 0, 0, ("a",), -1.0, 0, 0)
+
+    def test_plan_duplicate_task(self):
+        plan = CheckpointPlan("x")
+        plan.add_segment(0, 0, ["a"], 0, 1, 0)
+        with pytest.raises(CheckpointError):
+            plan.add_segment(1, 0, ["a"], 0, 1, 0)
+
+    def test_plan_queries(self):
+        plan = CheckpointPlan("x")
+        plan.add_segment(0, 0, ["a", "b"], 1.0, 2.0, 3.0)
+        plan.add_segment(0, 0, ["c"], 0.5, 1.0, 0.5)
+        assert plan.n_segments == 2
+        assert plan.n_tasks == 3
+        assert plan.checkpointed_tasks() == ["b", "c"]
+        assert plan.segment_of("b").index == 0
+        assert plan.total_io_seconds == pytest.approx(5.0)
+        assert plan.total_compute_seconds == pytest.approx(3.0)
+        assert len(plan.segments_of_superchain(0)) == 2
+        with pytest.raises(CheckpointError):
+            plan.segment_of("ghost")
+
+
+class TestCkptAll:
+    def test_one_segment_per_task(self):
+        wf, plat, sched = pipeline(montage)
+        plan = ckpt_all_plan(wf, sched, plat)
+        assert plan.n_segments == wf.n_tasks
+        assert all(len(seg) == 1 for seg in plan)
+
+    def test_checkpoints_every_task(self):
+        wf, plat, sched = pipeline(genome)
+        plan = ckpt_all_plan(wf, sched, plat)
+        assert sorted(plan.checkpointed_tasks()) == sorted(wf.task_ids)
+
+
+class TestCkptSome:
+    @pytest.mark.parametrize("gen", [montage, genome, ligo])
+    def test_covers_all_tasks_in_order(self, gen):
+        wf, plat, sched = pipeline(gen)
+        plan = ckpt_some_plan(wf, sched, plat)
+        assert plan.n_tasks == wf.n_tasks
+        for sc in sched.superchains:
+            segs = plan.segments_of_superchain(sc.index)
+            flat = tuple(t for seg in segs for t in seg.tasks)
+            assert flat == sc.tasks  # contiguous cover in order
+
+    def test_last_task_of_every_superchain_checkpointed(self):
+        wf, plat, sched = pipeline(ligo)
+        plan = ckpt_some_plan(wf, sched, plat)
+        tails = set(plan.checkpointed_tasks())
+        for sc in sched.superchains:
+            assert sc.tasks[-1] in tails
+
+    def test_no_more_checkpoints_than_ckpt_all(self):
+        wf, plat, sched = pipeline(montage)
+        some = ckpt_some_plan(wf, sched, plat)
+        every = ckpt_all_plan(wf, sched, plat)
+        assert some.n_segments <= every.n_segments
+
+    def test_per_superchain_expected_time_not_worse_than_all(self):
+        """Algorithm 2's optimum can never exceed the all-singleton split."""
+        from repro.checkpoint.segments import SuperchainCostModel
+        from repro.checkpoint.dp import optimal_checkpoint_positions
+
+        wf, plat, sched = pipeline(genome, pfail=1e-2)
+        for sc in sched.superchains:
+            m = SuperchainCostModel(wf, sc, plat)
+            _, value = optimal_checkpoint_positions(m)
+            all_value = sum(m.expected_time(k, k) for k in range(len(sc.tasks)))
+            assert value <= all_value + 1e-9
+
+    def test_cheap_io_converges_to_ckpt_all(self):
+        """As checkpoints become free, CKPTSOME checkpoints everything
+        (the paper's explanation for the ratio converging to 1)."""
+        wf, plat, sched = pipeline(genome, pfail=1e-2)
+        tiny = wf.scale_file_sizes(1e-9)
+        plan = ckpt_some_plan(tiny, sched, plat)
+        assert plan.n_segments == wf.n_tasks
+
+    def test_reliable_platform_minimal_checkpoints(self):
+        wf, plat, sched = pipeline(montage, pfail=0.0)
+        plan = ckpt_some_plan(wf, sched, plat)
+        # one segment per superchain: checkpoints cost, failures never happen
+        assert plan.n_segments == len(sched.superchains)
+
+
+class TestDispatch:
+    def test_names(self):
+        assert set(STRATEGIES) == {"ckpt_all", "ckpt_some"}
+
+    def test_plan_for_strategy(self):
+        wf, plat, sched = pipeline(genome)
+        plan = plan_for_strategy("ckpt_all", wf, sched, plat)
+        assert plan.strategy == "ckpt_all"
+
+    def test_unknown(self):
+        wf, plat, sched = pipeline(genome)
+        with pytest.raises(CheckpointError, match="ckpt_none"):
+            plan_for_strategy("ckpt_none", wf, sched, plat)

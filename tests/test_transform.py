@@ -1,0 +1,170 @@
+"""Tests for transitive reduction and mspgify (repro.mspg.transform)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.random_mspg import random_tree, workflow_from_tree
+from repro.mspg.analysis import tree_respects_workflow_order
+from repro.mspg.expr import tree_size, tree_tasks, validate_canonical
+from repro.mspg.graph import Workflow
+from repro.mspg.recognize import is_mspg
+from repro.mspg.transform import (
+    descendants_bitsets,
+    mspgify,
+    transitive_reduction,
+)
+from repro.util.rng import as_rng
+from tests.conftest import make_chain, make_fig2_workflow
+
+
+def wf_from_edges(names, edges):
+    wf = Workflow()
+    for n in names:
+        wf.add_task(n, 1.0)
+    for u, v in edges:
+        wf.add_control_edge(u, v)
+    return wf
+
+
+class TestDescendantsBitsets:
+    def test_chain(self):
+        wf = make_chain(4)
+        order = wf.topological_order()
+        desc = descendants_bitsets(order, wf.successor_map())
+        idx = {v: i for i, v in enumerate(order)}
+        assert desc["T4"] == 0
+        assert desc["T1"] == (1 << idx["T2"]) | (1 << idx["T3"]) | (1 << idx["T4"])
+
+
+class TestTransitiveReduction:
+    def test_removes_shortcut(self):
+        wf = wf_from_edges("abc", [("a", "b"), ("b", "c"), ("a", "c")])
+        reduced, removed = transitive_reduction(wf)
+        assert removed == {("a", "c")}
+        assert reduced["a"] == frozenset({"b"})
+
+    def test_keeps_diamond(self):
+        wf = wf_from_edges(
+            "abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        _, removed = transitive_reduction(wf)
+        assert removed == set()
+
+    def test_long_shortcut(self):
+        wf = wf_from_edges(
+            "abcd", [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")]
+        )
+        _, removed = transitive_reduction(wf)
+        assert removed == {("a", "d")}
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_reachability_preserved(self, seed):
+        rng = as_rng(seed)
+        n = int(rng.integers(2, 14))
+        names = [f"v{i}" for i in range(n)]
+        edges = [
+            (names[i], names[j])
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < 0.3
+        ]
+        wf = wf_from_edges(names, edges)
+        order = wf.topological_order()
+        before = descendants_bitsets(order, wf.successor_map())
+        reduced, removed = transitive_reduction(wf)
+        after = descendants_bitsets(order, reduced)
+        assert before == after
+        # removed edges really are redundant: endpoints still reachable
+        idx = {v: i for i, v in enumerate(order)}
+        for u, v in removed:
+            assert (after[u] >> idx[v]) & 1
+
+
+class TestMspgify:
+    def test_identity_on_mspg(self):
+        wf = make_fig2_workflow()
+        res = mspgify(wf)
+        assert res.exact
+        assert res.added_edges == ()
+        assert res.demoted_edges == ()
+        validate_canonical(res.tree)
+
+    def test_completes_incomplete_bipartite(self):
+        wf = wf_from_edges(
+            "abcd", [("a", "c"), ("a", "d"), ("b", "d")]
+        )
+        res = mspgify(wf)
+        assert not res.exact
+        assert ("b", "c") in res.added_edges
+        assert tree_respects_workflow_order(res.tree, wf)
+
+    def test_demotes_transitive_edge(self):
+        wf = wf_from_edges(
+            "abcd", [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")]
+        )
+        res = mspgify(wf)
+        assert res.demoted_edges == (("a", "d"),)
+        assert res.added_edges == ()
+        assert not res.exact  # reduction was needed
+        assert tree_respects_workflow_order(res.tree, wf)
+
+    def test_empty_workflow(self):
+        res = mspgify(Workflow())
+        assert res.exact
+        assert tree_size(res.tree) == 0
+
+    def test_materialize_is_mspg_modulo_transitivity(self):
+        wf = wf_from_edges("abcd", [("a", "c"), ("a", "d"), ("b", "d")])
+        res = mspgify(wf)
+        mat = res.materialize()
+        mat.validate()  # acyclic
+        assert is_mspg(mat)
+
+    def test_level_sync_fallback(self):
+        # A "crossing" graph with no relaxed cut at all:
+        #   a -> c, a -> d2, b -> d, d -> d2;  (a, b sources; c, d2 sinks)
+        wf = wf_from_edges(
+            ["a", "b", "c", "d", "d2"],
+            [("a", "c"), ("a", "d2"), ("b", "d"), ("d", "d2")],
+        )
+        res = mspgify(wf)
+        validate_canonical(res.tree)
+        assert tree_respects_workflow_order(res.tree, wf)
+
+    def test_workflow_object_untouched(self):
+        wf = wf_from_edges("abcd", [("a", "c"), ("a", "d"), ("b", "d")])
+        edges_before = wf.edges()
+        res = mspgify(wf)
+        _ = res.added_edges
+        assert wf.edges() == edges_before
+        assert res.workflow is wf
+
+    @given(st.integers(1, 30), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_mspgify_random_mspg_exact(self, n, seed):
+        tree = random_tree(n, as_rng(seed))
+        wf = workflow_from_tree(tree, seed=seed)
+        res = mspgify(wf)
+        assert res.exact
+        assert set(tree_tasks(res.tree)) == set(wf.task_ids)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_mspgify_random_dag_sound(self, seed):
+        rng = as_rng(seed)
+        n = int(rng.integers(2, 16))
+        names = [f"v{i}" for i in range(n)]
+        edges = [
+            (names[i], names[j])
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < 0.25
+        ]
+        wf = wf_from_edges(names, edges)
+        res = mspgify(wf)
+        validate_canonical(res.tree)
+        assert set(tree_tasks(res.tree)) == set(names)
+        assert tree_respects_workflow_order(res.tree, wf)
+        res.materialize().validate()

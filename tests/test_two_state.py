@@ -1,0 +1,89 @@
+"""Tests for the first-order 2-state task model (Equation (1)/(2))."""
+
+import pytest
+
+from repro.errors import FirstOrderDomainError
+from repro.makespan.two_state import (
+    TwoStateTask,
+    first_order_expected_time,
+    two_state_from_span,
+    two_state_probability,
+)
+
+
+class TestTwoStateTask:
+    def test_mean_variance(self):
+        t = TwoStateTask("t", base=10.0, long=15.0, p=0.2)
+        assert t.mean == pytest.approx(0.8 * 10 + 0.2 * 15)
+        assert t.variance == pytest.approx(0.2 * 0.8 * 25.0)
+
+    def test_deterministic_task(self):
+        t = TwoStateTask("t", base=10.0, long=10.0, p=0.5)
+        assert t.variance == 0.0
+
+    def test_long_below_base_rejected(self):
+        with pytest.raises(FirstOrderDomainError):
+            TwoStateTask("t", base=10.0, long=9.0, p=0.1)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(FirstOrderDomainError):
+            TwoStateTask("t", base=1.0, long=2.0, p=1.5)
+
+
+class TestProbability:
+    def test_formula(self):
+        assert two_state_probability(100.0, 1e-4) == pytest.approx(0.01)
+
+    def test_clamped(self):
+        p = two_state_probability(1e9, 1.0)
+        assert 0 < p < 1
+
+    def test_raises_without_clamp(self):
+        with pytest.raises(FirstOrderDomainError):
+            two_state_probability(1e9, 1.0, clamp=False)
+
+    def test_zero_rate(self):
+        assert two_state_probability(100.0, 0.0) == 0.0
+
+
+class TestExpectedTime:
+    def test_equation_2(self):
+        # X (1 + λX/2)
+        x, lam = 50.0, 1e-3
+        expected = (1 - lam * x) * x + lam * x * 1.5 * x
+        assert first_order_expected_time(x, lam) == pytest.approx(expected)
+        assert first_order_expected_time(x, lam) == pytest.approx(
+            x * (1 + lam * x / 2)
+        )
+
+    def test_zero_span(self):
+        assert first_order_expected_time(0.0, 1e-3) == 0.0
+
+    def test_reliable(self):
+        assert first_order_expected_time(42.0, 0.0) == 42.0
+
+    def test_monotone_in_lambda(self):
+        values = [first_order_expected_time(10.0, lam) for lam in (0, 1e-4, 1e-2)]
+        assert values == sorted(values)
+
+    def test_matches_exact_exponential_to_first_order(self):
+        """(e^{λX}-1)/λ = X(1 + λX/2) + O(λ²X³)."""
+        from repro.simulation.sampling import expected_exponential_time
+
+        x = 100.0
+        for lam in (1e-6, 1e-5):
+            exact = expected_exponential_time(x, lam)
+            approx = first_order_expected_time(x, lam)
+            assert abs(exact - approx) / exact < (lam * x) ** 2
+
+
+class TestFromSpan:
+    def test_builds_equation_1(self):
+        t = two_state_from_span("seg", 100.0, 1e-4)
+        assert t.base == 100.0
+        assert t.long == 150.0
+        assert t.p == pytest.approx(0.01)
+
+    def test_mean_equals_expected_time(self):
+        t = two_state_from_span("seg", 75.0, 2e-4)
+        assert t.mean == pytest.approx(first_order_expected_time(75.0, 2e-4))

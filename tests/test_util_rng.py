@@ -1,0 +1,75 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_rng, sequence_seed, spawn_rngs, stable_seed
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert as_rng(42).integers(0, 1 << 30) == as_rng(42).integers(0, 1 << 30)
+
+    def test_different_seeds_differ(self):
+        draws_a = as_rng(1).integers(0, 1 << 30, size=8)
+        draws_b = as_rng(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        rng = as_rng(seq)
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_reproducible(self):
+        a = [g.integers(0, 1 << 30) for g in spawn_rngs(3, 4)]
+        b = [g.integers(0, 1 << 30) for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_streams_differ(self):
+        draws = [g.integers(0, 1 << 60) for g in spawn_rngs(3, 10)]
+        assert len(set(draws)) == 10
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_from_generator(self):
+        gens = spawn_rngs(np.random.default_rng(0), 2)
+        assert len(gens) == 2
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed(1, "a", 2) == stable_seed(1, "a", 2)
+
+    def test_sensitive_to_parts(self):
+        assert stable_seed(1, "a") != stable_seed(1, "b")
+        assert stable_seed(1, "a") != stable_seed(2, "a")
+
+    def test_order_sensitive(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+    def test_in_63_bit_range(self):
+        s = stable_seed("anything", 123)
+        assert 0 <= s < 2**63
+
+
+class TestSequenceSeed:
+    def test_none_stays_none(self):
+        assert sequence_seed(None, 3) is None
+
+    def test_int_deterministic(self):
+        assert sequence_seed(5, 1) == sequence_seed(5, 1)
+        assert sequence_seed(5, 1) != sequence_seed(5, 2)

@@ -1,0 +1,92 @@
+"""Tests for repro.util.tables and repro.util.asciiplot."""
+
+import math
+
+import pytest
+
+from repro.util.asciiplot import ascii_xy_plot
+from repro.util.tables import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_int_passthrough(self):
+        assert format_float(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_float("abc") == "abc"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_inf(self):
+        assert format_float(float("inf")) == "inf"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_small_uses_scientific(self):
+        assert "e" in format_float(1.23e-9)
+
+    def test_moderate_plain(self):
+        assert format_float(3.14159, digits=3) == "3.14"
+
+    def test_bool_not_formatted_as_number(self):
+        assert format_float(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestAsciiPlot:
+    def test_contains_series_markers(self):
+        out = ascii_xy_plot({"s1": [(1, 1), (2, 2)], "s2": [(1, 2), (2, 1)]})
+        assert "o" in out and "x" in out
+        assert "s1" in out and "s2" in out
+
+    def test_log_axis(self):
+        out = ascii_xy_plot({"s": [(1e-3, 1), (1e0, 2)]}, logx=True)
+        assert "0.001" in out
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_xy_plot({"s": [(0.0, 1)]}, logx=True)
+
+    def test_hline_drawn(self):
+        out = ascii_xy_plot({"s": [(0, 0), (1, 2)]}, hline=1.0)
+        assert "-" in out
+
+    def test_nonfinite_points_skipped(self):
+        out = ascii_xy_plot({"s": [(0, float("inf")), (1, 1), (2, 2)]})
+        assert "s" in out
+
+    def test_all_nonfinite(self):
+        out = ascii_xy_plot({"s": [(0, math.nan)]})
+        assert "no finite points" in out
+
+    def test_ybounds_clip(self):
+        out = ascii_xy_plot(
+            {"s": [(0, 1), (1, 100)]}, ybounds=(0.0, 2.0), height=10
+        )
+        assert "100" not in out.splitlines()[0]
+
+    def test_single_point(self):
+        out = ascii_xy_plot({"s": [(1.0, 1.0)]})
+        assert "o" in out

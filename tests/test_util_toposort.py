@@ -1,0 +1,116 @@
+"""Tests for repro.util.toposort."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CycleError
+from repro.util.toposort import (
+    is_topological_order,
+    keyed_topological_order,
+    random_topological_order,
+    topological_order,
+)
+
+DIAMOND = {"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []}
+
+
+class TestTopologicalOrder:
+    def test_diamond(self):
+        order = topological_order(list("abcd"), DIAMOND)
+        assert is_topological_order(order, DIAMOND)
+        assert order[0] == "a" and order[-1] == "d"
+
+    def test_empty(self):
+        assert topological_order([], {}) == []
+
+    def test_cycle_raises(self):
+        with pytest.raises(CycleError):
+            topological_order(["a", "b"], {"a": ["b"], "b": ["a"]})
+
+    def test_self_loop_raises(self):
+        with pytest.raises(CycleError):
+            topological_order(["a"], {"a": ["a"]})
+
+    def test_deterministic(self):
+        nodes = [f"n{i}" for i in range(20)]
+        succs = {n: [] for n in nodes}
+        assert topological_order(nodes, succs) == topological_order(nodes, succs)
+
+
+class TestRandomTopologicalOrder:
+    def test_valid(self):
+        for seed in range(10):
+            order = random_topological_order(list("abcd"), DIAMOND, seed)
+            assert is_topological_order(order, DIAMOND)
+
+    def test_seeded_reproducible(self):
+        nodes = [f"n{i}" for i in range(30)]
+        succs = {n: [] for n in nodes}
+        assert random_topological_order(nodes, succs, 5) == random_topological_order(
+            nodes, succs, 5
+        )
+
+    def test_explores_orders(self):
+        nodes = list("xyz")
+        succs = {n: [] for n in nodes}
+        seen = {tuple(random_topological_order(nodes, succs, s)) for s in range(60)}
+        assert len(seen) == 6  # all 3! permutations of independent nodes
+
+    def test_cycle_raises(self):
+        with pytest.raises(CycleError):
+            random_topological_order(["a", "b"], {"a": ["b"], "b": ["a"]}, 0)
+
+
+class TestKeyedTopologicalOrder:
+    def test_key_prioritises(self):
+        nodes = list("abc")
+        succs = {n: [] for n in nodes}
+        order = keyed_topological_order(
+            nodes, succs, key=lambda v: {"a": 3, "b": 1, "c": 2}[v], seed=0
+        )
+        assert order == ["b", "c", "a"]
+
+    def test_respects_dependencies(self):
+        order = keyed_topological_order(
+            list("abcd"), DIAMOND, key=lambda v: -ord(v), seed=0
+        )
+        assert is_topological_order(order, DIAMOND)
+
+
+class TestIsTopologicalOrder:
+    def test_rejects_duplicate(self):
+        assert not is_topological_order(["a", "a"], {"a": []})
+
+    def test_rejects_missing_node_in_order(self):
+        assert not is_topological_order(["a"], {"a": ["b"], "b": []})
+
+    def test_rejects_violation(self):
+        assert not is_topological_order(["d", "a", "b", "c"], DIAMOND)
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(1, 12))
+    nodes = list(range(n))
+    succs = {v: [] for v in nodes}
+    for v in nodes:
+        for w in nodes:
+            if v < w and draw(st.booleans()):
+                succs[v].append(w)
+    return nodes, succs
+
+
+class TestProperties:
+    @given(random_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_all_sorts_valid(self, dag):
+        nodes, succs = dag
+        assert is_topological_order(topological_order(nodes, succs), succs)
+        assert is_topological_order(
+            random_topological_order(nodes, succs, 1), succs
+        )
+        assert is_topological_order(
+            keyed_topological_order(nodes, succs, key=lambda v: v % 3, seed=2),
+            succs,
+        )
