@@ -1,0 +1,85 @@
+"""Sweep-engine micro-benchmark: staged artifact cache vs legacy loop.
+
+Runs the same MONTAGE (pfail × CCR) grid two ways:
+
+* **legacy**: one full per-cell pipeline per grid point (regenerate,
+  ``mspgify``, ``allocate``, plan, evaluate — the shape of the seed's
+  serial loops via :func:`repro.experiments.figures.run_cell`);
+* **engine**: :func:`repro.engine.run_sweep` with the shared artifact
+  cache (tree/schedule computed once per (workflow, processors) pair),
+  serial and with a process pool.
+
+Both produce bit-identical records (asserted); artifacts and timings are
+saved under ``benchmarks/results/sweep_engine.txt``.  Run directly for a
+quick table::
+
+    PYTHONPATH=src:. python benchmarks/bench_sweep_engine.py
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+from repro.engine import CellResult, SweepSpec, run_sweep
+from repro.experiments.figures import log_grid, run_cell
+
+from benchmarks.conftest import FULL, save_artifact
+
+
+def montage_spec() -> SweepSpec:
+    return SweepSpec(
+        family="montage",
+        sizes=(50, 300) if FULL else (50,),
+        processors={50: (3, 5, 7, 10), 300: (18, 35)},
+        pfails=(0.01, 0.001, 0.0001),
+        ccrs=log_grid(1e-3, 1e0, 7),
+        seed=2017,
+        seed_policy="stable",
+        name="bench-sweep",
+    )
+
+
+def run_legacy(spec: SweepSpec) -> List[CellResult]:
+    """The seed's shape: a fresh end-to-end pipeline per grid cell."""
+    return [
+        run_cell(spec.family, n, p, pfail, ccr, seed=spec.seed)
+        for n in spec.sizes
+        for p in spec.processors[n]
+        for pfail in spec.pfails
+        for ccr in spec.ccrs
+    ]
+
+
+def compare() -> Tuple[str, List[CellResult]]:
+    spec = montage_spec()
+    timings = []
+    t0 = time.perf_counter()
+    legacy = run_legacy(spec)
+    timings.append(("legacy per-cell loop", time.perf_counter() - t0))
+    t0 = time.perf_counter()
+    cached = run_sweep(spec, jobs=1)
+    timings.append(("engine cached, jobs=1", time.perf_counter() - t0))
+    t0 = time.perf_counter()
+    parallel = run_sweep(spec, jobs=4)
+    timings.append(("engine cached, jobs=4", time.perf_counter() - t0))
+    assert cached == legacy, "engine records diverge from the legacy loop"
+    assert parallel == cached, "parallel records diverge from serial"
+    base = timings[0][1]
+    lines = [f"sweep engine benchmark — {len(cached)} MONTAGE cells"]
+    for name, seconds in timings:
+        lines.append(f"  {name:<24} {seconds:8.3f}s  ({base / seconds:5.2f}x)")
+    return "\n".join(lines), cached
+
+
+def bench_sweep_engine(benchmark):
+    """Times the cached serial sweep; validates parity along the way."""
+    report, cells = compare()
+    save_artifact("sweep_engine.txt", report + "\n")
+    spec = montage_spec()
+    result = benchmark(lambda: run_sweep(spec, jobs=1))
+    assert result == cells
+
+
+if __name__ == "__main__":
+    print(compare()[0])

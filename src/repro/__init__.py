@@ -16,8 +16,12 @@ Public API overview
 * :mod:`repro.makespan` — expected-makespan evaluation of 2-state
   probabilistic DAGs (MonteCarlo, Dodin, Normal, PathApprox, exact).
 * :mod:`repro.simulation` — failure-injecting execution simulation.
+* :mod:`repro.engine` — the staged pipeline engine: explicit stages over
+  a keyed artifact cache, the parallel grid-sweep executor, and the
+  shared result-record schema (JSONL/CSV).
 * :mod:`repro.experiments` — the paper's experimental harness
-  (Figures 5-7, the §VI-B accuracy study, CCR machinery).
+  (Figures 5-7, the §VI-B accuracy study, CCR machinery), a thin layer
+  over the engine.
 """
 
 from repro.platform import Platform, lambda_from_pfail, pfail_from_lambda

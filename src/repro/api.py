@@ -1,8 +1,12 @@
 """High-level one-call pipeline: generate/transform → schedule → checkpoint
 → evaluate all three strategies.
 
-This is the facade the examples and the CLI use; each stage remains
-available individually for finer control (see the package docs).
+This is the back-compat facade the examples and the CLI use; since the
+engine refactor it is a thin wrapper over the staged
+:class:`repro.engine.Pipeline` — each stage remains available
+individually there, and sweep-shaped workloads should use
+:func:`repro.engine.run_sweep`, which reuses the M-SPG tree and schedule
+across grid cells instead of recomputing them per call.
 """
 
 from __future__ import annotations
@@ -10,18 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.ccr import ccr_of
 from repro.checkpoint.plan import CheckpointPlan
-from repro.checkpoint.strategies import ckpt_all_plan, ckpt_some_plan
-from repro.experiments.ccr import ccr_of, scale_to_ccr
-from repro.makespan.api import expected_makespan
-from repro.makespan.ckptnone import ckptnone_expected_makespan
+from repro.engine.pipeline import Pipeline
 from repro.makespan.probdag import ProbDAG
-from repro.makespan.segment_dag import build_segment_dag
 from repro.mspg.expr import MSPG
 from repro.mspg.graph import Workflow
-from repro.mspg.transform import mspgify
-from repro.platform import Platform, lambda_from_pfail
-from repro.scheduling.allocate import allocate
+from repro.platform import Platform
 from repro.scheduling.schedule import Schedule
 from repro.util.rng import SeedLike
 
@@ -84,6 +83,7 @@ def run_strategies(
     bandwidth: float = 100e6,
     linearizer: str = "random",
     save_final_outputs: bool = True,
+    pipeline: Optional[Pipeline] = None,
 ) -> StrategyOutcome:
     """Run the full paper pipeline on one workflow.
 
@@ -91,23 +91,34 @@ def run_strategies(
     task weight; ``ccr`` (if given) rescales file sizes to the target
     Communication-to-Computation Ratio; ``method`` selects the
     expected-makespan estimator.
+
+    Pass an existing :class:`repro.engine.Pipeline` via ``pipeline`` to
+    share its artifact cache across calls: repeat calls on the same
+    workflow then skip the ``mspgify`` stage, and — when ``seed`` is an
+    int — the ``allocate`` stage too (``seed=None`` asks for a fresh
+    random schedule, which is never cached).  By default each call runs
+    on a fresh pipeline and behaves exactly like the historical
+    monolithic implementation.
     """
-    lam = lambda_from_pfail(pfail, workflow.mean_weight)
-    platform = Platform(processors, failure_rate=lam, bandwidth=bandwidth)
+    pipe = pipeline if pipeline is not None else Pipeline()
+    base = workflow  # unscaled: keys the CCR-invariant stage caches
+    platform = pipe.platform_for(workflow, processors, pfail, bandwidth)
     if ccr is not None:
-        workflow = scale_to_ccr(workflow, platform, ccr)
-    tree = mspgify(workflow).tree
-    schedule = allocate(
-        workflow, tree, processors, seed=seed, linearizer=linearizer
+        workflow = pipe.scale(workflow, platform, ccr)
+    # The tree and schedule are file-size-invariant (the M-SPG is pure
+    # structure; the scheduler ignores storage costs), so they are built
+    # from — and cached against — the unscaled workflow: a CCR sweep
+    # over a shared pipeline reuses both across the axis, exactly like
+    # the engine's sweep executor.
+    tree = pipe.mspg_tree(base)
+    schedule = pipe.schedule_for(
+        base, processors, seed=seed, linearizer=linearizer, tree=tree
     )
-    plan_some = ckpt_some_plan(
-        workflow, schedule, platform, save_final_outputs=save_final_outputs
+    plan_some, plan_all = pipe.plans(
+        workflow, schedule, platform, save_final_outputs
     )
-    plan_all = ckpt_all_plan(
-        workflow, schedule, platform, save_final_outputs=save_final_outputs
-    )
-    dag_some = build_segment_dag(workflow, schedule, plan_some, platform)
-    dag_all = build_segment_dag(workflow, schedule, plan_all, platform)
+    dag_some = pipe.segment_dag(workflow, schedule, plan_some, platform)
+    dag_all = pipe.segment_dag(workflow, schedule, plan_all, platform)
     return StrategyOutcome(
         workflow=workflow,
         platform=platform,
@@ -117,7 +128,10 @@ def run_strategies(
         plan_all=plan_all,
         dag_some=dag_some,
         dag_all=dag_all,
-        em_some=expected_makespan(dag_some, method),
-        em_all=expected_makespan(dag_all, method),
-        em_none=ckptnone_expected_makespan(workflow, schedule, platform),
+        em_some=pipe.evaluate(dag_some, method),
+        em_all=pipe.evaluate(dag_all, method),
+        em_none=pipe.evaluate_none(
+            base, workflow, schedule, platform,
+            cacheable=isinstance(seed, int),
+        ),
     )

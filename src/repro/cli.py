@@ -4,6 +4,9 @@ Sub-commands::
 
     generate   emit a synthetic workflow (DAX or JSON by extension)
     evaluate   run the full strategy comparison on one configuration
+    sweep      run a parameter grid through the staged pipeline engine
+               (artifact cache + optional --jobs process-pool fan-out;
+               records to JSONL/CSV)
     figure     regenerate a paper figure grid (CSV + ASCII panels)
     accuracy   run the §VI-B estimator accuracy study
     simulate   replay one failure-injected execution with an event log
@@ -50,6 +53,64 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--seed", type=int, default=2017)
     ev.add_argument("--method", default="pathapprox")
 
+    sw = sub.add_parser(
+        "sweep",
+        help="run a parameter grid through the staged pipeline engine",
+        description=(
+            "Run a (sizes × processors × pfail × CCR) grid through "
+            "repro.engine: the M-SPG tree and schedule are computed once "
+            "per (workflow, processors) pair and reused across the "
+            "pfail/CCR axes; --jobs N fans the grid out over a process "
+            "pool (records are identical for any N)."
+        ),
+    )
+    sw.add_argument("--family", required=True)
+    sw.add_argument("--sizes", type=int, nargs="+", default=[50])
+    sw.add_argument(
+        "--processors",
+        type=int,
+        nargs="+",
+        default=[5],
+        help="processor counts, swept for every size",
+    )
+    sw.add_argument("--pfails", type=float, nargs="+", default=[0.01, 0.001])
+    sw.add_argument(
+        "--ccrs", type=float, nargs="+", default=None,
+        help="explicit CCR values (default: a log grid, see --ccr-grid)",
+    )
+    sw.add_argument(
+        "--ccr-grid",
+        type=float,
+        nargs=3,
+        metavar=("LO", "HI", "POINTS"),
+        default=None,
+        help="log-spaced CCR grid (default 1e-3 1.0 5)",
+    )
+    sw.add_argument("--seed", type=int, default=2017)
+    sw.add_argument("--method", default="pathapprox")
+    sw.add_argument(
+        "--seed-policy",
+        choices=["spawn", "stable"],
+        default="spawn",
+        help=(
+            "'spawn' derives per-cell seeds via SeedSequence spawning; "
+            "'stable' reproduces the historical figure-grid hashing"
+        ),
+    )
+    sw.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process serial, 0 = all cores)",
+    )
+    sw.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write records to this path (.jsonl or .csv by extension)",
+    )
+    sw.add_argument("--quiet", action="store_true")
+
     fig = sub.add_parser("figure", help="regenerate a paper figure grid")
     fig.add_argument("name", choices=["fig5", "fig6", "fig7"])
     fig.add_argument("--sizes", type=int, nargs="*", default=None)
@@ -57,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--ccr-points", type=int, default=None)
     fig.add_argument("--processors-per-size", type=int, default=None)
     fig.add_argument("--csv", type=Path, default=None)
+    fig.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="engine worker processes (1 = serial; identical records)",
+    )
     fig.add_argument("--quiet", action="store_true")
 
     acc = sub.add_parser("accuracy", help="run the §VI-B accuracy study")
@@ -113,6 +180,63 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine.records import records_to_csv, records_to_jsonl
+    from repro.engine.sweep import SweepSpec, run_sweep
+    from repro.errors import ExperimentError
+    from repro.experiments.figures import log_grid
+    from repro.experiments.results import render_cells_table
+
+    if args.out is not None:
+        if args.out.suffix.lower() not in (".jsonl", ".csv"):
+            print(
+                f"unsupported records extension {args.out.suffix!r} "
+                "(use .jsonl or .csv)",
+                file=sys.stderr,
+            )
+            return 2
+        if not args.out.parent.is_dir():
+            print(
+                f"output directory {str(args.out.parent)!r} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+    if args.ccrs is not None and args.ccr_grid is not None:
+        print("--ccrs and --ccr-grid are mutually exclusive", file=sys.stderr)
+        return 2
+    try:
+        if args.ccrs is not None:
+            ccrs = tuple(args.ccrs)
+        else:
+            lo, hi, points = args.ccr_grid or (1e-3, 1.0, 5)
+            ccrs = log_grid(lo, hi, int(points))
+        spec = SweepSpec(
+            family=args.family,
+            sizes=tuple(args.sizes),
+            processors={n: tuple(args.processors) for n in args.sizes},
+            pfails=tuple(args.pfails),
+            ccrs=ccrs,
+            seed=args.seed,
+            method=args.method,
+            seed_policy=args.seed_policy,
+            name=f"sweep[{args.family}]",
+        )
+    except ExperimentError as exc:
+        print(f"invalid sweep grid: {exc}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else (lambda msg: print("  " + msg))
+    records = run_sweep(spec, jobs=args.jobs, progress=progress)
+    print()
+    print(render_cells_table(records, title=f"sweep ({args.family})"))
+    if args.out is not None:
+        if args.out.suffix.lower() == ".jsonl":
+            records_to_jsonl(records, args.out)
+        else:
+            records_to_csv(records, args.out)
+        print(f"\nwrote {len(records)} records to {args.out}")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments import (
         PAPER_FIGURES,
@@ -129,7 +253,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         processors_per_size=args.processors_per_size,
     )
     progress = None if args.quiet else (lambda msg: print("  " + msg))
-    cells = run_figure(spec, progress=progress)
+    cells = run_figure(spec, progress=progress, jobs=args.jobs)
     print()
     print(render_cells_table(cells, title=f"{args.name} ({spec.family})"))
     print()
@@ -185,6 +309,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
+    "sweep": _cmd_sweep,
     "figure": _cmd_figure,
     "accuracy": _cmd_accuracy,
     "simulate": _cmd_simulate,

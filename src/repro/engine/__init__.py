@@ -1,0 +1,45 @@
+"""Pipeline engine: staged execution, artifact cache, parallel sweeps.
+
+The engine is the architectural seam between the paper's algorithms and
+everything that runs them at scale:
+
+* :mod:`repro.engine.pipeline` — :func:`repro.api.run_strategies`
+  decomposed into explicit stages (prepare → mspgify → allocate → plan →
+  build-DAG → evaluate) over a keyed :class:`ArtifactCache`, so sweeps
+  reuse the M-SPG tree and schedule across the pfail/CCR axes;
+* :mod:`repro.engine.sweep` — a deterministic grid executor with
+  ``concurrent.futures`` process-pool fan-out, ``SeedSequence``-spawned
+  per-cell child seeds (serial and parallel runs produce identical
+  records), chunking, and a progress callback;
+* :mod:`repro.engine.records` — the typed result-record schema with
+  JSONL/CSV serialisation, shared by the experiments harness, the CLI
+  and the benchmarks.
+
+The experiments harness (:func:`repro.experiments.figures.run_figure`),
+the facade (:func:`repro.api.run_strategies`) and the CLI ``sweep``/
+``figure`` sub-commands are all thin layers over this package.
+"""
+
+from repro.engine.pipeline import STAGES, ArtifactCache, Pipeline, StageStats
+from repro.engine.records import (
+    CellResult,
+    record_to_dict,
+    records_from_jsonl,
+    records_to_csv,
+    records_to_jsonl,
+)
+from repro.engine.sweep import SweepSpec, run_sweep
+
+__all__ = [
+    "STAGES",
+    "ArtifactCache",
+    "Pipeline",
+    "StageStats",
+    "CellResult",
+    "record_to_dict",
+    "records_from_jsonl",
+    "records_to_csv",
+    "records_to_jsonl",
+    "SweepSpec",
+    "run_sweep",
+]

@@ -1,0 +1,394 @@
+"""Staged execution of the paper pipeline with a keyed artifact cache.
+
+:func:`repro.api.run_strategies` bundles six conceptual stages into one
+call::
+
+    prepare -> mspgify -> allocate -> plan -> build_dag -> evaluate
+
+A parameter sweep (pfail × CCR, the shape of the paper's Figures 5-7)
+only varies the inputs of the *late* stages: the M-SPG tree depends on
+workflow structure alone, and the schedule ignores storage costs, so
+both are invariant across the pfail/CCR axes.  :class:`Pipeline` makes
+each stage an explicit method whose result lands in an
+:class:`ArtifactCache` keyed by exactly the inputs it depends on — a
+sweep reuses the tree and schedule instead of recomputing them per cell.
+
+The cache also exploits two cheaper invariances:
+
+* CCR rescaling touches file sizes only, so scaled workflows are shared
+  across the pfail axis;
+* the CKPTNONE estimator (Theorem 1) contains no I/O term, so its value
+  is shared across the CCR axis.
+
+Per-stage hit/miss counters (:meth:`ArtifactCache.stats`) make the reuse
+observable; the call-count tests pin the "once per (workflow,
+processors) pair" contract down.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from repro.ccr import scale_to_ccr
+from repro.checkpoint.plan import CheckpointPlan
+from repro.checkpoint.strategies import ckpt_all_plan, ckpt_some_plan
+from repro.engine.records import CellResult
+from repro.errors import ExperimentError
+from repro.generators import generate
+from repro.makespan.api import expected_makespan
+from repro.makespan.ckptnone import ckptnone_expected_makespan
+from repro.makespan.probdag import ProbDAG
+from repro.makespan.segment_dag import build_segment_dag
+from repro.mspg.expr import MSPG
+from repro.mspg.graph import Workflow
+from repro.mspg.transform import mspgify
+from repro.platform import Platform, lambda_from_pfail
+from repro.scheduling.allocate import allocate
+from repro.scheduling.schedule import Schedule
+from repro.util.rng import SeedLike
+
+__all__ = ["STAGES", "StageStats", "ArtifactCache", "Pipeline"]
+
+#: Stage names, in pipeline order.
+STAGES: Tuple[str, ...] = (
+    "prepare",
+    "mspgify",
+    "allocate",
+    "plan",
+    "build_dag",
+    "evaluate",
+)
+
+
+@dataclass
+class StageStats:
+    """Cache hit/miss counters for one pipeline stage."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def calls(self) -> int:
+        return self.hits + self.misses
+
+
+class ArtifactCache:
+    """Keyed artifact store with per-stage hit/miss accounting.
+
+    Keys are arbitrary hashables chosen by the :class:`Pipeline` to cover
+    exactly the inputs a stage result depends on.  Stages whose results
+    are never reused (checkpoint plans, segment DAGs — their keys are
+    unique per cell) are counted but not stored, so a long sweep does not
+    hold every intermediate alive.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple[str, Hashable], Any] = {}
+        self._stats: Dict[str, StageStats] = {s: StageStats() for s in STAGES}
+
+    def get_or_compute(
+        self, stage: str, key: Hashable, compute: Callable[[], Any]
+    ) -> Any:
+        """Cached artifact for ``(stage, key)``, computing it on first use."""
+        full = (stage, key)
+        stats = self._stats[stage]
+        if full in self._store:
+            stats.hits += 1
+            return self._store[full]
+        stats.misses += 1
+        value = compute()
+        self._store[full] = value
+        return value
+
+    def count_compute(self, stage: str) -> None:
+        """Record an uncached stage computation (plan / DAG / evaluation)."""
+        self._stats[stage].misses += 1
+
+    def stats(self) -> Dict[str, StageStats]:
+        """Per-stage counters (live objects — read, don't mutate)."""
+        return dict(self._stats)
+
+    def clear(self) -> None:
+        """Drop all artifacts; counters are reset too."""
+        self._store.clear()
+        for s in STAGES:
+            self._stats[s] = StageStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class Pipeline:
+    """The staged paper pipeline over one shared :class:`ArtifactCache`.
+
+    Thread one instance through every cell of a sweep and the invariant
+    stages (workflow generation, ``mspgify``, ``allocate``, CCR scaling,
+    the CKPTNONE estimate) are computed once per distinct input instead
+    of once per cell.  A fresh instance reproduces the historical
+    one-shot behaviour exactly — every stage is a deterministic function
+    of its key, so caching never changes results.
+    """
+
+    def __init__(self, cache: Optional[ArtifactCache] = None) -> None:
+        self.cache = cache if cache is not None else ArtifactCache()
+        # Identity tokens for unhashable pipeline objects (workflows,
+        # schedules).  The strong reference keeps id() stable for the
+        # lifetime of the pipeline.
+        self._tokens: Dict[int, Tuple[Any, int]] = {}
+        self._token_counter = itertools.count()
+
+    def _token(self, obj: Any) -> int:
+        entry = self._tokens.get(id(obj))
+        if entry is None or entry[0] is not obj:
+            entry = (obj, next(self._token_counter))
+            self._tokens[id(obj)] = entry
+        return entry[1]
+
+    def clear(self) -> None:
+        """Drop all cached artifacts *and* the identity-token references.
+
+        Use this (not ``pipeline.cache.clear()`` alone) to bound memory
+        in a long-lived pipeline: the token map holds strong references
+        to every workflow/schedule ever used as a cache key.
+        """
+        self.cache.clear()
+        self._tokens.clear()
+
+    # ------------------------------------------------------------------
+    # Stage 1 — prepare: workflow generation, platform, CCR rescaling.
+
+    def prepare(self, family: str, ntasks: int, seed: int) -> Workflow:
+        """Generate (or fetch) the workflow instance for a grid group."""
+        return self.cache.get_or_compute(
+            "prepare",
+            ("workflow", family, ntasks, seed),
+            lambda: generate(family, ntasks, seed),
+        )
+
+    def platform_for(
+        self,
+        workflow: Workflow,
+        processors: int,
+        pfail: float,
+        bandwidth: float = 100e6,
+    ) -> Platform:
+        """Platform with λ chosen so an average task fails with ``pfail``."""
+        key = ("platform", self._token(workflow), processors, pfail, bandwidth)
+        return self.cache.get_or_compute(
+            "prepare",
+            key,
+            lambda: Platform(
+                processors,
+                failure_rate=lambda_from_pfail(pfail, workflow.mean_weight),
+                bandwidth=bandwidth,
+            ),
+        )
+
+    def scale(
+        self, workflow: Workflow, platform: Platform, ccr: Optional[float]
+    ) -> Workflow:
+        """CCR-rescaled copy of ``workflow`` (shared across the pfail axis)."""
+        if ccr is None:
+            return workflow
+        key = ("scaled", self._token(workflow), platform.bandwidth, ccr)
+        return self.cache.get_or_compute(
+            "prepare", key, lambda: scale_to_ccr(workflow, platform, ccr)
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 2 — mspgify: structure only, invariant across the whole sweep.
+
+    def mspg_tree(self, workflow: Workflow) -> MSPG:
+        """The workflow's M-SPG tree (computed once per workflow)."""
+        return self.cache.get_or_compute(
+            "mspgify", self._token(workflow), lambda: mspgify(workflow).tree
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 3 — allocate: one schedule per (workflow, processors, seed).
+
+    def schedule_for(
+        self,
+        workflow: Workflow,
+        processors: int,
+        seed: SeedLike = None,
+        linearizer: str = "random",
+        tree: Optional[MSPG] = None,
+    ) -> Schedule:
+        """Superchain schedule, cached per (workflow, processors, seed).
+
+        Only int seeds key a cache entry: ``None`` means "fresh random
+        schedule" and a Generator/SeedSequence is stateful — replaying
+        either from a cache would change the caller's semantics.
+        """
+        if not isinstance(seed, int):
+            self.cache.count_compute("allocate")
+            return allocate(
+                workflow,
+                tree if tree is not None else self.mspg_tree(workflow),
+                processors,
+                seed=seed,
+                linearizer=linearizer,
+            )
+        key = (self._token(workflow), processors, seed, linearizer)
+        return self.cache.get_or_compute(
+            "allocate",
+            key,
+            lambda: allocate(
+                workflow,
+                tree if tree is not None else self.mspg_tree(workflow),
+                processors,
+                seed=seed,
+                linearizer=linearizer,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 4 — plan: checkpoint placement (per cell; counted, not stored).
+
+    def plan(
+        self,
+        workflow: Workflow,
+        schedule: Schedule,
+        platform: Platform,
+        strategy: str = "some",
+        save_final_outputs: bool = True,
+    ) -> CheckpointPlan:
+        """One strategy's checkpoint plan on the (scaled) workflow."""
+        builders = {"some": ckpt_some_plan, "all": ckpt_all_plan}
+        try:
+            builder = builders[strategy]
+        except KeyError:
+            raise ExperimentError(
+                f"unknown checkpoint strategy {strategy!r}; "
+                f"choose from {sorted(builders)}"
+            ) from None
+        self.cache.count_compute("plan")
+        return builder(
+            workflow, schedule, platform, save_final_outputs=save_final_outputs
+        )
+
+    def plans(
+        self,
+        workflow: Workflow,
+        schedule: Schedule,
+        platform: Platform,
+        save_final_outputs: bool = True,
+    ) -> Tuple[CheckpointPlan, CheckpointPlan]:
+        """(CKPTSOME, CKPTALL) plans for one cell."""
+        return (
+            self.plan(workflow, schedule, platform, "some", save_final_outputs),
+            self.plan(workflow, schedule, platform, "all", save_final_outputs),
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 5 — build_dag: segment DAG construction (per cell).
+
+    def segment_dag(
+        self,
+        workflow: Workflow,
+        schedule: Schedule,
+        plan: CheckpointPlan,
+        platform: Platform,
+    ) -> ProbDAG:
+        """2-state probabilistic segment DAG for one plan."""
+        self.cache.count_compute("build_dag")
+        return build_segment_dag(workflow, schedule, plan, platform)
+
+    # ------------------------------------------------------------------
+    # Stage 6 — evaluate: expected makespans.
+
+    def evaluate(
+        self,
+        dag: ProbDAG,
+        method: str = "pathapprox",
+        eval_seed: Optional[int] = None,
+    ) -> float:
+        """Expected makespan of a segment DAG with the named method.
+
+        ``eval_seed`` is forwarded only to stochastic methods (Monte
+        Carlo); the closed-form estimators take no seed.
+        """
+        self.cache.count_compute("evaluate")
+        if method == "montecarlo" and eval_seed is not None:
+            return expected_makespan(dag, method, seed=eval_seed)
+        return expected_makespan(dag, method)
+
+    def evaluate_none(
+        self,
+        workflow: Workflow,
+        scaled: Workflow,
+        schedule: Schedule,
+        platform: Platform,
+        cacheable: bool = True,
+    ) -> float:
+        """CKPTNONE's Theorem 1 estimate, cached across the CCR axis.
+
+        The estimator contains no I/O term, so its value depends on the
+        *unscaled* workflow (weights), the schedule, and the platform —
+        not on the CCR-rescaled file sizes; ``workflow`` keys the cache
+        while ``scaled`` feeds the computation (they agree on weights).
+
+        Pass ``cacheable=False`` for throwaway schedules (e.g. built
+        with ``seed=None``): caching would pin every such schedule in
+        the token map without any chance of a future hit.
+        """
+        if not cacheable:
+            self.cache.count_compute("evaluate")
+            return ckptnone_expected_makespan(scaled, schedule, platform)
+        key = (
+            self._token(workflow),
+            self._token(schedule),
+            platform.processors,
+            platform.failure_rate,
+        )
+        return self.cache.get_or_compute(
+            "evaluate",
+            key,
+            lambda: ckptnone_expected_makespan(scaled, schedule, platform),
+        )
+
+    # ------------------------------------------------------------------
+    # Cell-level composition (stages 4-6 over one prepared group).
+
+    def evaluate_cell(
+        self,
+        family: str,
+        ntasks_requested: int,
+        workflow: Workflow,
+        schedule: Schedule,
+        platform: Platform,
+        pfail: float,
+        ccr: float,
+        method: str = "pathapprox",
+        seed: int = 0,
+        eval_seed: Optional[int] = None,
+        save_final_outputs: bool = True,
+    ) -> CellResult:
+        """Run the per-cell stages (scale → plan → DAG → evaluate)."""
+        scaled = self.scale(workflow, platform, ccr)
+        plan_some, plan_all = self.plans(
+            scaled, schedule, platform, save_final_outputs
+        )
+        dag_some = self.segment_dag(scaled, schedule, plan_some, platform)
+        dag_all = self.segment_dag(scaled, schedule, plan_all, platform)
+        em_some = self.evaluate(dag_some, method, eval_seed)
+        em_all = self.evaluate(dag_all, method, eval_seed)
+        em_none = self.evaluate_none(workflow, scaled, schedule, platform)
+        return CellResult(
+            family=family,
+            ntasks_requested=ntasks_requested,
+            ntasks=workflow.n_tasks,
+            processors=platform.processors,
+            pfail=pfail,
+            ccr=ccr,
+            em_some=em_some,
+            em_all=em_all,
+            em_none=em_none,
+            checkpoints_some=plan_some.n_segments,
+            checkpoints_all=plan_all.n_segments,
+            superchains=len(schedule.superchains),
+            seed=seed,
+        )

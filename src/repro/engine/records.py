@@ -1,0 +1,133 @@
+"""The canonical result-record schema shared by experiments, CLI and benchmarks.
+
+One experiment cell — a (family, size, processors, pfail, CCR)
+configuration evaluated under all three checkpoint strategies — produces
+one :class:`CellResult`.  This module owns the record type plus its
+serialisation: CSV (the historical experiment format, derived ratio
+columns included) and JSONL (one record per line, round-trippable with
+:func:`records_from_jsonl`).
+
+Rendering (tables, ASCII panels) stays in
+:mod:`repro.experiments.results`, which re-exports :class:`CellResult`
+for backward compatibility.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "CellResult",
+    "record_to_dict",
+    "records_to_csv",
+    "records_to_jsonl",
+    "records_from_jsonl",
+]
+
+#: Derived columns appended to serialised records (computed properties).
+DERIVED_COLUMNS = ("ratio_all", "ratio_none")
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One experiment cell: a (family, size, p, pfail, CCR) configuration.
+
+    ``ratio_all`` / ``ratio_none`` are the paper's *relative expected
+    makespans*: ``EM(CKPTALL)/EM(CKPTSOME)`` and
+    ``EM(CKPTNONE)/EM(CKPTSOME)`` — values above 1 mean CKPTSOME wins.
+    """
+
+    family: str
+    ntasks_requested: int
+    ntasks: int
+    processors: int
+    pfail: float
+    ccr: float
+    em_some: float
+    em_all: float
+    em_none: float
+    checkpoints_some: int
+    checkpoints_all: int
+    superchains: int
+    seed: int
+
+    @property
+    def ratio_all(self) -> float:
+        """``EM(CKPTALL) / EM(CKPTSOME)``."""
+        return self.em_all / self.em_some
+
+    @property
+    def ratio_none(self) -> float:
+        """``EM(CKPTNONE) / EM(CKPTSOME)``."""
+        return self.em_none / self.em_some
+
+
+def record_to_dict(record: CellResult) -> Dict[str, object]:
+    """Field dict of one record, derived ratio columns included."""
+    out: Dict[str, object] = {
+        f.name: getattr(record, f.name) for f in fields(CellResult)
+    }
+    for name in DERIVED_COLUMNS:
+        out[name] = getattr(record, name)
+    return out
+
+
+def records_to_csv(
+    records: Sequence[CellResult], path: Optional[Union[str, Path]] = None
+) -> str:
+    """Serialise records to CSV (returned; also written if ``path`` given)."""
+    buf = io.StringIO()
+    names = [f.name for f in fields(CellResult)] + list(DERIVED_COLUMNS)
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(names)
+    for r in records:
+        writer.writerow([getattr(r, n) for n in names])
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def records_to_jsonl(
+    records: Sequence[CellResult], path: Optional[Union[str, Path]] = None
+) -> str:
+    """Serialise records to JSON Lines (returned; written if ``path`` given)."""
+    text = "".join(
+        json.dumps(record_to_dict(r), sort_keys=True) + "\n" for r in records
+    )
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def records_from_jsonl(source: Union[str, Path]) -> List[CellResult]:
+    """Parse records back from JSONL text or a path to a ``.jsonl`` file.
+
+    A ``str`` that does not start with ``{`` is treated as a file path
+    (JSONL record lines always start with an object), so the round trip
+    ``records_from_jsonl("out.jsonl")`` mirrors
+    ``records_to_jsonl(records, "out.jsonl")``.  Derived columns present
+    in the stream are ignored (they are recomputed properties).
+    """
+    if isinstance(source, Path):
+        text = source.read_text()
+    elif source.strip() and not source.lstrip().startswith("{"):
+        text = Path(source).read_text()
+    else:
+        text = source
+    field_names = {f.name for f in fields(CellResult)}
+    records: List[CellResult] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        records.append(
+            CellResult(**{k: v for k, v in payload.items() if k in field_names})
+        )
+    return records

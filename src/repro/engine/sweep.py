@@ -1,0 +1,361 @@
+"""Grid sweep executor: staged pipeline × (optional) process-pool fan-out.
+
+A sweep is declared as a :class:`SweepSpec` — one workflow family, a set
+of sizes, per-size processor counts, and pfail/CCR axes — and executed
+by :func:`run_sweep`.  The execution plan is deterministic:
+
+* the grid is decomposed into *groups*, one per (size, processors) pair,
+  iterated size-major (the historical ``run_figure`` order);
+* every seed is derived **up front in the parent process**, so records
+  are bit-identical whatever ``jobs`` or chunking is used.  Two seed
+  policies exist: ``"stable"`` reproduces the historical
+  :func:`repro.util.rng.stable_seed` derivation (the paper figures), and
+  ``"spawn"`` derives child seeds through
+  :class:`numpy.random.SeedSequence` spawning (the recommended scheme
+  for independent parallel streams);
+* with ``jobs == 1`` the groups run in-process over one shared
+  :class:`~repro.engine.pipeline.Pipeline`, so the M-SPG tree is built
+  once per workflow and the schedule once per (workflow, processors)
+  pair;
+* with ``jobs > 1`` chunks fan out over a ``concurrent.futures``
+  process pool, each worker amortising the invariant stages over its
+  chunk with a private pipeline.
+
+Results are always returned in grid order, one
+:class:`~repro.engine.records.CellResult` per cell.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.pipeline import Pipeline
+from repro.engine.records import CellResult
+from repro.errors import ExperimentError
+from repro.util.rng import stable_seed
+
+__all__ = ["SweepSpec", "run_sweep"]
+
+#: Allowed seed-derivation policies.
+SEED_POLICIES = ("spawn", "stable")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of one parameter-grid sweep."""
+
+    family: str
+    sizes: Tuple[int, ...]
+    processors: Mapping[int, Tuple[int, ...]]
+    pfails: Tuple[float, ...]
+    ccrs: Tuple[float, ...]
+    seed: int = 2017
+    method: str = "pathapprox"
+    bandwidth: float = 100e6
+    linearizer: str = "random"
+    save_final_outputs: bool = True
+    seed_policy: str = "spawn"
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sizes", tuple(self.sizes))
+        object.__setattr__(self, "pfails", tuple(self.pfails))
+        object.__setattr__(self, "ccrs", tuple(self.ccrs))
+        object.__setattr__(
+            self,
+            "processors",
+            {int(k): tuple(v) for k, v in dict(self.processors).items()},
+        )
+        if self.seed_policy not in SEED_POLICIES:
+            raise ExperimentError(
+                f"unknown seed policy {self.seed_policy!r}; "
+                f"choose from {list(SEED_POLICIES)}"
+            )
+        for ccr in self.ccrs:
+            if ccr < 0:
+                raise ExperimentError(f"target CCR must be >= 0, got {ccr}")
+        for ntasks in self.sizes:
+            if not self.processors.get(ntasks):
+                raise ExperimentError(
+                    f"no processor counts configured for size {ntasks}"
+                )
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of grid cells."""
+        per_group = len(self.pfails) * len(self.ccrs)
+        return sum(
+            len(self.processors[n]) for n in self.sizes
+        ) * per_group
+
+    @classmethod
+    def from_figure(cls, figure) -> "SweepSpec":
+        """Adapt a :class:`repro.experiments.figures.FigureSpec`.
+
+        Uses the ``"stable"`` seed policy so figure numbers are identical
+        to the historical serial loops.  Duck-typed to avoid an import
+        cycle with the experiments package.
+        """
+        try:
+            processors = {
+                int(n): tuple(figure.processors[n]) for n in figure.sizes
+            }
+        except KeyError as exc:
+            raise ExperimentError(
+                f"no processor counts configured for size {exc.args[0]}"
+            ) from None
+        return cls(
+            family=figure.family,
+            sizes=tuple(figure.sizes),
+            processors=processors,
+            pfails=tuple(figure.pfails),
+            ccrs=tuple(figure.ccrs),
+            seed=figure.seed,
+            method=figure.method,
+            bandwidth=figure.bandwidth,
+            seed_policy="stable",
+            name=figure.name,
+        )
+
+
+@dataclass(frozen=True)
+class _Chunk:
+    """One unit of executor work: contiguous cells of one grid group."""
+
+    order: Tuple[int, int]  # (group index, chunk index) — flatten order
+    ntasks: int
+    processors: int
+    wf_seed: int
+    sched_seed: int
+    cells: Tuple[Tuple[float, float, int], ...]  # (pfail, ccr, eval_seed)
+
+
+def _seq_to_seed(seq: np.random.SeedSequence) -> int:
+    """Deterministic 63-bit int seed from a spawned SeedSequence."""
+    return int(seq.generate_state(1, np.uint64)[0] >> np.uint64(1))
+
+
+def _derive_chunks(
+    spec: SweepSpec, chunk_cells: Optional[int]
+) -> List[_Chunk]:
+    """The deterministic execution plan: all seeds resolved, grid order.
+
+    Group seeds come either from ``stable_seed`` hashing (order
+    independent by construction) or from a ``SeedSequence.spawn`` tree
+    rooted at ``spec.seed`` and expanded in grid order — both computed
+    here, before any fan-out, so serial and parallel runs see identical
+    numbers.
+    """
+    cell_axes = [(pf, cc) for pf in spec.pfails for cc in spec.ccrs]
+    n_cells_per_group = len(cell_axes)
+    groups: List[_Chunk] = []
+
+    if spec.seed_policy == "spawn":
+        root = np.random.SeedSequence(spec.seed)
+        size_seqs = root.spawn(len(spec.sizes))
+    else:
+        size_seqs = [None] * len(spec.sizes)
+
+    group_index = 0
+    for ntasks, size_seq in zip(spec.sizes, size_seqs):
+        procs = spec.processors[ntasks]
+        if spec.seed_policy == "spawn":
+            kids = size_seq.spawn(1 + len(procs))
+            wf_seed = _seq_to_seed(kids[0])
+            proc_seqs = kids[1:]
+        else:
+            wf_seed = stable_seed(spec.seed, spec.family, ntasks)
+            proc_seqs = [None] * len(procs)
+        for p, proc_seq in zip(procs, proc_seqs):
+            if spec.seed_policy == "spawn":
+                kids2 = proc_seq.spawn(1 + n_cells_per_group)
+                sched_seed = _seq_to_seed(kids2[0])
+                eval_seeds = [_seq_to_seed(s) for s in kids2[1:]]
+            else:
+                sched_seed = stable_seed(spec.seed, spec.family, ntasks, p)
+                eval_seeds = [
+                    stable_seed(spec.seed, spec.family, ntasks, p, "cell", i)
+                    for i in range(n_cells_per_group)
+                ]
+            cells = tuple(
+                (pf, cc, ev)
+                for (pf, cc), ev in zip(cell_axes, eval_seeds)
+            )
+            groups.append(
+                _Chunk(
+                    order=(group_index, 0),
+                    ntasks=ntasks,
+                    processors=p,
+                    wf_seed=wf_seed,
+                    sched_seed=sched_seed,
+                    cells=cells,
+                )
+            )
+            group_index += 1
+
+    if chunk_cells is None or chunk_cells <= 0:
+        return groups
+    # Split each group's cell list into chunks of at most ``chunk_cells``
+    # for finer load balancing (at the cost of re-amortising the
+    # invariant stages once per chunk instead of once per group).
+    chunks: List[_Chunk] = []
+    for g in groups:
+        for j in range(0, len(g.cells), chunk_cells):
+            chunks.append(
+                replace(
+                    g,
+                    order=(g.order[0], j),
+                    cells=g.cells[j : j + chunk_cells],
+                )
+            )
+    return chunks
+
+
+def _progress_message(spec: SweepSpec, cell: CellResult) -> str:
+    return (
+        f"{spec.name} n={cell.ntasks_requested} p={cell.processors} "
+        f"pfail={cell.pfail} ccr={cell.ccr:.2e}: "
+        f"all/some={cell.ratio_all:.3f} none/some={cell.ratio_none:.3f}"
+    )
+
+
+def _run_chunk(
+    spec: SweepSpec,
+    chunk: _Chunk,
+    pipeline: Pipeline,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CellResult]:
+    """Execute one chunk's cells through the staged pipeline."""
+    workflow = pipeline.prepare(spec.family, chunk.ntasks, chunk.wf_seed)
+    tree = pipeline.mspg_tree(workflow)
+    schedule = pipeline.schedule_for(
+        workflow,
+        chunk.processors,
+        seed=chunk.sched_seed,
+        linearizer=spec.linearizer,
+        tree=tree,
+    )
+    records: List[CellResult] = []
+    for pfail, ccr, eval_seed in chunk.cells:
+        platform = pipeline.platform_for(
+            workflow, chunk.processors, pfail, spec.bandwidth
+        )
+        record = pipeline.evaluate_cell(
+            family=spec.family,
+            ntasks_requested=chunk.ntasks,
+            workflow=workflow,
+            schedule=schedule,
+            platform=platform,
+            pfail=pfail,
+            ccr=ccr,
+            method=spec.method,
+            seed=chunk.wf_seed,
+            eval_seed=eval_seed,
+            save_final_outputs=spec.save_final_outputs,
+        )
+        records.append(record)
+        if progress is not None:
+            progress(_progress_message(spec, record))
+    return records
+
+
+def _run_chunk_task(spec: SweepSpec, chunk: _Chunk) -> List[CellResult]:
+    """Process-pool entry point: a private pipeline per chunk."""
+    return _run_chunk(spec, chunk, Pipeline())
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+    chunk_cells: Optional[int] = None,
+    pipeline: Optional[Pipeline] = None,
+) -> List[CellResult]:
+    """Execute a sweep; returns one record per cell, in grid order.
+
+    Parameters
+    ----------
+    jobs:
+        ``1`` (default) runs in-process over one shared pipeline —
+        maximal artifact reuse.  ``> 1`` fans chunks out over that many
+        worker processes; ``0``/negative means "all cores".  Records are
+        identical for every value.
+    progress:
+        Callback receiving one formatted line per completed cell.
+    chunk_cells:
+        Split each (size, processors) group into chunks of at most this
+        many cells for finer pool balancing.  Default: one chunk per
+        group when serial (maximal reuse of the invariant stages); with
+        ``jobs > 1`` and fewer groups than workers, groups are split
+        automatically so every worker has work.  Chunking never changes
+        the records, only the work distribution.
+    pipeline:
+        Existing pipeline (and artifact cache) to reuse for in-process
+        execution; ignored when ``jobs > 1``.
+    """
+    if not spec.sizes or not spec.pfails or not spec.ccrs:
+        raise ExperimentError(
+            "sweep grid is empty (sizes, pfails and ccrs must be non-empty)"
+        )
+    chunks = _derive_chunks(spec, chunk_cells)
+    if jobs is None or jobs < 1:
+        jobs = os.cpu_count() or 1
+
+    if jobs == 1:
+        pipe = pipeline if pipeline is not None else Pipeline()
+        ordered = [_run_chunk(spec, ch, pipe, progress) for ch in chunks]
+        return [rec for recs in ordered for rec in recs]
+
+    if chunk_cells is None:
+        # Auto-chunk so the pool has a few chunks per worker even when
+        # the grid has fewer (size, processors) groups than workers.
+        per_group = len(spec.pfails) * len(spec.ccrs)
+        n_groups = len(chunks)
+        target = 2 * jobs
+        if n_groups < target:
+            chunk_cells = max(1, math.ceil(per_group * n_groups / target))
+            chunks = _derive_chunks(spec, chunk_cells)
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+    except (OSError, PermissionError, ModuleNotFoundError):
+        # No process support in this environment (restricted sandbox):
+        # fall back to the serial path, which produces identical records.
+        return run_sweep(spec, jobs=1, progress=progress)
+    results: Dict[Tuple[int, int], List[CellResult]] = {}
+    try:
+        with pool:
+            futures = {
+                pool.submit(_run_chunk_task, spec, ch): ch.order
+                for ch in chunks
+            }
+            for fut in as_completed(futures):
+                recs = fut.result()
+                results[futures[fut]] = recs
+                if progress is not None:
+                    for rec in recs:
+                        progress(_progress_message(spec, rec))
+    except BrokenProcessPool as exc:
+        # Workers spawn lazily, so a sandbox that blocks process
+        # creation surfaces here rather than at pool construction — but
+        # so does a genuine worker crash (OOM kill, native segfault).
+        # Warn loudly before restarting serially: records are identical,
+        # though completed work is redone and progress lines repeat.
+        warnings.warn(
+            f"process pool broke during sweep ({exc}); "
+            "restarting the whole grid serially (jobs=1)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        if progress is not None:
+            progress(f"! process pool broke ({exc}); restarting serially")
+        return run_sweep(spec, jobs=1, progress=progress)
+    return [rec for order in sorted(results) for rec in results[order]]

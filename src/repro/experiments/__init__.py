@@ -7,8 +7,13 @@
   failure probability, workflow size and processor count;
 * :mod:`repro.experiments.accuracy` — the §VI-B evaluation-method
   accuracy/runtime study (MONTECARLO vs DODIN vs NORMAL vs PATHAPPROX);
-* :mod:`repro.experiments.results` — result records, CSV emission and
-  terminal rendering (tables + ASCII plots).
+* :mod:`repro.experiments.results` — result rendering (tables + ASCII
+  plots) over the engine's record schema.
+
+Grid execution is delegated to :mod:`repro.engine`: the staged pipeline
+(artifact cache) plus the parallel sweep executor.  The record type
+(:class:`~repro.engine.records.CellResult`) and its CSV/JSONL
+serialisation live there and are re-exported here for compatibility.
 """
 
 from repro.experiments.ccr import ccr_of, scale_to_ccr
@@ -19,10 +24,11 @@ from repro.experiments.figures import (
     run_figure,
 )
 from repro.experiments.accuracy import AccuracyRow, run_accuracy
-from repro.experiments.claims import ClaimResult, check_all_claims
+from repro.experiments.claims import ClaimResult, check_all_claims, sweep_and_check
 from repro.experiments.results import CellResult, render_figure, results_to_csv
 
 __all__ = [
+    "sweep_and_check",
     "ccr_of",
     "scale_to_ccr",
     "PAPER_FIGURES",

@@ -17,16 +17,10 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.checkpoint.strategies import ckpt_all_plan, ckpt_some_plan
+from repro.engine.pipeline import Pipeline
 from repro.errors import ExperimentError
-from repro.experiments.ccr import scale_to_ccr
-from repro.generators import generate
 from repro.makespan.api import EVALUATORS
 from repro.makespan.montecarlo import montecarlo_result
-from repro.makespan.segment_dag import build_segment_dag
-from repro.mspg.transform import mspgify
-from repro.platform import Platform, lambda_from_pfail
-from repro.scheduling.allocate import allocate
 from repro.util.rng import stable_seed
 from repro.util.tables import format_table
 
@@ -76,20 +70,22 @@ def run_accuracy(
     if plan not in ("all", "some"):
         raise ExperimentError(f"plan must be 'all' or 'some', got {plan!r}")
     rows: List[AccuracyRow] = []
+    pipe = Pipeline()
     for family in families:
         wf_seed = stable_seed(seed, family, ntasks)
-        workflow = generate(family, ntasks, wf_seed)
-        tree = mspgify(workflow).tree
-        schedule = allocate(
-            workflow, tree, processors, seed=stable_seed(seed, family, processors)
+        workflow = pipe.prepare(family, ntasks, wf_seed)
+        tree = pipe.mspg_tree(workflow)
+        schedule = pipe.schedule_for(
+            workflow,
+            processors,
+            seed=stable_seed(seed, family, processors),
+            tree=tree,
         )
         for pfail in pfails:
-            lam = lambda_from_pfail(pfail, workflow.mean_weight)
-            platform = Platform(processors, failure_rate=lam)
-            scaled = scale_to_ccr(workflow, platform, ccr)
-            builder = ckpt_all_plan if plan == "all" else ckpt_some_plan
-            cplan = builder(scaled, schedule, platform)
-            dag = build_segment_dag(scaled, schedule, cplan, platform)
+            platform = pipe.platform_for(workflow, processors, pfail)
+            scaled = pipe.scale(workflow, platform, ccr)
+            cplan = pipe.plan(scaled, schedule, platform, strategy=plan)
+            dag = pipe.segment_dag(scaled, schedule, cplan, platform)
 
             t0 = time.perf_counter()
             mc = montecarlo_result(dag, trials=mc_trials, seed=wf_seed)

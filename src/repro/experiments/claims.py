@@ -25,9 +25,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
-from repro.experiments.results import CellResult
+from repro.engine.records import CellResult
+from repro.engine.sweep import SweepSpec, run_sweep
 
-__all__ = ["ClaimResult", "check_all_claims", "CLAIM_CHECKERS"]
+__all__ = [
+    "ClaimResult",
+    "check_all_claims",
+    "sweep_and_check",
+    "CLAIM_CHECKERS",
+]
 
 #: Relative tolerance on ratio comparisons (first-order model noise).
 TOL = 0.02
@@ -190,6 +196,18 @@ CLAIM_CHECKERS: Dict[str, Callable[[Sequence[CellResult]], ClaimResult]] = {
 def check_all_claims(cells: Sequence[CellResult]) -> List[ClaimResult]:
     """Run every claim checker; returns the results in claim order."""
     return [checker(cells) for checker in CLAIM_CHECKERS.values()]
+
+
+def sweep_and_check(
+    spec: SweepSpec, jobs: int = 1
+) -> Tuple[List[CellResult], List[ClaimResult]]:
+    """Execute a sweep through the engine and check every claim on it.
+
+    One-stop entry point for the benchmark harness: returns the cells
+    (grid order) together with the claim verdicts.
+    """
+    cells = run_sweep(spec, jobs=jobs)
+    return cells, check_all_claims(cells)
 
 
 def render_claims(results: Sequence[ClaimResult]) -> str:

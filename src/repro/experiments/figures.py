@@ -1,4 +1,4 @@
-"""The paper's Figure 5/6/7 grids (§VI-C).
+"""The paper's Figure 5/6/7 grids (§VI-C), executed by the pipeline engine.
 
 Each figure compares the relative expected makespan of CKPTALL and of
 CKPTNONE against CKPTSOME for one workflow family, sweeping:
@@ -16,6 +16,12 @@ schedules are CCR-independent and reused across the sweep; λ is chosen so
 a task of average weight fails with probability pfail; checkpoint plans
 and evaluations are redone per CCR point (CKPTNONE's estimator contains
 no I/O and is evaluated once per schedule).
+
+Since the engine refactor, :func:`run_figure` is a declarative adapter:
+the grid is converted to a :class:`repro.engine.SweepSpec` (with the
+historical ``stable_seed`` derivation, so figure numbers are unchanged)
+and executed by :func:`repro.engine.run_sweep` — pass ``jobs>1`` to fan
+the grid out over a process pool.
 """
 
 from __future__ import annotations
@@ -26,17 +32,10 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.checkpoint.strategies import ckpt_all_plan, ckpt_some_plan
+from repro.engine.pipeline import Pipeline
+from repro.engine.records import CellResult
+from repro.engine.sweep import SweepSpec, run_sweep
 from repro.errors import ExperimentError
-from repro.experiments.ccr import scale_to_ccr
-from repro.experiments.results import CellResult
-from repro.generators import generate
-from repro.makespan.api import expected_makespan
-from repro.makespan.ckptnone import ckptnone_expected_makespan
-from repro.makespan.segment_dag import build_segment_dag
-from repro.mspg.transform import mspgify
-from repro.platform import Platform, lambda_from_pfail
-from repro.scheduling.allocate import allocate
 from repro.util.rng import stable_seed
 
 __all__ = ["FigureSpec", "PAPER_FIGURES", "run_cell", "run_figure", "log_grid"]
@@ -124,121 +123,46 @@ def run_cell(
 ) -> CellResult:
     """Run one experiment cell from scratch (convenience entry point).
 
-    ``run_figure`` amortises generation/scheduling across the grid; this
-    standalone version regenerates everything and is what the CLI's
-    ``evaluate`` sub-command and the quickstart example call.
+    :func:`run_figure` amortises generation/scheduling across the grid;
+    this standalone version runs a fresh pipeline end to end and is what
+    the CLI's ``evaluate`` sub-command and the quickstart example call.
     """
+    pipe = Pipeline()
     wf_seed = stable_seed(seed, family, ntasks)
-    workflow = generate(family, ntasks, wf_seed)
-    tree = mspgify(workflow).tree
-    lam = lambda_from_pfail(pfail, workflow.mean_weight)
-    platform = Platform(processors, failure_rate=lam, bandwidth=bandwidth)
-    schedule = allocate(
-        workflow, tree, processors, seed=stable_seed(seed, family, ntasks, processors)
-    )
-    return _evaluate_cell(
-        family,
-        ntasks,
+    workflow = pipe.prepare(family, ntasks, wf_seed)
+    tree = pipe.mspg_tree(workflow)
+    platform = pipe.platform_for(workflow, processors, pfail, bandwidth)
+    schedule = pipe.schedule_for(
         workflow,
-        schedule,
-        platform,
-        pfail,
-        ccr,
-        method,
-        wf_seed,
-        save_final_outputs,
+        processors,
+        seed=stable_seed(seed, family, ntasks, processors),
+        tree=tree,
     )
-
-
-def _evaluate_cell(
-    family: str,
-    ntasks_requested: int,
-    workflow,
-    schedule,
-    platform: Platform,
-    pfail: float,
-    ccr: float,
-    method: str,
-    seed: int,
-    save_final_outputs: bool = True,
-) -> CellResult:
-    scaled = scale_to_ccr(workflow, platform, ccr)
-    plan_some = ckpt_some_plan(
-        scaled, schedule, platform, save_final_outputs=save_final_outputs
-    )
-    plan_all = ckpt_all_plan(
-        scaled, schedule, platform, save_final_outputs=save_final_outputs
-    )
-    dag_some = build_segment_dag(scaled, schedule, plan_some, platform)
-    dag_all = build_segment_dag(scaled, schedule, plan_all, platform)
-    em_some = expected_makespan(dag_some, method)
-    em_all = expected_makespan(dag_all, method)
-    em_none = ckptnone_expected_makespan(scaled, schedule, platform)
-    return CellResult(
+    return pipe.evaluate_cell(
         family=family,
-        ntasks_requested=ntasks_requested,
-        ntasks=workflow.n_tasks,
-        processors=platform.processors,
+        ntasks_requested=ntasks,
+        workflow=workflow,
+        schedule=schedule,
+        platform=platform,
         pfail=pfail,
         ccr=ccr,
-        em_some=em_some,
-        em_all=em_all,
-        em_none=em_none,
-        checkpoints_some=plan_some.n_segments,
-        checkpoints_all=plan_all.n_segments,
-        superchains=len(schedule.superchains),
-        seed=seed,
+        method=method,
+        seed=wf_seed,
+        save_final_outputs=save_final_outputs,
     )
 
 
 def run_figure(
     spec: FigureSpec,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> List[CellResult]:
     """Run a full figure grid; returns one :class:`CellResult` per point.
 
     Workflow generation is amortised per (family, size) and scheduling per
-    (size, p); the CKPTNONE estimate is reused across the CCR sweep (it
-    contains no I/O term).
+    (size, p) by the engine's artifact cache; the CKPTNONE estimate is
+    reused across the CCR sweep (it contains no I/O).  ``jobs`` selects
+    the engine's process-pool width (``1`` = in-process serial; records
+    are identical either way).
     """
-    cells: List[CellResult] = []
-    for ntasks in spec.sizes:
-        wf_seed = stable_seed(spec.seed, spec.family, ntasks)
-        workflow = generate(spec.family, ntasks, wf_seed)
-        tree = mspgify(workflow).tree
-        try:
-            proc_counts = spec.processors[ntasks]
-        except KeyError:
-            raise ExperimentError(
-                f"no processor counts configured for size {ntasks}"
-            ) from None
-        for p in proc_counts:
-            schedule = allocate(
-                workflow,
-                tree,
-                p,
-                seed=stable_seed(spec.seed, spec.family, ntasks, p),
-            )
-            for pfail in spec.pfails:
-                lam = lambda_from_pfail(pfail, workflow.mean_weight)
-                platform = Platform(p, failure_rate=lam, bandwidth=spec.bandwidth)
-                for ccr in spec.ccrs:
-                    cell = _evaluate_cell(
-                        spec.family,
-                        ntasks,
-                        workflow,
-                        schedule,
-                        platform,
-                        pfail,
-                        ccr,
-                        spec.method,
-                        wf_seed,
-                    )
-                    cells.append(cell)
-                    if progress is not None:
-                        progress(
-                            f"{spec.name} n={ntasks} p={p} pfail={pfail} "
-                            f"ccr={ccr:.2e}: all/some={cell.ratio_all:.3f} "
-                            f"none/some={cell.ratio_none:.3f}"
-                        )
-    return cells
+    return run_sweep(SweepSpec.from_figure(spec), jobs=jobs, progress=progress)

@@ -1,68 +1,36 @@
-"""Result records, CSV emission and terminal rendering."""
+"""Result rendering (tables + ASCII panels) over the engine's records.
+
+The record type itself and its CSV/JSONL serialisation live in
+:mod:`repro.engine.records` (one schema shared by experiments, CLI and
+benchmarks); this module re-exports them for backward compatibility and
+adds the terminal renderers.
+"""
 
 from __future__ import annotations
 
-import csv
-import io
-from dataclasses import asdict, dataclass, fields
-from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.records import (
+    CellResult,
+    records_from_jsonl,
+    records_to_csv,
+    records_to_jsonl,
+)
 from repro.util.asciiplot import ascii_xy_plot
 from repro.util.tables import format_table
 
-__all__ = ["CellResult", "results_to_csv", "render_figure", "render_cells_table"]
+#: Backward-compatible name for :func:`repro.engine.records.records_to_csv`.
+results_to_csv = records_to_csv
 
-
-@dataclass(frozen=True)
-class CellResult:
-    """One experiment cell: a (family, size, p, pfail, CCR) configuration.
-
-    ``ratio_all`` / ``ratio_none`` are the paper's *relative expected
-    makespans*: ``EM(CKPTALL)/EM(CKPTSOME)`` and
-    ``EM(CKPTNONE)/EM(CKPTSOME)`` — values above 1 mean CKPTSOME wins.
-    """
-
-    family: str
-    ntasks_requested: int
-    ntasks: int
-    processors: int
-    pfail: float
-    ccr: float
-    em_some: float
-    em_all: float
-    em_none: float
-    checkpoints_some: int
-    checkpoints_all: int
-    superchains: int
-    seed: int
-
-    @property
-    def ratio_all(self) -> float:
-        """``EM(CKPTALL) / EM(CKPTSOME)``."""
-        return self.em_all / self.em_some
-
-    @property
-    def ratio_none(self) -> float:
-        """``EM(CKPTNONE) / EM(CKPTSOME)``."""
-        return self.em_none / self.em_some
-
-
-def results_to_csv(
-    cells: Sequence[CellResult], path: Optional[Union[str, Path]] = None
-) -> str:
-    """Serialise cells to CSV (returned; also written if ``path`` given)."""
-    buf = io.StringIO()
-    names = [f.name for f in fields(CellResult)] + ["ratio_all", "ratio_none"]
-    writer = csv.writer(buf, lineterminator="\n")
-    writer.writerow(names)
-    for c in cells:
-        row = [getattr(c, n) for n in names]
-        writer.writerow(row)
-    text = buf.getvalue()
-    if path is not None:
-        Path(path).write_text(text)
-    return text
+__all__ = [
+    "CellResult",
+    "results_to_csv",
+    "records_to_csv",
+    "records_to_jsonl",
+    "records_from_jsonl",
+    "render_figure",
+    "render_cells_table",
+]
 
 
 def render_cells_table(cells: Sequence[CellResult], title: str = "") -> str:

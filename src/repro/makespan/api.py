@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import inspect
+from typing import Callable, Dict, FrozenSet, Optional
 
 from repro.errors import EvaluationError
 from repro.makespan.dodin import dodin
@@ -23,6 +24,26 @@ EVALUATORS: Dict[str, Callable[..., float]] = {
     "exact": exact,
 }
 
+#: Per-evaluator accepted keyword options (``None`` = accepts anything).
+#: Keyed by the function object so replacing an EVALUATORS entry is safe.
+_ACCEPTED_OPTIONS: Dict[Callable[..., float], Optional[FrozenSet[str]]] = {}
+
+
+def _accepted_options(fn: Callable[..., float]) -> Optional[FrozenSet[str]]:
+    """Keyword names the evaluator accepts beyond the DAG, from its
+    signature; ``None`` when it takes ``**kwargs`` (nothing to validate)."""
+    if fn not in _ACCEPTED_OPTIONS:
+        params = list(inspect.signature(fn).parameters.values())
+        if any(p.kind is p.VAR_KEYWORD for p in params):
+            _ACCEPTED_OPTIONS[fn] = None
+        else:
+            _ACCEPTED_OPTIONS[fn] = frozenset(
+                p.name
+                for p in params[1:]  # params[0] is the DAG
+                if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+            )
+    return _ACCEPTED_OPTIONS[fn]
+
 
 def expected_makespan(dag: ProbDAG, method: str = "pathapprox", **kwargs) -> float:
     """Expected makespan of a 2-state DAG with the named method.
@@ -30,7 +51,9 @@ def expected_makespan(dag: ProbDAG, method: str = "pathapprox", **kwargs) -> flo
     ``method`` is one of ``montecarlo``, ``dodin``, ``normal``,
     ``pathapprox`` (default, the paper's choice) or ``exact``; extra
     keyword arguments are forwarded (e.g. ``trials=``/``seed=`` for Monte
-    Carlo, ``k=`` for PathApprox).
+    Carlo, ``k=`` for PathApprox).  Unknown keywords raise
+    :class:`~repro.errors.EvaluationError` naming the method and its
+    accepted options.
     """
     try:
         fn = EVALUATORS[method]
@@ -39,4 +62,14 @@ def expected_makespan(dag: ProbDAG, method: str = "pathapprox", **kwargs) -> flo
             f"unknown evaluation method {method!r}; choose from "
             f"{sorted(EVALUATORS)}"
         ) from None
+    if kwargs:  # introspect only when there are options to validate
+        accepted = _accepted_options(fn)
+        if accepted is not None:
+            unknown = sorted(set(kwargs) - accepted)
+            if unknown:
+                raise EvaluationError(
+                    f"unknown option(s) {', '.join(map(repr, unknown))} for "
+                    f"method {method!r}; accepted options: "
+                    f"{sorted(accepted) if accepted else 'none'}"
+                )
     return fn(dag, **kwargs)

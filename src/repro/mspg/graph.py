@@ -49,6 +49,26 @@ from repro.util.toposort import random_topological_order, topological_order
 __all__ = ["Task", "Workflow"]
 
 
+class OrderedFrozenSet(FrozenSet[str]):
+    """A frozenset whose iteration order is sorted, hence deterministic.
+
+    Plain ``frozenset`` iteration follows string hashes, which are
+    randomised per process (``PYTHONHASHSEED``): any algorithm that
+    iterates adjacency or file sets — linearisation tie-breaking, M-SPG
+    construction, I/O-cost accumulation — would produce slightly
+    different (schedule- and ULP-level) results on every run.  The graph
+    accessors return this subclass so results are reproducible across
+    processes while set semantics (membership, difference, …) are
+    preserved.  Operator results (``a - b`` etc.) degrade to plain
+    ``frozenset``; re-wrap before iterating if order matters there.
+    """
+
+    __slots__ = ()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(super().__iter__()))
+
+
 @dataclass(frozen=True)
 class Task:
     """A sequential workflow task.
@@ -229,17 +249,17 @@ class Workflow:
     def consumers(self, name: str) -> FrozenSet[str]:
         """Tasks consuming ``name``."""
         self._require_file(name)
-        return frozenset(self._consumers[name])
+        return OrderedFrozenSet(self._consumers[name])
 
     def outputs(self, task_id: str) -> FrozenSet[str]:
         """Files produced by ``task_id``."""
         self._require_task(task_id)
-        return frozenset(self._outputs[task_id])
+        return OrderedFrozenSet(self._outputs[task_id])
 
     def inputs(self, task_id: str) -> FrozenSet[str]:
         """Files consumed by ``task_id``."""
         self._require_task(task_id)
-        return frozenset(self._inputs[task_id])
+        return OrderedFrozenSet(self._inputs[task_id])
 
     def workflow_inputs(self) -> List[str]:
         """Files with no producer (read from storage at the start)."""
@@ -283,22 +303,22 @@ class Workflow:
     def succs(self, task_id: str) -> FrozenSet[str]:
         """Immediate successors of a task (data or control)."""
         self._require_task(task_id)
-        return frozenset(self._adjacency()[0][task_id])
+        return OrderedFrozenSet(self._adjacency()[0][task_id])
 
     def preds(self, task_id: str) -> FrozenSet[str]:
         """Immediate predecessors of a task (data or control)."""
         self._require_task(task_id)
-        return frozenset(self._adjacency()[1][task_id])
+        return OrderedFrozenSet(self._adjacency()[1][task_id])
 
     def successor_map(self) -> Dict[str, FrozenSet[str]]:
         """Full successor adjacency as an immutable-valued dict."""
         succs, _ = self._adjacency()
-        return {u: frozenset(vs) for u, vs in succs.items()}
+        return {u: OrderedFrozenSet(vs) for u, vs in succs.items()}
 
     def predecessor_map(self) -> Dict[str, FrozenSet[str]]:
         """Full predecessor adjacency as an immutable-valued dict."""
         _, preds = self._adjacency()
-        return {u: frozenset(vs) for u, vs in preds.items()}
+        return {u: OrderedFrozenSet(vs) for u, vs in preds.items()}
 
     def edges(self) -> List[Tuple[str, str]]:
         """All edges ``(u, v)`` in a deterministic order."""
@@ -315,7 +335,7 @@ class Workflow:
         """Files flowing along edge ``src -> dst`` (empty for control edges)."""
         self._require_task(src)
         self._require_task(dst)
-        return frozenset(
+        return OrderedFrozenSet(
             f for f in self._outputs[src] if dst in self._consumers[f]
         )
 
@@ -347,15 +367,26 @@ class Workflow:
     # orders / validation
     # ------------------------------------------------------------------ #
 
+    def _sorted_adjacency(self) -> Dict[str, List[str]]:
+        """Successor lists in sorted order, for order-sensitive consumers.
+
+        The raw adjacency stores plain sets whose iteration follows the
+        per-process string-hash seed; anything whose *result* depends on
+        visit order (Kahn tie-breaking, rng-stream mapping) must consume
+        this view to stay reproducible across processes.
+        """
+        succs, _ = self._adjacency()
+        return {u: sorted(vs) for u, vs in succs.items()}
+
     def topological_order(self) -> List[str]:
         """Deterministic topological order of all tasks."""
-        succs, _ = self._adjacency()
-        return topological_order(self.task_ids, succs)
+        return topological_order(self.task_ids, self._sorted_adjacency())
 
     def random_topological_order(self, seed: SeedLike = None) -> List[str]:
         """Random topological order (uniform ready-task tie-breaking)."""
-        succs, _ = self._adjacency()
-        return random_topological_order(self.task_ids, succs, seed)
+        return random_topological_order(
+            self.task_ids, self._sorted_adjacency(), seed
+        )
 
     def validate(self) -> None:
         """Raise :class:`~repro.errors.WorkflowError` on inconsistencies.

@@ -61,15 +61,16 @@ __all__ = ["recognize", "recognize_adjacency", "is_mspg", "serial_cut_prefixes"]
 
 
 def weakly_connected_components(
-    nodes: AbstractSet[Node],
+    nodes: Iterable[Node],
     succs: Mapping[Node, Iterable[Node]],
     preds: Mapping[Node, Iterable[Node]],
 ) -> List[List[Node]]:
     """Weakly connected components of the subgraph induced by ``nodes``.
 
     Components are returned with nodes in the iteration order of ``nodes``
-    (which callers keep topological), so downstream code stays
-    deterministic.
+    — callers must pass an *ordered* iterable (a topological list, not a
+    set) for downstream code to stay deterministic: both component
+    discovery order and the node order within each component follow it.
     """
     order = list(nodes)
     node_set = set(order)
@@ -206,7 +207,7 @@ def _recognize_rec(
     """Recursive recognition; ``topo`` is a topological order of the subset."""
     if len(topo) == 1:
         return TaskNode(topo[0])
-    comps = weakly_connected_components(set(topo), succs, preds)
+    comps = weakly_connected_components(topo, succs, preds)
     if len(comps) > 1:
         pos = {v: i for i, v in enumerate(topo)}
         children = []

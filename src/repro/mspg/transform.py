@@ -46,7 +46,7 @@ from repro.mspg.expr import (
     series,
     tree_edges,
 )
-from repro.mspg.graph import Workflow
+from repro.mspg.graph import OrderedFrozenSet, Workflow
 from repro.mspg.recognize import serial_cut_candidates, weakly_connected_components
 from repro.util.toposort import topological_order
 
@@ -102,7 +102,7 @@ def transitive_reduction(
                 removed.add((u, v))
             else:
                 keep.append(v)
-        reduced[u] = frozenset(keep)
+        reduced[u] = OrderedFrozenSet(keep)
     return reduced, removed
 
 
@@ -195,7 +195,9 @@ def _mspgify_rec(
     if len(topo) == 1:
         return TaskNode(topo[0])
     node_set = set(topo)
-    comps = weakly_connected_components(node_set, succs, preds)
+    # Pass the ordered topo list, not node_set: component discovery (and
+    # hence parallel-children order) follows the iteration order given.
+    comps = weakly_connected_components(topo, succs, preds)
     if len(comps) > 1:
         pos = {v: i for i, v in enumerate(topo)}
         return parallel(
@@ -257,7 +259,7 @@ def mspgify(workflow: Workflow) -> MspgifyResult:
     for u, vs in reduced_succs.items():
         for v in vs:
             reduced_preds[v].add(u)
-    frozen_preds = {v: frozenset(ps) for v, ps in reduced_preds.items()}
+    frozen_preds = {v: OrderedFrozenSet(ps) for v, ps in reduced_preds.items()}
 
     tree = _mspgify_rec(list(order), reduced_succs, frozen_preds)
     return MspgifyResult(tree, workflow, bool(removed))

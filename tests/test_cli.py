@@ -66,6 +66,70 @@ class TestEvaluate:
         assert "all/some=" in out
 
 
+class TestSweep:
+    BASE = [
+        "sweep",
+        "--family",
+        "genome",
+        "--sizes",
+        "50",
+        "--processors",
+        "3",
+        "--pfails",
+        "0.001",
+        "--ccrs",
+        "0.001",
+        "0.01",
+        "--quiet",
+    ]
+
+    def test_runs_and_prints_table(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "all/some" in out and "genome" in out
+
+    def test_writes_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "records.jsonl"
+        assert main(self.BASE + ["--out", str(out_path)]) == 0
+        from repro.engine.records import records_from_jsonl
+
+        records = records_from_jsonl(out_path)
+        assert len(records) == 2
+        assert {r.ccr for r in records} == {0.001, 0.01}
+
+    def test_writes_csv(self, tmp_path):
+        out_path = tmp_path / "records.csv"
+        assert main(self.BASE + ["--out", str(out_path)]) == 0
+        assert out_path.read_text().startswith("family,")
+
+    def test_bad_records_extension(self, tmp_path):
+        assert main(self.BASE + ["--out", str(tmp_path / "r.yaml")]) == 2
+
+    def test_missing_output_directory(self, tmp_path):
+        missing = tmp_path / "nope" / "r.jsonl"
+        assert main(self.BASE + ["--out", str(missing)]) == 2
+
+    def test_conflicting_ccr_flags(self):
+        assert main(self.BASE + ["--ccr-grid", "0.001", "0.1", "3"]) == 2
+
+    def test_invalid_ccr_grid_exits_2(self, capsys):
+        args = self.BASE[: self.BASE.index("--ccrs")] + ["--quiet"]
+        assert main(args + ["--ccr-grid", "0", "1", "3"]) == 2
+        assert "invalid sweep grid" in capsys.readouterr().err
+
+    def test_jobs_flag_identical_records(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(self.BASE + ["--out", str(a)]) == 0
+        assert main(self.BASE + ["--jobs", "2", "--out", str(b)]) == 0
+        assert a.read_text() == b.read_text()
+
+    def test_ccr_grid_default(self, capsys):
+        args = self.BASE[: self.BASE.index("--ccrs")] + ["--quiet"]
+        assert main(args + ["--ccr-grid", "0.001", "0.1", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "genome" in out
+
+
 class TestFigure:
     def test_tiny_grid_with_csv(self, tmp_path, capsys):
         csv = tmp_path / "fig5.csv"

@@ -1,0 +1,349 @@
+"""Tests for the pipeline engine: artifact cache, staged pipeline,
+sweep executor parity/determinism, and the record schema."""
+
+import pytest
+
+import repro.engine.pipeline as pipeline_mod
+from repro.api import run_strategies
+from repro.engine import (
+    ArtifactCache,
+    CellResult,
+    Pipeline,
+    SweepSpec,
+    records_from_jsonl,
+    records_to_csv,
+    records_to_jsonl,
+    run_sweep,
+)
+from repro.engine.sweep import _derive_chunks
+from repro.errors import ExperimentError
+from repro.experiments.claims import sweep_and_check
+from repro.experiments.figures import run_cell
+from repro.generators import generate
+from repro.util.rng import stable_seed
+
+
+def small_spec(**overrides):
+    kwargs = dict(
+        family="genome",
+        sizes=(50,),
+        processors={50: (3, 5)},
+        pfails=(0.01, 0.001),
+        ccrs=(1e-3, 1e-2),
+        seed=11,
+        seed_policy="stable",
+        name="unit",
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestArtifactCache:
+    def test_hit_miss_accounting(self):
+        cache = ArtifactCache()
+        calls = []
+        for _ in range(3):
+            v = cache.get_or_compute("mspgify", ("k",), lambda: calls.append(1) or 42)
+        assert v == 42 and len(calls) == 1
+        stats = cache.stats()["mspgify"]
+        assert (stats.misses, stats.hits, stats.calls) == (1, 2, 3)
+
+    def test_distinct_keys_distinct_artifacts(self):
+        cache = ArtifactCache()
+        a = cache.get_or_compute("prepare", 1, lambda: object())
+        b = cache.get_or_compute("prepare", 2, lambda: object())
+        assert a is not b
+        assert len(cache) == 2
+
+    def test_clear_resets(self):
+        cache = ArtifactCache()
+        cache.get_or_compute("allocate", 1, lambda: "x")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["allocate"].calls == 0
+
+
+class TestPipelineStages:
+    def test_tree_cached_per_workflow(self):
+        pipe = Pipeline()
+        wf = generate("montage", 50, 3)
+        t1 = pipe.mspg_tree(wf)
+        t2 = pipe.mspg_tree(wf)
+        assert t1 is t2
+        assert pipe.cache.stats()["mspgify"].misses == 1
+        assert pipe.cache.stats()["mspgify"].hits == 1
+
+    def test_schedule_cached_for_int_seed(self):
+        pipe = Pipeline()
+        wf = generate("montage", 50, 3)
+        s1 = pipe.schedule_for(wf, 5, seed=7)
+        s2 = pipe.schedule_for(wf, 5, seed=7)
+        s3 = pipe.schedule_for(wf, 5, seed=8)
+        assert s1 is s2 and s1 is not s3
+        assert pipe.cache.stats()["allocate"].misses == 2
+
+    def test_schedule_not_cached_for_none_seed(self):
+        pipe = Pipeline()
+        wf = generate("montage", 50, 3)
+        s1 = pipe.schedule_for(wf, 5, seed=None)
+        s2 = pipe.schedule_for(wf, 5, seed=None)
+        assert s1 is not s2
+        assert pipe.cache.stats()["allocate"].misses == 2
+
+    def test_scaled_workflow_shared_across_pfail_axis(self):
+        pipe = Pipeline()
+        wf = generate("montage", 50, 3)
+        plat_a = pipe.platform_for(wf, 5, 0.01)
+        plat_b = pipe.platform_for(wf, 5, 0.001)
+        assert plat_a.failure_rate != plat_b.failure_rate
+        scaled_a = pipe.scale(wf, plat_a, 0.1)
+        scaled_b = pipe.scale(wf, plat_b, 0.1)
+        assert scaled_a is scaled_b  # same bandwidth, same CCR
+
+    def test_clear_releases_tokens_and_artifacts(self):
+        pipe = Pipeline()
+        wf = generate("montage", 50, 3)
+        pipe.mspg_tree(wf)
+        assert len(pipe.cache) == 1 and pipe._tokens
+        pipe.clear()
+        assert len(pipe.cache) == 0 and not pipe._tokens
+        pipe.mspg_tree(wf)
+        assert pipe.cache.stats()["mspgify"].misses == 1
+
+    def test_unknown_plan_strategy(self):
+        pipe = Pipeline()
+        with pytest.raises(ExperimentError):
+            pipe.plan(None, None, None, strategy="nope")
+
+
+class TestSweepParity:
+    def test_records_equal_per_cell_run_cell(self):
+        spec = small_spec()
+        records = run_sweep(spec)
+        expected = [
+            run_cell(spec.family, n, p, pfail, ccr, seed=spec.seed)
+            for n in spec.sizes
+            for p in spec.processors[n]
+            for pfail in spec.pfails
+            for ccr in spec.ccrs
+        ]
+        assert records == expected
+
+    def test_records_equal_per_cell_run_strategies(self):
+        spec = small_spec()
+        records = run_sweep(spec)
+        i = 0
+        for n in spec.sizes:
+            wf = generate(spec.family, n, stable_seed(spec.seed, spec.family, n))
+            for p in spec.processors[n]:
+                sched_seed = stable_seed(spec.seed, spec.family, n, p)
+                for pfail in spec.pfails:
+                    for ccr in spec.ccrs:
+                        outcome = run_strategies(
+                            wf, p, pfail=pfail, ccr=ccr, seed=sched_seed
+                        )
+                        rec = records[i]
+                        assert rec.em_some == outcome.em_some
+                        assert rec.em_all == outcome.em_all
+                        assert rec.em_none == outcome.em_none
+                        i += 1
+        assert i == len(records)
+
+
+class TestSweepDeterminism:
+    @pytest.mark.parametrize("policy", ["stable", "spawn"])
+    def test_parallel_equals_serial(self, policy):
+        spec = small_spec(seed_policy=policy)
+        serial = run_sweep(spec, jobs=1)
+        parallel = run_sweep(spec, jobs=4)
+        assert serial == parallel
+
+    def test_chunking_does_not_change_records(self):
+        spec = small_spec(seed_policy="spawn")
+        assert run_sweep(spec) == run_sweep(spec, chunk_cells=1)
+
+    def test_spawn_policy_differs_from_stable(self):
+        a = run_sweep(small_spec(seed_policy="stable"))
+        b = run_sweep(small_spec(seed_policy="spawn"))
+        assert [r.seed for r in a] != [r.seed for r in b]
+
+    def test_grid_order(self):
+        records = run_sweep(small_spec())
+        keys = [(r.processors, r.pfail, r.ccr) for r in records]
+        expected = [
+            (p, pfail, ccr)
+            for p in (3, 5)
+            for pfail in (0.01, 0.001)
+            for ccr in (1e-3, 1e-2)
+        ]
+        assert keys == expected
+
+    @pytest.mark.parametrize("family", ["genome", "montage", "ligo"])
+    def test_cross_process_hash_seed_independence(self, family, tmp_path):
+        """Records must not depend on the per-process PYTHONHASHSEED.
+
+        Guards the OrderedFrozenSet / ordered-wcc fixes: set-of-string
+        iteration order used to leak into linearisation and M-SPG
+        construction, making results differ between interpreter runs."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.engine import SweepSpec, run_sweep, records_to_jsonl\n"
+            f"spec = SweepSpec(family={family!r}, sizes=(50,),"
+            " processors={50: (3,)}, pfails=(0.01,), ccrs=(0.01,),"
+            " seed=7, seed_policy='stable')\n"
+            "import sys; sys.stdout.write(records_to_jsonl(run_sweep(spec)))\n"
+        )
+        outputs = []
+        for hash_seed in ("1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+
+    def test_progress_called_once_per_cell(self):
+        messages = []
+        records = run_sweep(small_spec(), progress=messages.append)
+        assert len(messages) == len(records) == 8
+        assert messages[0].startswith("unit n=50 p=3")
+
+
+class TestCallCounts:
+    def test_mspgify_and_allocate_once_per_pair(self, monkeypatch):
+        """A (pfail × ccr) sweep runs the invariant stages once per
+        (workflow, processors) pair, not once per cell."""
+        spec = small_spec(pfails=(0.01, 0.001), ccrs=(1e-3, 1e-2, 1e-1))
+        counts = {"mspgify": 0, "allocate": 0}
+        real_mspgify = pipeline_mod.mspgify
+        real_allocate = pipeline_mod.allocate
+
+        def counting_mspgify(*args, **kwargs):
+            counts["mspgify"] += 1
+            return real_mspgify(*args, **kwargs)
+
+        def counting_allocate(*args, **kwargs):
+            counts["allocate"] += 1
+            return real_allocate(*args, **kwargs)
+
+        monkeypatch.setattr(pipeline_mod, "mspgify", counting_mspgify)
+        monkeypatch.setattr(pipeline_mod, "allocate", counting_allocate)
+        records = run_sweep(spec, jobs=1)
+        assert len(records) == 2 * 2 * 3  # p × pfail × ccr
+        # One workflow, two processor counts: the tree is built once,
+        # the schedule once per (workflow, processors) pair.
+        assert counts["mspgify"] == 1
+        assert counts["allocate"] == 2
+
+    def test_ckptnone_cached_across_ccr_axis(self):
+        spec = small_spec(processors={50: (3,)})
+        records = run_sweep(spec)
+        by_pfail = {}
+        for r in records:
+            by_pfail.setdefault(r.pfail, set()).add(r.em_none)
+        # CKPTNONE has no I/O term: one value per pfail across the CCR axis.
+        assert all(len(v) == 1 for v in by_pfail.values())
+
+
+class TestSweepSpecValidation:
+    def test_missing_processor_config(self):
+        with pytest.raises(ExperimentError):
+            small_spec(sizes=(42,))
+
+    def test_empty_processor_tuple(self):
+        with pytest.raises(ExperimentError):
+            small_spec(processors={50: ()})
+
+    def test_bad_seed_policy(self):
+        with pytest.raises(ExperimentError):
+            small_spec(seed_policy="nope")
+
+    def test_empty_grid(self):
+        with pytest.raises(ExperimentError):
+            run_sweep(small_spec(ccrs=()))
+
+    def test_n_cells(self):
+        assert small_spec().n_cells == 2 * 2 * 2
+
+    def test_chunk_plan_covers_grid(self):
+        spec = small_spec()
+        chunks = _derive_chunks(spec, 1)
+        assert sum(len(c.cells) for c in chunks) == spec.n_cells
+
+
+class TestRecords:
+    def make_records(self):
+        return run_sweep(small_spec(processors={50: (3,)}, pfails=(0.01,)))
+
+    def test_jsonl_round_trip(self, tmp_path):
+        records = self.make_records()
+        path = tmp_path / "records.jsonl"
+        text = records_to_jsonl(records, path)
+        assert path.read_text() == text
+        assert records_from_jsonl(text) == records
+        assert records_from_jsonl(path) == records
+        # a str path round-trips like the Path it names
+        assert records_from_jsonl(str(path)) == records
+        assert records_from_jsonl("") == []
+
+    def test_jsonl_contains_derived_columns(self):
+        (record,) = self.make_records()[:1]
+        line = records_to_jsonl([record]).strip()
+        assert '"ratio_all"' in line and '"ratio_none"' in line
+
+    def test_csv_matches_results_to_csv(self):
+        from repro.experiments.results import results_to_csv
+
+        records = self.make_records()
+        assert records_to_csv(records) == results_to_csv(records)
+        header = records_to_csv(records).splitlines()[0]
+        assert header.startswith("family,") and "ratio_none" in header
+
+
+class TestFacadeCacheSharing:
+    def test_ccr_axis_reuses_tree_and_schedule(self):
+        pipe = Pipeline()
+        wf = generate("montage", 50, 5)
+        for ccr in (1e-3, 1e-2, 1e-1):
+            run_strategies(wf, 5, pfail=0.001, ccr=ccr, seed=7, pipeline=pipe)
+        stats = pipe.cache.stats()
+        assert stats["mspgify"].misses == 1
+        assert stats["allocate"].misses == 1
+
+    def test_shared_pipeline_reuses_schedule(self):
+        pipe = Pipeline()
+        wf = generate("genome", 50, 5)
+        a = run_strategies(wf, 5, pfail=0.001, seed=9, pipeline=pipe)
+        b = run_strategies(wf, 5, pfail=0.001, seed=9, pipeline=pipe)
+        assert a.em_some == b.em_some
+        stats = pipe.cache.stats()
+        assert stats["mspgify"].misses == 1 and stats["mspgify"].hits >= 1
+        assert stats["allocate"].misses == 1 and stats["allocate"].hits >= 1
+
+
+class TestFacadeMemory:
+    def test_seed_none_does_not_pin_schedules(self):
+        pipe = Pipeline()
+        wf = generate("genome", 50, 5)
+        run_strategies(wf, 3, pfail=0.001, seed=None, pipeline=pipe)
+        tokens_after_one = len(pipe._tokens)
+        for _ in range(3):
+            run_strategies(wf, 3, pfail=0.001, seed=None, pipeline=pipe)
+        # Fresh random schedules must not accumulate in the token map.
+        assert len(pipe._tokens) == tokens_after_one
+
+
+class TestSweepAndCheck:
+    def test_returns_cells_and_claims(self):
+        spec = small_spec(ccrs=(1e-3, 1e-2, 1e-1))
+        cells, claims = sweep_and_check(spec)
+        assert len(cells) == spec.n_cells
+        assert {c.claim for c in claims} == {"C1", "C2", "C3", "C4", "C5", "C6"}

@@ -221,6 +221,26 @@ class TestDispatch:
         dag = chain_dag([1.0, 2.0])
         assert expected_makespan(dag, "montecarlo", trials=10, seed=0) > 0
 
+    def test_unknown_kwarg_names_method_and_options(self):
+        dag = chain_dag([1.0, 2.0])
+        with pytest.raises(EvaluationError) as exc:
+            expected_makespan(dag, "normal", trials=5)
+        msg = str(exc.value)
+        assert "'trials'" in msg and "'normal'" in msg
+        assert "accepted options" in msg
+
+    def test_unknown_kwarg_lists_accepted_options(self):
+        dag = chain_dag([1.0, 2.0])
+        with pytest.raises(EvaluationError) as exc:
+            expected_makespan(dag, "montecarlo", nope=1)
+        msg = str(exc.value)
+        assert "trials" in msg and "seed" in msg
+
+    def test_valid_kwargs_still_accepted_per_method(self):
+        dag = chain_dag([1.0, 2.0])
+        assert expected_makespan(dag, "pathapprox", k=4) > 0
+        assert expected_makespan(dag, "exact", limit=100) > 0
+
 
 class TestCrossValidation:
     @given(st.integers(0, 10_000))
