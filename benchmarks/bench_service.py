@@ -1,0 +1,140 @@
+"""Evaluation-service benchmark: store hits and request coalescing.
+
+Runs the same GENOME request mix three ways:
+
+* **naive**: one fresh end-to-end pipeline per request, no store — the
+  shape of a client looping over ``run_cell`` (what every caller paid
+  before the service existed);
+* **coalesced (cold)**: one :class:`repro.service.BatchScheduler` batch
+  over an empty store — requests grouped by (workflow, processors) so
+  the M-SPG tree and schedule are built once per pair;
+* **warm**: the same batch again over the now-populated store — every
+  request is a durable-store hit, no computation at all.
+
+All three produce bit-identical records (asserted).  The table lands in
+``benchmarks/results/service.txt`` and the machine-readable trajectory
+in ``benchmarks/results/BENCH_service.json``.  Run directly::
+
+    python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+from repro.experiments.figures import log_grid, run_cell
+from repro.service import BatchScheduler, EvalRequest, ResultStore
+
+from benchmarks.conftest import FULL, save_artifact, save_json
+
+
+def request_mix() -> List[EvalRequest]:
+    """A service-shaped request pile: several (pfail, CCR) cells per
+    (workflow, processors) pair, interleaved across pairs the way
+    independent clients would submit them."""
+    sizes_procs = (
+        [(50, 3), (50, 5), (50, 7), (300, 18)] if FULL else [(50, 3), (50, 5)]
+    )
+    pfails = (0.01, 0.001)
+    ccrs = log_grid(1e-3, 1e0, 7 if FULL else 5)
+    return [
+        EvalRequest(
+            family="genome",
+            ntasks=n,
+            processors=p,
+            pfail=pfail,
+            ccr=ccr,
+            seed=2017,
+        )
+        for pfail in pfails
+        for ccr in ccrs
+        for n, p in sizes_procs
+    ]
+
+
+def run_naive(requests: List[EvalRequest]) -> List:
+    """One fresh pipeline per request: no store, no coalescing."""
+    return [
+        run_cell(r.family, r.ntasks, r.processors, r.pfail, r.ccr, seed=r.seed)
+        for r in requests
+    ]
+
+
+def compare() -> Tuple[str, List]:
+    requests = request_mix()
+
+    t0 = time.perf_counter()
+    naive = run_naive(requests)
+    naive_s = time.perf_counter() - t0
+
+    store = ResultStore(":memory:")
+    scheduler = BatchScheduler(store)
+    t0 = time.perf_counter()
+    cold = scheduler.evaluate_many(requests)
+    cold_s = time.perf_counter() - t0
+    assert not any(o.cached for o in cold), "cold run must compute"
+
+    t0 = time.perf_counter()
+    warm = scheduler.evaluate_many(requests)
+    warm_s = time.perf_counter() - t0
+    assert all(o.cached for o in warm), "warm run must be all store hits"
+
+    records = [o.record for o in cold]
+    assert records == naive, "service records diverge from run_cell"
+    assert [o.record for o in warm] == records, "store hits diverge"
+
+    n = len(requests)
+    store_stats = store.stats()
+    lines = [
+        f"evaluation service benchmark — {n} GENOME requests",
+        f"  naive per-request loop    {naive_s:8.3f}s  "
+        f"({n / naive_s:7.1f} cells/s)",
+        f"  coalesced batch (cold)    {cold_s:8.3f}s  "
+        f"({n / cold_s:7.1f} cells/s, {naive_s / cold_s:5.2f}x, "
+        f"{scheduler.stats.batches} batches)",
+        f"  store hits (warm)         {warm_s:8.3f}s  "
+        f"({n / warm_s:7.1f} cells/s, {cold_s / warm_s:5.0f}x vs cold)",
+        f"  store: {store_stats.entries} entries, "
+        f"session hit rate {store_stats.hit_rate:.2f}",
+    ]
+
+    summary = {
+        "benchmark": "service",
+        "cells": n,
+        "naive_wall_s": naive_s,
+        "cold_wall_s": cold_s,
+        "warm_wall_s": warm_s,
+        "naive_cells_per_s": n / naive_s,
+        "cold_cells_per_s": n / cold_s,
+        "warm_cells_per_s": n / warm_s,
+        "coalesce_speedup_vs_naive": naive_s / cold_s,
+        "warm_speedup_vs_cold": cold_s / warm_s,
+        "batches": scheduler.stats.batches,
+        "store_hit_rate": store_stats.hit_rate,
+        "store_entries": store_stats.entries,
+    }
+    save_json("BENCH_service.json", summary)
+    store.close()
+    return "\n".join(lines), records
+
+
+def bench_service(benchmark):
+    """Times the warm (all store hits) path; validates parity en route."""
+    report, records = compare()
+    save_artifact("service.txt", report + "\n")
+    store = ResultStore(":memory:")
+    scheduler = BatchScheduler(store)
+    requests = request_mix()
+    scheduler.evaluate_many(requests)  # populate
+
+    def warm():
+        return scheduler.evaluate_many(requests)
+
+    outcomes = benchmark(warm)
+    assert [o.record for o in outcomes] == records
+    store.close()
+
+
+if __name__ == "__main__":
+    print(compare()[0])

@@ -21,10 +21,10 @@ from __future__ import annotations
 import time
 from typing import List, Tuple
 
-from repro.engine import CellResult, SweepSpec, run_sweep
+from repro.engine import CellResult, Pipeline, SweepSpec, run_sweep
 from repro.experiments.figures import log_grid, run_cell
 
-from benchmarks.conftest import FULL, save_artifact
+from benchmarks.conftest import FULL, save_artifact, save_json
 
 
 def montage_spec() -> SweepSpec:
@@ -57,8 +57,9 @@ def compare() -> Tuple[str, List[CellResult]]:
     t0 = time.perf_counter()
     legacy = run_legacy(spec)
     timings.append(("legacy per-cell loop", time.perf_counter() - t0))
+    pipe = Pipeline()
     t0 = time.perf_counter()
-    cached = run_sweep(spec, jobs=1)
+    cached = run_sweep(spec, jobs=1, pipeline=pipe)
     timings.append(("engine cached, jobs=1", time.perf_counter() - t0))
     t0 = time.perf_counter()
     parallel = run_sweep(spec, jobs=4)
@@ -69,6 +70,27 @@ def compare() -> Tuple[str, List[CellResult]]:
     lines = [f"sweep engine benchmark — {len(cached)} MONTAGE cells"]
     for name, seconds in timings:
         lines.append(f"  {name:<24} {seconds:8.3f}s  ({base / seconds:5.2f}x)")
+
+    # Machine-readable perf trajectory (tracked across PRs).
+    stage_stats = pipe.cache.stats()
+    cache_calls = sum(s.calls for s in stage_stats.values())
+    cache_hits = sum(s.hits for s in stage_stats.values())
+    summary = {
+        "benchmark": "sweep_engine",
+        "cells": len(cached),
+        "legacy_wall_s": timings[0][1],
+        "engine_jobs1_wall_s": timings[1][1],
+        "engine_jobs4_wall_s": timings[2][1],
+        "legacy_cells_per_s": len(cached) / timings[0][1],
+        "engine_jobs1_cells_per_s": len(cached) / timings[1][1],
+        "engine_jobs4_cells_per_s": len(cached) / timings[2][1],
+        "cache_hit_rate": cache_hits / cache_calls if cache_calls else 0.0,
+        "cache_stage_stats": {
+            stage: {"hits": s.hits, "misses": s.misses}
+            for stage, s in stage_stats.items()
+        },
+    }
+    save_json("BENCH_sweep.json", summary)
     return "\n".join(lines), cached
 
 

@@ -49,3 +49,18 @@ def save_artifact(name: str, text: str) -> Path:
     path = RESULTS_DIR / name
     path.write_text(text)
     return path
+
+
+def save_json(name: str, payload) -> Path:
+    """Persist a machine-readable benchmark summary (``BENCH_*.json``).
+
+    These files are the cross-PR perf trajectory: every run overwrites
+    ``benchmarks/results/<name>`` with one flat JSON object (wall times,
+    cells/sec, cache hit rates) that tooling can diff between commits.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

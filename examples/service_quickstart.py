@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: the persistent evaluation service, end to end.
+
+Starts an in-process service on an ephemeral port with a durable SQLite
+store, submits the same GENOME cell twice over HTTP (the second answer
+must come from the store), coalesces a small grid through ``/sweep``,
+and shows that a fresh service over the *same store file* still answers
+from disk — the cache survives the "restart".
+
+This doubles as the CI smoke test: it asserts every claim it prints.
+
+Run:  python examples/service_quickstart.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service import ReproService, ServiceClient
+
+CELL = dict(family="genome", ntasks=30, processors=3, pfail=1e-3, ccr=0.01)
+
+
+def main() -> None:
+    store_path = Path(tempfile.mkdtemp(prefix="repro-service-")) / "results.db"
+
+    with ReproService(port=0, store=store_path, linger=0.01) as service:
+        client = ServiceClient(service.url)
+        client.wait_ready()
+        print(f"service listening on {service.url} (store: {store_path})")
+
+        t0 = time.perf_counter()
+        first = client.evaluate(**CELL)
+        cold = time.perf_counter() - t0
+        assert not first.cached, "first submission must be computed"
+        print(f"cold submit : {cold * 1e3:7.1f} ms  "
+              f"EM(some)={first.record.em_some:.6g}s")
+
+        t0 = time.perf_counter()
+        second = client.evaluate(**CELL)
+        warm = time.perf_counter() - t0
+        assert second.cached, "repeat submission must be a store hit"
+        assert second.record == first.record, "hit must be bit-identical"
+        print(f"warm submit : {warm * 1e3:7.1f} ms  (store hit, "
+              f"{cold / warm:.0f}x faster)")
+
+        sweep = client.sweep(
+            family="genome",
+            sizes=[30],
+            processors=[3, 5],
+            pfails=[1e-3, 1e-2],
+            ccrs=[0.01, 0.1],
+        )
+        assert sweep.cached >= 1, "the grid contains the already-stored cell"
+        print(f"sweep       : {len(sweep.records)} cells "
+              f"({sweep.cached} from store, {sweep.computed} computed) "
+              f"in {sweep.wall_time_s:.2f}s")
+
+        status = client.status()
+        print(f"status      : store entries={status['store']['entries']} "
+              f"scheduler batches={status['scheduler']['batches']}")
+
+    # A brand-new service process over the same file: still warm.
+    with ReproService(port=0, store=store_path, linger=0.01) as service:
+        client = ServiceClient(service.url)
+        client.wait_ready()
+        replay = client.evaluate(**CELL)
+        assert replay.cached, "the store must survive a service restart"
+        assert replay.record == first.record
+        print("restart     : same store file, still served from disk")
+
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

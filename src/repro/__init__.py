@@ -17,8 +17,13 @@ Public API overview
   probabilistic DAGs (MonteCarlo, Dodin, Normal, PathApprox, exact).
 * :mod:`repro.simulation` — failure-injecting execution simulation.
 * :mod:`repro.engine` — the staged pipeline engine: explicit stages over
-  a keyed artifact cache, the parallel grid-sweep executor, and the
-  shared result-record schema (JSONL/CSV).
+  a keyed artifact cache, the parallel grid-sweep executor (plus the
+  :func:`~repro.engine.sweep.run_specs` batch entry point), and the
+  shared result-record schema (JSONL/CSV, both directions).
+* :mod:`repro.service` — the persistent evaluation service: canonical
+  request fingerprints, a durable SQLite result store, a coalescing
+  batch scheduler, and a stdlib HTTP server/client pair
+  (``repro serve`` / ``repro submit``).
 * :mod:`repro.experiments` — the paper's experimental harness
   (Figures 5-7, the §VI-B accuracy study, CCR machinery), a thin layer
   over the engine.
@@ -26,11 +31,38 @@ Public API overview
 
 from repro.platform import Platform, lambda_from_pfail, pfail_from_lambda
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Platform",
     "lambda_from_pfail",
     "pfail_from_lambda",
+    "EvalRequest",
+    "fingerprint",
+    "ResultStore",
+    "BatchScheduler",
+    "ReproService",
+    "ServiceClient",
     "__version__",
 ]
+
+#: Service-layer names re-exported lazily: ``repro.service`` pulls in the
+#: engine and the HTTP stack, which plain algorithmic imports (``from
+#: repro import Platform``) should not pay for — and ``server.py`` reads
+#: ``repro.__version__`` back, so an eager import would be circular.
+_SERVICE_EXPORTS = {
+    "EvalRequest",
+    "fingerprint",
+    "ResultStore",
+    "BatchScheduler",
+    "ReproService",
+    "ServiceClient",
+}
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        import repro.service as _service
+
+        return getattr(_service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

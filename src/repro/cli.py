@@ -1,4 +1,4 @@
-"""Command-line interface (``repro-workflows`` / ``python -m repro.cli``).
+"""Command-line interface (``repro`` / ``python -m repro.cli``).
 
 Sub-commands::
 
@@ -10,6 +10,8 @@ Sub-commands::
     figure     regenerate a paper figure grid (CSV + ASCII panels)
     accuracy   run the §VI-B estimator accuracy study
     simulate   replay one failure-injected execution with an event log
+    serve      run the persistent evaluation service (HTTP + SQLite)
+    submit     submit one cell to a running service (or --local store)
 """
 
 from __future__ import annotations
@@ -24,10 +26,56 @@ from repro import __version__
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _pfail_value(text: str) -> float:
+    """argparse type: failure probability in [0, 1)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not 0.0 <= value < 1.0:
+        raise argparse.ArgumentTypeError(f"pfail must be in [0, 1), got {value}")
+    return value
+
+
+def _ccr_value(text: str) -> float:
+    """argparse type: non-negative CCR target."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"CCR must be >= 0, got {value}")
+    return value
+
+
+def _jobs_count(text: str) -> int:
+    """argparse type: worker count, >= 1 (no "0 = all cores" footgun)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 1, got {value} (pass an explicit worker count)"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
-        prog="repro-workflows",
+        prog="repro",
         description=(
             "Checkpointing Workflows for Fail-Stop Errors (CLUSTER 2017) — "
             "reproduction toolkit"
@@ -38,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     gen = sub.add_parser("generate", help="generate a synthetic workflow")
     gen.add_argument("--family", required=True)
-    gen.add_argument("--ntasks", type=int, default=50)
+    gen.add_argument("--ntasks", type=_positive_int, default=50)
     gen.add_argument("--seed", type=int, default=2017)
     gen.add_argument(
         "--out", type=Path, required=True, help=".dax/.xml or .json output path"
@@ -46,10 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     ev = sub.add_parser("evaluate", help="compare CKPTSOME/ALL/NONE on one cell")
     ev.add_argument("--family", required=True)
-    ev.add_argument("--ntasks", type=int, default=50)
-    ev.add_argument("--processors", type=int, default=10)
-    ev.add_argument("--pfail", type=float, default=1e-3)
-    ev.add_argument("--ccr", type=float, default=0.01)
+    ev.add_argument("--ntasks", type=_positive_int, default=50)
+    ev.add_argument("--processors", type=_positive_int, default=10)
+    ev.add_argument("--pfail", type=_pfail_value, default=1e-3)
+    ev.add_argument("--ccr", type=_ccr_value, default=0.01)
     ev.add_argument("--seed", type=int, default=2017)
     ev.add_argument("--method", default="pathapprox")
 
@@ -65,17 +113,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sw.add_argument("--family", required=True)
-    sw.add_argument("--sizes", type=int, nargs="+", default=[50])
+    sw.add_argument("--sizes", type=_positive_int, nargs="+", default=[50])
     sw.add_argument(
         "--processors",
-        type=int,
+        type=_positive_int,
         nargs="+",
         default=[5],
         help="processor counts, swept for every size",
     )
-    sw.add_argument("--pfails", type=float, nargs="+", default=[0.01, 0.001])
+    sw.add_argument("--pfails", type=_pfail_value, nargs="+", default=[0.01, 0.001])
     sw.add_argument(
-        "--ccrs", type=float, nargs="+", default=None,
+        "--ccrs", type=_ccr_value, nargs="+", default=None,
         help="explicit CCR values (default: a log grid, see --ccr-grid)",
     )
     sw.add_argument(
@@ -99,9 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sw.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_count,
         default=1,
-        help="worker processes (1 = in-process serial, 0 = all cores)",
+        help="worker processes (>= 1; 1 = in-process serial)",
     )
     sw.add_argument(
         "--out",
@@ -113,36 +161,115 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig = sub.add_parser("figure", help="regenerate a paper figure grid")
     fig.add_argument("name", choices=["fig5", "fig6", "fig7"])
-    fig.add_argument("--sizes", type=int, nargs="*", default=None)
-    fig.add_argument("--pfails", type=float, nargs="*", default=None)
-    fig.add_argument("--ccr-points", type=int, default=None)
-    fig.add_argument("--processors-per-size", type=int, default=None)
+    fig.add_argument("--sizes", type=_positive_int, nargs="*", default=None)
+    fig.add_argument("--pfails", type=_pfail_value, nargs="*", default=None)
+    fig.add_argument("--ccr-points", type=_positive_int, default=None)
+    fig.add_argument("--processors-per-size", type=_positive_int, default=None)
     fig.add_argument("--csv", type=Path, default=None)
     fig.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_count,
         default=1,
-        help="engine worker processes (1 = serial; identical records)",
+        help="engine worker processes (>= 1; 1 = serial; identical records)",
     )
     fig.add_argument("--quiet", action="store_true")
 
     acc = sub.add_parser("accuracy", help="run the §VI-B accuracy study")
     acc.add_argument("--families", nargs="*", default=["genome", "montage", "ligo"])
-    acc.add_argument("--ntasks", type=int, default=50)
-    acc.add_argument("--processors", type=int, default=10)
-    acc.add_argument("--pfails", type=float, nargs="*", default=[0.01, 0.001])
-    acc.add_argument("--ccr", type=float, default=0.01)
-    acc.add_argument("--mc-trials", type=int, default=100_000)
+    acc.add_argument("--ntasks", type=_positive_int, default=50)
+    acc.add_argument("--processors", type=_positive_int, default=10)
+    acc.add_argument("--pfails", type=_pfail_value, nargs="*", default=[0.01, 0.001])
+    acc.add_argument("--ccr", type=_ccr_value, default=0.01)
+    acc.add_argument("--mc-trials", type=_positive_int, default=100_000)
     acc.add_argument("--seed", type=int, default=2017)
 
     sim = sub.add_parser("simulate", help="replay one failure-injected run")
     sim.add_argument("--family", required=True)
-    sim.add_argument("--ntasks", type=int, default=50)
-    sim.add_argument("--processors", type=int, default=5)
-    sim.add_argument("--pfail", type=float, default=1e-2)
-    sim.add_argument("--ccr", type=float, default=0.01)
+    sim.add_argument("--ntasks", type=_positive_int, default=50)
+    sim.add_argument("--processors", type=_positive_int, default=5)
+    sim.add_argument("--pfail", type=_pfail_value, default=1e-2)
+    sim.add_argument("--ccr", type=_ccr_value, default=0.01)
     sim.add_argument("--seed", type=int, default=2017)
     sim.add_argument("--strategy", choices=["ckpt_some", "ckpt_all"], default="ckpt_some")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the persistent evaluation service",
+        description=(
+            "Start the HTTP evaluation service: POST /evaluate and /sweep "
+            "requests are deduped, answered from the durable SQLite store "
+            "where possible, and the misses are coalesced into sweep "
+            "batches grouped by (workflow, processors) before hitting the "
+            "pipeline engine."
+        ),
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="listen port (0 = ephemeral, printed at startup)",
+    )
+    srv.add_argument(
+        "--store",
+        type=Path,
+        default=Path("repro-service.db"),
+        help="SQLite result store path (default ./repro-service.db)",
+    )
+    srv.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=1,
+        help="worker processes for coalesced batches (>= 1)",
+    )
+    srv.add_argument(
+        "--linger",
+        type=float,
+        default=0.05,
+        help="seconds the scheduler waits to coalesce concurrent requests",
+    )
+
+    sub_ = sub.add_parser(
+        "submit",
+        help="submit one cell to a running service",
+        description=(
+            "Submit one evaluation cell to a service started with "
+            "'repro serve' (or, with --local, evaluate against a local "
+            "store without a server)."
+        ),
+    )
+    sub_.add_argument("--family", required=True)
+    sub_.add_argument("--ntasks", type=_positive_int, default=50)
+    sub_.add_argument("--processors", type=_positive_int, default=10)
+    sub_.add_argument("--pfail", type=_pfail_value, default=1e-3)
+    sub_.add_argument("--ccr", type=_ccr_value, default=0.01)
+    sub_.add_argument("--seed", type=int, default=2017)
+    sub_.add_argument("--method", default="pathapprox")
+    sub_.add_argument(
+        "--seed-policy",
+        choices=["spawn", "stable"],
+        default="stable",
+        help="seed derivation for the cell (default matches run_cell)",
+    )
+    sub_.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="service base URL (see 'repro serve')",
+    )
+    sub_.add_argument(
+        "--local",
+        action="store_true",
+        help="evaluate without a server, against --store directly",
+    )
+    sub_.add_argument(
+        "--store",
+        type=Path,
+        default=Path("repro-service.db"),
+        help="store path for --local mode (default ./repro-service.db)",
+    )
+    sub_.add_argument(
+        "--json", action="store_true", help="print the raw JSON reply"
+    )
     return parser
 
 
@@ -306,6 +433,82 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        jobs=args.jobs,
+        linger=args.linger,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.engine.records import record_to_dict
+    from repro.errors import ServiceError
+    from repro.service.fingerprint import EvalRequest
+
+    try:
+        request = EvalRequest(
+            family=args.family,
+            ntasks=args.ntasks,
+            processors=args.processors,
+            pfail=args.pfail,
+            ccr=args.ccr,
+            seed=args.seed,
+            method=args.method,
+            seed_policy=args.seed_policy,
+        )
+    except ServiceError as exc:
+        print(f"invalid request: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.local:
+            from repro.service.scheduler import BatchScheduler
+            from repro.service.store import ResultStore
+
+            with ResultStore(args.store) as store:
+                outcome = BatchScheduler(store).evaluate(request)
+            record, cached, fp = outcome.record, outcome.cached, outcome.fingerprint
+            wall = None
+        else:
+            from repro.service.client import ServiceClient
+
+            reply = ServiceClient(args.url).evaluate(request)
+            record, cached, fp = reply.record, reply.cached, reply.fingerprint
+            wall = reply.wall_time_s
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        payload = {
+            "fingerprint": fp,
+            "cached": cached,
+            "record": record_to_dict(record),
+        }
+        if wall is not None:
+            payload["wall_time_s"] = wall
+        print(_json.dumps(payload, sort_keys=True))
+        return 0
+    source = "store hit" if cached else "computed"
+    timing = f" in {wall:.3f}s" if wall is not None else ""
+    print(f"{record.family} n={record.ntasks_requested} p={record.processors} "
+          f"pfail={record.pfail} ccr={record.ccr:g} [{source}{timing}]")
+    print(f"  fingerprint : {fp}")
+    print(f"  E[makespan] : some={record.em_some:.6g}s all={record.em_all:.6g}s "
+          f"none={record.em_none:.6g}s")
+    print(f"  relative    : all/some={record.ratio_all:.4f} "
+          f"none/some={record.ratio_none:.4f}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
@@ -313,6 +516,8 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "accuracy": _cmd_accuracy,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

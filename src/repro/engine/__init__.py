@@ -10,10 +10,13 @@ everything that runs them at scale:
 * :mod:`repro.engine.sweep` — a deterministic grid executor with
   ``concurrent.futures`` process-pool fan-out, ``SeedSequence``-spawned
   per-cell child seeds (serial and parallel runs produce identical
-  records), chunking, and a progress callback;
+  records), chunking, and a progress callback; :func:`run_specs` is the
+  batch entry point (several sweeps over one shared pipeline, or fanned
+  out spec-per-worker) that :mod:`repro.service` dispatches coalesced
+  request batches through;
 * :mod:`repro.engine.records` — the typed result-record schema with
-  JSONL/CSV serialisation, shared by the experiments harness, the CLI
-  and the benchmarks.
+  JSONL/CSV serialisation (both directions), shared by the experiments
+  harness, the CLI, the benchmarks and the service result store.
 
 The experiments harness (:func:`repro.experiments.figures.run_figure`),
 the facade (:func:`repro.api.run_strategies`) and the CLI ``sweep``/
@@ -23,12 +26,14 @@ the facade (:func:`repro.api.run_strategies`) and the CLI ``sweep``/
 from repro.engine.pipeline import STAGES, ArtifactCache, Pipeline, StageStats
 from repro.engine.records import (
     CellResult,
+    record_from_dict,
     record_to_dict,
+    records_from_csv,
     records_from_jsonl,
     records_to_csv,
     records_to_jsonl,
 )
-from repro.engine.sweep import SweepSpec, run_sweep
+from repro.engine.sweep import SweepSpec, run_specs, run_sweep
 
 __all__ = [
     "STAGES",
@@ -36,10 +41,13 @@ __all__ = [
     "Pipeline",
     "StageStats",
     "CellResult",
+    "record_from_dict",
     "record_to_dict",
+    "records_from_csv",
     "records_from_jsonl",
     "records_to_csv",
     "records_to_jsonl",
     "SweepSpec",
+    "run_specs",
     "run_sweep",
 ]

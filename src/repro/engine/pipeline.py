@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.ccr import scale_to_ccr
 from repro.checkpoint.plan import CheckpointPlan
@@ -305,16 +305,20 @@ class Pipeline:
         dag: ProbDAG,
         method: str = "pathapprox",
         eval_seed: Optional[int] = None,
+        **options: Any,
     ) -> float:
         """Expected makespan of a segment DAG with the named method.
 
         ``eval_seed`` is forwarded only to stochastic methods (Monte
-        Carlo); the closed-form estimators take no seed.
+        Carlo); the closed-form estimators take no seed.  Extra keyword
+        ``options`` go straight to the evaluator (``trials=`` for Monte
+        Carlo, ``k=`` for PathApprox, ...); an explicit ``seed`` option
+        overrides ``eval_seed``.
         """
         self.cache.count_compute("evaluate")
-        if method == "montecarlo" and eval_seed is not None:
-            return expected_makespan(dag, method, seed=eval_seed)
-        return expected_makespan(dag, method)
+        if method == "montecarlo" and eval_seed is not None and "seed" not in options:
+            options = {**options, "seed": eval_seed}
+        return expected_makespan(dag, method, **options)
 
     def evaluate_none(
         self,
@@ -366,16 +370,18 @@ class Pipeline:
         seed: int = 0,
         eval_seed: Optional[int] = None,
         save_final_outputs: bool = True,
+        evaluator_options: Optional[Mapping[str, Any]] = None,
     ) -> CellResult:
         """Run the per-cell stages (scale → plan → DAG → evaluate)."""
         scaled = self.scale(workflow, platform, ccr)
         plan_some, plan_all = self.plans(
             scaled, schedule, platform, save_final_outputs
         )
+        options = dict(evaluator_options) if evaluator_options else {}
         dag_some = self.segment_dag(scaled, schedule, plan_some, platform)
         dag_all = self.segment_dag(scaled, schedule, plan_all, platform)
-        em_some = self.evaluate(dag_some, method, eval_seed)
-        em_all = self.evaluate(dag_all, method, eval_seed)
+        em_some = self.evaluate(dag_some, method, eval_seed, **options)
+        em_all = self.evaluate(dag_all, method, eval_seed, **options)
         em_none = self.evaluate_none(workflow, scaled, schedule, platform)
         return CellResult(
             family=family,

@@ -24,9 +24,11 @@ from typing import Dict, List, Optional, Sequence, Union
 __all__ = [
     "CellResult",
     "record_to_dict",
+    "record_from_dict",
     "records_to_csv",
     "records_to_jsonl",
     "records_from_jsonl",
+    "records_from_csv",
 ]
 
 #: Derived columns appended to serialised records (computed properties).
@@ -77,6 +79,27 @@ def record_to_dict(record: CellResult) -> Dict[str, object]:
     return out
 
 
+#: Parsers per dataclass field annotation (annotations are strings under
+#: ``from __future__ import annotations``).  ``float`` accepts the CSV
+#: spellings of non-finite values ("inf", "-inf", "nan") directly.
+_FIELD_PARSERS = {"str": str, "int": int, "float": float}
+
+
+def record_from_dict(payload: Dict[str, object]) -> CellResult:
+    """Rebuild a :class:`CellResult` from a field mapping.
+
+    The inverse of :func:`record_to_dict`: derived columns and unknown
+    keys are ignored, and values are coerced to the declared field types
+    — so the same function parses JSON payloads (already typed) and CSV
+    rows (all strings, including ``inf``/``nan`` float spellings).
+    """
+    kwargs = {}
+    for f in fields(CellResult):
+        if f.name in payload:
+            kwargs[f.name] = _FIELD_PARSERS[f.type](payload[f.name])
+    return CellResult(**kwargs)
+
+
 def records_to_csv(
     records: Sequence[CellResult], path: Optional[Union[str, Path]] = None
 ) -> str:
@@ -120,14 +143,31 @@ def records_from_jsonl(source: Union[str, Path]) -> List[CellResult]:
         text = Path(source).read_text()
     else:
         text = source
-    field_names = {f.name for f in fields(CellResult)}
     records: List[CellResult] = []
     for line in text.splitlines():
         line = line.strip()
         if not line:
             continue
-        payload = json.loads(line)
-        records.append(
-            CellResult(**{k: v for k, v in payload.items() if k in field_names})
-        )
+        records.append(record_from_dict(json.loads(line)))
     return records
+
+
+def records_from_csv(source: Union[str, Path]) -> List[CellResult]:
+    """Parse records back from CSV text or a path to a ``.csv`` file.
+
+    The inverse of :func:`records_to_csv` — a ``str`` containing a
+    newline is treated as CSV text (a serialised table always has a
+    header line), anything else as a file path.  Derived ratio columns
+    are ignored; non-finite floats round-trip via their ``inf``/``nan``
+    spellings.
+    """
+    if isinstance(source, Path):
+        text = source.read_text()
+    elif "\n" in source:
+        text = source
+    else:
+        text = Path(source).read_text()
+    if not text.strip():
+        return []
+    reader = csv.DictReader(io.StringIO(text))
+    return [record_from_dict(row) for row in reader]

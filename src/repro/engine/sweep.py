@@ -33,7 +33,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,7 +42,7 @@ from repro.engine.records import CellResult
 from repro.errors import ExperimentError
 from repro.util.rng import stable_seed
 
-__all__ = ["SweepSpec", "run_sweep"]
+__all__ = ["SweepSpec", "run_sweep", "run_specs"]
 
 #: Allowed seed-derivation policies.
 SEED_POLICIES = ("spawn", "stable")
@@ -64,6 +64,10 @@ class SweepSpec:
     save_final_outputs: bool = True
     seed_policy: str = "spawn"
     name: str = "sweep"
+    #: Extra evaluator keywords (``trials=`` for Monte Carlo, ``k=`` for
+    #: PathApprox, ...).  Accepts a mapping; stored as a sorted tuple of
+    #: (name, value) pairs so specs stay hashable and picklable.
+    evaluator_options: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sizes", tuple(self.sizes))
@@ -73,6 +77,11 @@ class SweepSpec:
             self,
             "processors",
             {int(k): tuple(v) for k, v in dict(self.processors).items()},
+        )
+        object.__setattr__(
+            self,
+            "evaluator_options",
+            tuple(sorted(dict(self.evaluator_options).items())),
         )
         if self.seed_policy not in SEED_POLICIES:
             raise ExperimentError(
@@ -260,6 +269,7 @@ def _run_chunk(
             seed=chunk.wf_seed,
             eval_seed=eval_seed,
             save_final_outputs=spec.save_final_outputs,
+            evaluator_options=dict(spec.evaluator_options),
         )
         records.append(record)
         if progress is not None:
@@ -359,3 +369,70 @@ def run_sweep(
             progress(f"! process pool broke ({exc}); restarting serially")
         return run_sweep(spec, jobs=1, progress=progress)
     return [rec for order in sorted(results) for rec in results[order]]
+
+
+def _run_spec_task(spec: SweepSpec) -> List[CellResult]:
+    """Process-pool entry point for :func:`run_specs`: one serial sweep."""
+    return run_sweep(spec, jobs=1)
+
+
+def run_specs(
+    specs: Sequence[SweepSpec],
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+    pipeline: Optional[Pipeline] = None,
+) -> List[List[CellResult]]:
+    """Batch entry point: execute several sweeps; one record list per spec.
+
+    This is the hook the service scheduler dispatches coalesced request
+    batches through.  Serial execution (``jobs == 1``) threads one shared
+    :class:`~repro.engine.pipeline.Pipeline` through every spec, so specs
+    that share a (workflow, processors) pair — e.g. the same grid group
+    split across batches — reuse the cached M-SPG tree and schedule
+    instead of recomputing them.  With ``jobs > 1`` whole specs fan out
+    over a process pool (``0``/negative means "all cores"); a single
+    spec falls through to :func:`run_sweep`'s own cell-level fan-out.
+    Records are identical for every ``jobs`` value.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    if jobs is None or jobs < 1:
+        jobs = os.cpu_count() or 1
+    if len(specs) == 1:
+        return [
+            run_sweep(specs[0], jobs=jobs, progress=progress, pipeline=pipeline)
+        ]
+    if jobs == 1:
+        pipe = pipeline if pipeline is not None else Pipeline()
+        return [
+            run_sweep(s, jobs=1, progress=progress, pipeline=pipe)
+            for s in specs
+        ]
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
+    except (OSError, PermissionError, ModuleNotFoundError):
+        return run_specs(specs, jobs=1, progress=progress, pipeline=pipeline)
+    out: Dict[int, List[CellResult]] = {}
+    try:
+        with pool:
+            futures = {
+                pool.submit(_run_spec_task, s): i for i, s in enumerate(specs)
+            }
+            for fut in as_completed(futures):
+                i = futures[fut]
+                out[i] = fut.result()
+                if progress is not None:
+                    for rec in out[i]:
+                        progress(_progress_message(specs[i], rec))
+    except BrokenProcessPool as exc:
+        warnings.warn(
+            f"process pool broke during batch ({exc}); "
+            "restarting all specs serially (jobs=1)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        if progress is not None:
+            progress(f"! process pool broke ({exc}); restarting serially")
+        return run_specs(specs, jobs=1, progress=progress, pipeline=pipeline)
+    return [out[i] for i in range(len(specs))]

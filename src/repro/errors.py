@@ -21,6 +21,7 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "SerializationError",
+    "ServiceError",
 ]
 
 
@@ -88,3 +89,8 @@ class ExperimentError(ReproError):
 
 class SerializationError(ReproError):
     """Workflow (de)serialisation error (DAX/JSON)."""
+
+
+class ServiceError(ReproError):
+    """Evaluation-service failure (bad request, store schema mismatch,
+    transport error reported by the HTTP client)."""

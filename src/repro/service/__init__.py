@@ -1,0 +1,88 @@
+"""repro.service — the persistent evaluation service.
+
+The serving layer over the pipeline engine: one-shot CLI runs become a
+long-lived, cache-backed query service for makespan/strategy
+evaluations.  Results are keyed by canonical request fingerprints and
+survive process restarts in a SQLite store; queued requests are deduped
+and coalesced into sweep batches so the engine's artifact cache does
+maximal work.
+
+Module map
+----------
+``fingerprint``
+    :class:`EvalRequest` (one cell: family/size/seed, processors, pfail,
+    CCR, method + evaluator options) and its canonical SHA-256
+    :func:`fingerprint`; the 1×1 :func:`request_to_spec` execution
+    contract; grid↔cells conversion (:func:`requests_from_spec`).
+``store``
+    :class:`ResultStore` — schema-versioned SQLite keyed by fingerprint,
+    hit/miss stats, lossless JSONL export/import, and
+    ``records_from_jsonl`` backfill of plain sweep outputs.
+``scheduler``
+    :class:`BatchScheduler` — dedups identical fingerprints, serves
+    store hits, coalesces misses into exact-cover
+    :class:`~repro.engine.sweep.SweepSpec` batches grouped by
+    (workflow, processors), and dispatches them through
+    :func:`repro.engine.sweep.run_specs`; optional background worker
+    with a linger window for cross-request coalescing.
+``server``
+    :class:`ReproService` / :func:`serve` — a stdlib
+    ``ThreadingHTTPServer`` JSON API: ``POST /evaluate``,
+    ``POST /sweep``, ``GET /status``, ``GET|POST /cache``.
+``client``
+    :class:`ServiceClient` — thin ``urllib`` client returning parsed
+    :class:`~repro.engine.records.CellResult` replies.
+
+Quickstart
+----------
+>>> from repro.service import ReproService, ServiceClient
+>>> with ReproService(store="results.db") as svc:   # ephemeral port
+...     client = ServiceClient(svc.url)
+...     r1 = client.evaluate(family="genome", ntasks=50, processors=5,
+...                          pfail=1e-3, ccr=0.01)
+...     r2 = client.evaluate(family="genome", ntasks=50, processors=5,
+...                          pfail=1e-3, ccr=0.01)
+...     assert r2.cached and r2.record == r1.record
+
+``repro serve`` / ``repro submit`` wrap this from the command line.
+"""
+
+from repro.service.client import EvalReply, ServiceClient, SweepReply
+from repro.service.fingerprint import (
+    EvalRequest,
+    fingerprint,
+    request_from_dict,
+    request_to_dict,
+    request_to_spec,
+    requests_from_spec,
+)
+from repro.service.scheduler import (
+    BatchScheduler,
+    EvalOutcome,
+    SchedulerStats,
+    plan_batches,
+)
+from repro.service.server import ReproService, serve, sweep_spec_from_payload
+from repro.service.store import SCHEMA_VERSION, ResultStore, StoreStats
+
+__all__ = [
+    "EvalRequest",
+    "fingerprint",
+    "request_from_dict",
+    "request_to_dict",
+    "request_to_spec",
+    "requests_from_spec",
+    "ResultStore",
+    "StoreStats",
+    "SCHEMA_VERSION",
+    "BatchScheduler",
+    "EvalOutcome",
+    "SchedulerStats",
+    "plan_batches",
+    "ReproService",
+    "serve",
+    "sweep_spec_from_payload",
+    "ServiceClient",
+    "EvalReply",
+    "SweepReply",
+]

@@ -1,0 +1,157 @@
+"""Thin Python client for the evaluation service (stdlib ``urllib``).
+
+>>> client = ServiceClient("http://127.0.0.1:8765")
+>>> reply = client.evaluate(family="genome", ntasks=50, processors=5,
+...                         pfail=1e-3, ccr=0.01)
+>>> reply.record.em_some, reply.cached
+
+Transport and server-side failures both surface as
+:class:`~repro.errors.ServiceError` carrying the server's error message
+where one exists.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.engine.records import CellResult, record_from_dict
+from repro.engine.sweep import SweepSpec
+from repro.errors import ServiceError
+from repro.service.fingerprint import EvalRequest, request_to_dict
+
+__all__ = ["EvalReply", "SweepReply", "ServiceClient"]
+
+
+@dataclass(frozen=True)
+class EvalReply:
+    """One ``/evaluate`` answer."""
+
+    record: CellResult
+    fingerprint: str
+    cached: bool
+    wall_time_s: float
+
+
+@dataclass(frozen=True)
+class SweepReply:
+    """One ``/sweep`` answer (records in grid order)."""
+
+    records: List[CellResult]
+    cached: int
+    computed: int
+    wall_time_s: float
+
+
+class ServiceClient:
+    """HTTP client for one :class:`~repro.service.server.ReproService`."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport.
+
+    def _request(
+        self, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                body = resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8"))["error"]
+            except Exception:  # noqa: BLE001 — error body is best-effort
+                message = str(exc)
+            raise ServiceError(f"{path}: {message}") from None
+        except (urllib.error.URLError, socket.timeout, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc}"
+            ) from None
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"{path}: malformed reply: {exc}") from None
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> None:
+        """Poll ``/status`` until the service answers (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.status()
+                return
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+
+    def evaluate(
+        self, request: Optional[EvalRequest] = None, **fields: Any
+    ) -> EvalReply:
+        """POST one cell; pass an :class:`EvalRequest` or its fields."""
+        if request is not None and fields:
+            raise ServiceError("pass either a request object or fields, not both")
+        payload = (
+            request_to_dict(request) if request is not None else dict(fields)
+        )
+        reply = self._request("/evaluate", payload)
+        return EvalReply(
+            record=record_from_dict(reply["record"]),
+            fingerprint=reply["fingerprint"],
+            cached=bool(reply["cached"]),
+            wall_time_s=float(reply["wall_time_s"]),
+        )
+
+    def sweep(
+        self, spec: Optional[SweepSpec] = None, **fields: Any
+    ) -> SweepReply:
+        """POST a whole grid; pass a :class:`SweepSpec` or its fields."""
+        if spec is not None and fields:
+            raise ServiceError("pass either a spec object or fields, not both")
+        if spec is not None:
+            fields = {
+                "family": spec.family,
+                "sizes": list(spec.sizes),
+                "processors": {str(k): list(v) for k, v in spec.processors.items()},
+                "pfails": list(spec.pfails),
+                "ccrs": list(spec.ccrs),
+                "seed": spec.seed,
+                "method": spec.method,
+                "bandwidth": spec.bandwidth,
+                "linearizer": spec.linearizer,
+                "save_final_outputs": spec.save_final_outputs,
+                "seed_policy": spec.seed_policy,
+                "evaluator_options": dict(spec.evaluator_options),
+            }
+        reply = self._request("/sweep", dict(fields))
+        return SweepReply(
+            records=[record_from_dict(r) for r in reply["records"]],
+            cached=int(reply["cached"]),
+            computed=int(reply["computed"]),
+            wall_time_s=float(reply["wall_time_s"]),
+        )
+
+    def status(self) -> Dict[str, Any]:
+        return self._request("/status")
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return self._request("/cache")
+
+    def clear_cache(self) -> Dict[str, Any]:
+        return self._request("/cache", {"action": "clear"})

@@ -1,0 +1,242 @@
+"""Canonical request fingerprinting for the evaluation service.
+
+An :class:`EvalRequest` names one experiment cell — the workflow
+(family, size, seed), the platform (processors, pfail, bandwidth), the
+CCR target, and the evaluation method with its options.  Its
+:func:`fingerprint` is a SHA-256 digest of the canonical JSON payload,
+used as the durable-store key and the request-coalescing identity: two
+requests with the same fingerprint are the same computation.
+
+**The execution contract.**  A request is *defined* to produce the
+record of the 1×1 grid sweep containing only its cell::
+
+    run_sweep(request_to_spec(request))[0]
+
+Under the default ``"stable"`` seed policy that is bit-identical to
+:func:`repro.experiments.figures.run_cell` (and hence to
+:func:`repro.api.run_strategies` with the derived workflow/schedule
+seeds) for every closed-form method.  The contract is what makes
+coalescing safe: cell results of closed-form methods do not depend on
+which batch computed them, and the scheduler falls back to per-cell
+dispatch for Monte Carlo, whose sampling stream is derived from the
+cell's position in its grid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.engine.records import CellResult
+from repro.engine.sweep import SEED_POLICIES, SweepSpec
+from repro.errors import ServiceError
+from repro.makespan.api import EVALUATORS
+
+__all__ = [
+    "EvalRequest",
+    "GRID_SENSITIVE_METHODS",
+    "fingerprint",
+    "request_to_dict",
+    "request_from_dict",
+    "request_to_spec",
+    "requests_from_spec",
+    "request_for_record",
+]
+
+#: Methods whose cell results depend on the cell's position in the batch
+#: grid (their sampling seed is derived per grid index).  The scheduler
+#: never coalesces these into shared multi-cell specs.
+GRID_SENSITIVE_METHODS = frozenset({"montecarlo"})
+
+#: Fingerprint schema tag — bump when the canonical payload changes shape
+#: so old digests can never alias new ones.
+FINGERPRINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One evaluation-service request (= one experiment cell).
+
+    ``seed`` is the *root* experiment seed; the workflow and schedule
+    seeds are derived from it per ``seed_policy``, exactly as
+    :class:`~repro.engine.sweep.SweepSpec` does.  ``evaluator_options``
+    accepts a mapping and is canonicalised to a sorted tuple of pairs.
+    """
+
+    family: str
+    ntasks: int
+    processors: int
+    pfail: float
+    ccr: float
+    seed: int = 2017
+    method: str = "pathapprox"
+    bandwidth: float = 100e6
+    linearizer: str = "random"
+    save_final_outputs: bool = True
+    seed_policy: str = "stable"
+    evaluator_options: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "family", str(self.family))
+        object.__setattr__(self, "ntasks", int(self.ntasks))
+        object.__setattr__(self, "processors", int(self.processors))
+        object.__setattr__(self, "pfail", float(self.pfail))
+        object.__setattr__(self, "ccr", float(self.ccr))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "bandwidth", float(self.bandwidth))
+        object.__setattr__(
+            self,
+            "evaluator_options",
+            tuple(sorted(dict(self.evaluator_options).items())),
+        )
+        if self.ntasks < 1:
+            raise ServiceError(f"ntasks must be >= 1, got {self.ntasks}")
+        if self.processors < 1:
+            raise ServiceError(
+                f"processors must be >= 1, got {self.processors}"
+            )
+        if not 0.0 <= self.pfail < 1.0:
+            raise ServiceError(f"pfail must be in [0, 1), got {self.pfail}")
+        if self.ccr < 0:
+            raise ServiceError(f"ccr must be >= 0, got {self.ccr}")
+        if self.method not in EVALUATORS:
+            raise ServiceError(
+                f"unknown method {self.method!r}; "
+                f"choose from {sorted(EVALUATORS)}"
+            )
+        if self.seed_policy not in SEED_POLICIES:
+            raise ServiceError(
+                f"unknown seed policy {self.seed_policy!r}; "
+                f"choose from {list(SEED_POLICIES)}"
+            )
+
+    @property
+    def coalesce_key(self) -> Tuple[Any, ...]:
+        """Everything but the (pfail, CCR) axes — requests sharing this
+        key share a workflow instance and a schedule, so the scheduler
+        batches them into common :class:`SweepSpec` grids."""
+        return (
+            self.family,
+            self.ntasks,
+            self.processors,
+            self.seed,
+            self.method,
+            self.bandwidth,
+            self.linearizer,
+            self.save_final_outputs,
+            self.seed_policy,
+            self.evaluator_options,
+        )
+
+    @property
+    def grid_sensitive(self) -> bool:
+        """Whether the result depends on the batch grid shape (Monte
+        Carlo sampling seeds are positional); such requests are always
+        dispatched as per-cell 1×1 grids."""
+        return self.method in GRID_SENSITIVE_METHODS
+
+
+def request_to_dict(request: EvalRequest) -> Dict[str, Any]:
+    """JSON-ready field dict (evaluator options as a plain mapping)."""
+    out: Dict[str, Any] = {
+        f.name: getattr(request, f.name) for f in fields(EvalRequest)
+    }
+    out["evaluator_options"] = dict(request.evaluator_options)
+    return out
+
+
+def request_from_dict(payload: Mapping[str, Any]) -> EvalRequest:
+    """Rebuild a request from a field mapping; unknown keys are an error
+    (a mistyped field silently defaulting would corrupt fingerprints)."""
+    names = {f.name for f in fields(EvalRequest)}
+    unknown = sorted(set(payload) - names)
+    if unknown:
+        raise ServiceError(
+            f"unknown request field(s) {', '.join(map(repr, unknown))}; "
+            f"accepted: {sorted(names)}"
+        )
+    try:
+        return EvalRequest(**dict(payload))
+    except TypeError as exc:
+        raise ServiceError(f"bad request payload: {exc}") from None
+
+
+def fingerprint(request: EvalRequest) -> str:
+    """Canonical SHA-256 fingerprint (hex) of one request.
+
+    The digest covers every field through the canonical JSON payload
+    (sorted keys, exact float repr), prefixed with the fingerprint
+    schema version.
+    """
+    payload = request_to_dict(request)
+    payload["_v"] = FINGERPRINT_VERSION
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def request_to_spec(request: EvalRequest) -> SweepSpec:
+    """The request's defining 1×1 grid (see the module docstring)."""
+    return SweepSpec(
+        family=request.family,
+        sizes=(request.ntasks,),
+        processors={request.ntasks: (request.processors,)},
+        pfails=(request.pfail,),
+        ccrs=(request.ccr,),
+        seed=request.seed,
+        method=request.method,
+        bandwidth=request.bandwidth,
+        linearizer=request.linearizer,
+        save_final_outputs=request.save_final_outputs,
+        seed_policy=request.seed_policy,
+        evaluator_options=request.evaluator_options,
+        name=f"cell[{request.family}]",
+    )
+
+
+def requests_from_spec(spec: SweepSpec) -> List[EvalRequest]:
+    """Expand a sweep grid into per-cell requests, in grid order.
+
+    The inverse view of coalescing: the service's ``/sweep`` endpoint
+    and the store's sweep backfill both reduce a grid to its cells so
+    every cell is individually addressable by fingerprint.
+    """
+    return [
+        EvalRequest(
+            family=spec.family,
+            ntasks=ntasks,
+            processors=p,
+            pfail=pfail,
+            ccr=ccr,
+            seed=spec.seed,
+            method=spec.method,
+            bandwidth=spec.bandwidth,
+            linearizer=spec.linearizer,
+            save_final_outputs=spec.save_final_outputs,
+            seed_policy=spec.seed_policy,
+            evaluator_options=spec.evaluator_options,
+        )
+        for ntasks in spec.sizes
+        for p in spec.processors[ntasks]
+        for pfail in spec.pfails
+        for ccr in spec.ccrs
+    ]
+
+
+def request_for_record(
+    template: EvalRequest, record: CellResult
+) -> EvalRequest:
+    """The request whose cell a sweep ``record`` answers, given a
+    ``template`` carrying the sweep's non-axis fields (seed, method, ...).
+
+    Used by the store's backfill to key historical sweep records.
+    """
+    return replace(
+        template,
+        family=record.family,
+        ntasks=record.ntasks_requested,
+        processors=record.processors,
+        pfail=record.pfail,
+        ccr=record.ccr,
+    )

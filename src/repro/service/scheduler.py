@@ -1,0 +1,324 @@
+"""Request coalescing: dedup by fingerprint, batch by grid group, dispatch.
+
+The scheduler is the service's throughput lever.  Given a pile of
+requests it
+
+1. **dedups** identical fingerprints — one computation, every waiter
+   gets the result;
+2. **consults the store** — previously computed cells cost one SQLite
+   lookup;
+3. **coalesces** the misses into :class:`~repro.engine.sweep.SweepSpec`
+   batches grouped by :attr:`EvalRequest.coalesce_key` (same workflow
+   family/size/seed, processors, method, ...): requests that differ only
+   along the pfail/CCR axes become one grid, so the M-SPG tree is built
+   once per workflow and the schedule once per (workflow, processors)
+   pair — exactly the :class:`~repro.engine.pipeline.ArtifactCache`
+   reuse the sweep engine gives a declared grid;
+4. **dispatches** the specs through :func:`repro.engine.sweep.run_specs`
+   (shared pipeline when serial, spec-per-worker process fan-out for
+   ``jobs > 1``) and writes every fresh record back to the store.
+
+Batches are *exact covers*: a group's requested (pfail, CCR) cells are
+partitioned into one spec per pfail value, so no unrequested cell is
+ever computed.  Grid-sensitive methods (Monte Carlo — its sampling seed
+is positional, see :mod:`repro.service.fingerprint`) are dispatched as
+per-cell 1×1 specs instead; they still share the pipeline's cached
+tree/schedule, so the amortisation survives.
+
+:class:`BatchScheduler` also runs an optional background worker
+(:meth:`~BatchScheduler.start` / :meth:`~BatchScheduler.submit`) that
+collects requests arriving within a small linger window into one batch —
+this is what lets concurrent HTTP requests coalesce.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.pipeline import Pipeline
+from repro.engine.records import CellResult
+from repro.engine.sweep import SweepSpec, run_specs
+from repro.errors import ServiceError
+from repro.service.fingerprint import EvalRequest, fingerprint, request_to_spec
+from repro.service.store import ResultStore
+
+__all__ = ["EvalOutcome", "SchedulerStats", "BatchScheduler", "plan_batches"]
+
+
+@dataclass(frozen=True)
+class EvalOutcome:
+    """One answered request: the record plus how it was obtained."""
+
+    request: EvalRequest
+    fingerprint: str
+    record: CellResult
+    cached: bool  #: served from the durable store (no computation)
+
+
+@dataclass
+class SchedulerStats:
+    """Scheduler-lifetime counters (mutated under the scheduler lock)."""
+
+    submitted: int = 0  #: requests seen (incl. duplicates)
+    deduped: int = 0  #: duplicate fingerprints merged within batches
+    store_hits: int = 0  #: requests answered by the durable store
+    computed_cells: int = 0  #: cells actually evaluated
+    batches: int = 0  #: coalesced specs dispatched
+
+
+@dataclass
+class _Pending:
+    """One queued unique fingerprint and everybody waiting on it."""
+
+    request: EvalRequest
+    future: "Future[EvalOutcome]" = field(default_factory=Future)
+    waiters: int = 1
+
+
+def plan_batches(
+    requests: Sequence[EvalRequest],
+) -> List[Tuple[SweepSpec, List[EvalRequest]]]:
+    """Partition unique requests into coalesced sweep specs.
+
+    Returns ``(spec, cell_requests)`` pairs where ``cell_requests``
+    lists, in the spec's grid order, the request each produced record
+    answers.  The partition is an exact cover: every requested cell
+    appears exactly once, and no spec contains an unrequested cell.
+    """
+    groups: Dict[Tuple, List[EvalRequest]] = {}
+    for req in requests:
+        groups.setdefault(req.coalesce_key, []).append(req)
+
+    batches: List[Tuple[SweepSpec, List[EvalRequest]]] = []
+    for members in groups.values():
+        head = members[0]
+        if head.grid_sensitive:
+            # Positional sampling seeds: the 1×1 contract is only
+            # reproducible cell by cell.
+            batches.extend((request_to_spec(r), [r]) for r in members)
+            continue
+        # One spec per pfail value; its CCR axis is exactly the CCRs
+        # requested at that pfail (requests are unique, so no repeats).
+        by_pfail: Dict[float, List[EvalRequest]] = {}
+        for r in members:
+            by_pfail.setdefault(r.pfail, []).append(r)
+        for pfail, cells in by_pfail.items():
+            spec = replace(
+                request_to_spec(head),
+                pfails=(pfail,),
+                ccrs=tuple(r.ccr for r in cells),
+                name=f"batch[{head.family} n={head.ntasks} "
+                f"p={head.processors}]",
+            )
+            batches.append((spec, list(cells)))
+    return batches
+
+
+class BatchScheduler:
+    """Coalescing dispatcher over one shared pipeline and result store.
+
+    Synchronous use: :meth:`evaluate` / :meth:`evaluate_many`.  Service
+    use: :meth:`start` the background worker, then :meth:`submit`
+    returns a :class:`~concurrent.futures.Future` per request; requests
+    arriving within ``linger`` seconds of each other are batched, and
+    concurrent identical fingerprints share one future.
+
+    The shared :class:`~repro.engine.pipeline.Pipeline` persists across
+    batches, so even requests arriving in separate batches reuse cached
+    workflows, M-SPG trees and schedules; call :meth:`reset_pipeline`
+    to bound its memory in a very long-lived service.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        linger: float = 0.05,
+    ) -> None:
+        self.store = store
+        self.jobs = jobs
+        self.linger = linger
+        self.pipeline = Pipeline()
+        self.stats = SchedulerStats()
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._queue: Dict[str, _Pending] = {}
+        self._worker: Optional[threading.Thread] = None
+        self._stopping = False
+        # Serialises store-lookup + dispatch: concurrent evaluate_many
+        # calls (the background worker vs. a /sweep handler thread) must
+        # not compute the same fingerprint twice, and the shared
+        # pipeline is not meant for concurrent mutation.
+        self._dispatch_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Synchronous batch evaluation.
+
+    def evaluate_many(
+        self,
+        requests: Sequence[EvalRequest],
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> List[EvalOutcome]:
+        """Answer a batch of requests; outcomes align with the input.
+
+        Duplicates are computed once, stored results are served without
+        recomputation, and the remaining cells are dispatched as
+        coalesced sweeps (see the module docstring).
+        """
+        fps = [fingerprint(r) for r in requests]
+        unique: Dict[str, EvalRequest] = {}
+        for fp, req in zip(fps, requests):
+            unique.setdefault(fp, req)
+
+        with self._dispatch_lock:
+            resolved = self._resolve(unique, progress)
+
+        with self._lock:
+            self.stats.submitted += len(requests)
+            self.stats.deduped += len(requests) - len(unique)
+        return [resolved[fp] for fp in fps]
+
+    def _resolve(
+        self,
+        unique: Dict[str, EvalRequest],
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> Dict[str, EvalOutcome]:
+        """Answer unique fingerprints: store first, then coalesced dispatch."""
+        resolved: Dict[str, EvalOutcome] = {}
+        misses: Dict[str, EvalRequest] = {}
+        for fp, req in unique.items():
+            record = self.store.get(fp) if self.store is not None else None
+            if record is not None:
+                resolved[fp] = EvalOutcome(req, fp, record, cached=True)
+            else:
+                misses[fp] = req
+
+        batches = plan_batches(list(misses.values()))
+        if batches:
+            specs = [spec for spec, _ in batches]
+            results = run_specs(
+                specs, jobs=self.jobs, progress=progress,
+                pipeline=self.pipeline,
+            )
+            for (spec, cells), records in zip(batches, results):
+                if len(cells) != len(records):  # pragma: no cover
+                    raise ServiceError(
+                        f"batch {spec.name!r} returned {len(records)} records "
+                        f"for {len(cells)} requested cells"
+                    )
+                for req, record in zip(cells, records):
+                    fp = fingerprint(req)
+                    if self.store is not None:
+                        self.store.put(req, record, fp)
+                    resolved[fp] = EvalOutcome(req, fp, record, cached=False)
+
+        with self._lock:
+            self.stats.store_hits += len(unique) - len(misses)
+            self.stats.computed_cells += sum(
+                len(cells) for _, cells in batches
+            )
+            self.stats.batches += len(batches)
+        return resolved
+
+    def evaluate(
+        self,
+        request: EvalRequest,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> EvalOutcome:
+        """Answer one request (store lookup, then a 1-cell batch)."""
+        return self.evaluate_many([request], progress=progress)[0]
+
+    def reset_pipeline(self) -> None:
+        """Drop the shared pipeline's artifact cache (memory bound)."""
+        self.pipeline.clear()
+
+    # ------------------------------------------------------------------
+    # Background coalescing worker.
+
+    def start(self) -> "BatchScheduler":
+        """Start the background worker (idempotent); returns self."""
+        with self._lock:
+            if self._worker is not None and self._worker.is_alive():
+                return self
+            self._stopping = False
+            self._worker = threading.Thread(
+                target=self._run, name="repro-service-scheduler", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Drain the queue and stop the worker."""
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        worker = self._worker
+        if worker is not None:
+            worker.join(timeout)
+        self._worker = None
+
+    def submit(self, request: EvalRequest) -> "Future[EvalOutcome]":
+        """Queue one request for the next coalesced batch.
+
+        Identical fingerprints already waiting share the same future —
+        concurrent duplicate requests trigger exactly one computation.
+        """
+        fp = fingerprint(request)
+        # Fast path: durable-store hits are answered immediately — only
+        # actual compute pays the coalescing linger.  (The miss is not
+        # counted here; evaluate_many re-checks — and counts — at
+        # dispatch time, when a concurrent batch may have filled it.)
+        if self.store is not None:
+            record = self.store.get(fp, count_miss=False)
+            if record is not None:
+                future: "Future[EvalOutcome]" = Future()
+                future.set_result(EvalOutcome(request, fp, record, cached=True))
+                with self._lock:
+                    self.stats.submitted += 1
+                    self.stats.store_hits += 1
+                return future
+        with self._cv:
+            if self._stopping or self._worker is None:
+                raise ServiceError(
+                    "scheduler worker is not running (call start())"
+                )
+            pending = self._queue.get(fp)
+            if pending is not None:
+                pending.waiters += 1
+                self.stats.deduped += 1
+                self.stats.submitted += 1
+                return pending.future
+            pending = _Pending(request)
+            self._queue[fp] = pending
+            self._cv.notify_all()
+            return pending.future
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._stopping:
+                    self._cv.wait()
+                if self._stopping and not self._queue:
+                    return
+            # Linger outside the lock so late arrivals join this batch.
+            if self.linger > 0:
+                time.sleep(self.linger)
+            with self._cv:
+                batch = list(self._queue.items())
+                self._queue.clear()
+            if not batch:
+                continue
+            try:
+                outcomes = self.evaluate_many([p.request for _, p in batch])
+            except BaseException as exc:  # noqa: BLE001 — fan the error out
+                for _, pending in batch:
+                    pending.future.set_exception(exc)
+                continue
+            # (Merged waiters were already counted at submit time;
+            # evaluate_many counts each unique pending once.)
+            for (_, pending), outcome in zip(batch, outcomes):
+                pending.future.set_result(outcome)

@@ -1,0 +1,355 @@
+"""The evaluation service's HTTP front end (stdlib only).
+
+A :class:`ReproService` owns a durable :class:`ResultStore`, a
+coalescing :class:`BatchScheduler` and a ``ThreadingHTTPServer`` that
+speaks a small JSON API:
+
+============  ======  ====================================================
+path          method  semantics
+============  ======  ====================================================
+/evaluate     POST    one cell request (:func:`request_from_dict` fields);
+                      replies with the record, its fingerprint, and
+                      ``cached`` (true when served from the store).
+                      Concurrent requests are coalesced: each handler
+                      thread submits to the shared scheduler, which
+                      batches everything arriving within the linger
+                      window and merges identical fingerprints.
+/sweep        POST    a whole grid (SweepSpec-shaped payload); expanded
+                      to per-cell requests, answered from the store
+                      where possible, the rest dispatched as coalesced
+                      batches; replies with records in grid order.
+                      Every cell follows the per-cell 1×1 contract, so
+                      for closed-form methods the reply equals
+                      ``run_sweep`` of the same spec bit for bit; Monte
+                      Carlo cells use per-cell sampling seeds instead of
+                      a monolithic grid's positional ones (same
+                      estimator, different sampling stream).
+/status       GET     uptime, version, store + scheduler counters.
+/cache        GET     store detail (path, schema, entries, hit rates).
+/cache        POST    ``{"action": "clear"}`` empties store + pipeline.
+============  ======  ====================================================
+
+Errors come back as ``{"error": ...}`` with status 400 (bad request /
+library error) or 404 (unknown path).  Start a blocking server with
+:func:`serve`, or an in-process background one with
+``ReproService(...).start()`` (used by the tests and the quickstart).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro import __version__
+from repro.engine.records import record_to_dict
+from repro.engine.sweep import SweepSpec
+from repro.errors import ReproError, ServiceError
+from repro.service.fingerprint import request_from_dict, requests_from_spec
+from repro.service.scheduler import BatchScheduler
+from repro.service.store import SCHEMA_VERSION, ResultStore
+
+__all__ = ["ReproService", "serve", "sweep_spec_from_payload"]
+
+
+def sweep_spec_from_payload(payload: Dict[str, Any]) -> SweepSpec:
+    """Build a :class:`SweepSpec` from a ``/sweep`` JSON payload.
+
+    ``processors`` may be a mapping (size → counts, JSON string keys
+    accepted) or a flat list applied to every size, mirroring the CLI.
+    """
+    payload = dict(payload)
+    try:
+        family = payload.pop("family")
+        sizes = tuple(int(n) for n in payload.pop("sizes"))
+        processors = payload.pop("processors")
+    except KeyError as exc:
+        raise ServiceError(f"sweep payload missing field {exc.args[0]!r}") from None
+    if isinstance(processors, dict):
+        processors = {int(k): tuple(v) for k, v in processors.items()}
+    else:
+        processors = {n: tuple(processors) for n in sizes}
+    try:
+        pfails = tuple(payload.pop("pfails"))
+        ccrs = tuple(payload.pop("ccrs"))
+    except KeyError as exc:
+        raise ServiceError(f"sweep payload missing field {exc.args[0]!r}") from None
+    allowed = {
+        "seed",
+        "method",
+        "bandwidth",
+        "linearizer",
+        "save_final_outputs",
+        "seed_policy",
+        "evaluator_options",
+        "name",
+    }
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ServiceError(
+            f"unknown sweep field(s) {', '.join(map(repr, unknown))}; "
+            f"accepted: {sorted(allowed | {'family', 'sizes', 'processors', 'pfails', 'ccrs'})}"
+        )
+    if "evaluator_options" in payload:
+        payload["evaluator_options"] = tuple(
+            sorted(dict(payload["evaluator_options"]).items())
+        )
+    payload.setdefault("seed_policy", "stable")
+    return SweepSpec(
+        family=family,
+        sizes=sizes,
+        processors=processors,
+        pfails=pfails,
+        ccrs=ccrs,
+        **payload,
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON request handler; the owning service is a class attribute."""
+
+    service: "ReproService"  # bound by ReproService._handler_class
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        log = self.service.log
+        if log is not None:
+            log(f"{self.address_string()} {fmt % args}")
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, routes: Dict[str, Callable[[], None]]) -> None:
+        handler = routes.get(self.path.rstrip("/") or "/")
+        if handler is None:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            handler()
+        except ReproError as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — never kill the thread
+            self._reply(500, {"error": f"internal error: {exc}"})
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch({"/status": self._get_status, "/cache": self._get_cache})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch(
+            {
+                "/evaluate": self._post_evaluate,
+                "/sweep": self._post_sweep,
+                "/cache": self._post_cache,
+            }
+        )
+
+    def _post_evaluate(self) -> None:
+        request = request_from_dict(self._read_json())
+        t0 = time.perf_counter()
+        outcome = self.service.scheduler.submit(request).result()
+        self._reply(
+            200,
+            {
+                "fingerprint": outcome.fingerprint,
+                "cached": outcome.cached,
+                "wall_time_s": time.perf_counter() - t0,
+                "record": record_to_dict(outcome.record),
+            },
+        )
+
+    def _post_sweep(self) -> None:
+        spec = sweep_spec_from_payload(self._read_json())
+        requests = requests_from_spec(spec)
+        t0 = time.perf_counter()
+        outcomes = self.service.scheduler.evaluate_many(requests)
+        self._reply(
+            200,
+            {
+                "n_cells": len(outcomes),
+                "cached": sum(o.cached for o in outcomes),
+                "computed": sum(not o.cached for o in outcomes),
+                "wall_time_s": time.perf_counter() - t0,
+                "records": [record_to_dict(o.record) for o in outcomes],
+            },
+        )
+
+    def _get_status(self) -> None:
+        svc = self.service
+        store_stats = svc.store.stats()
+        sched = svc.scheduler.stats
+        self._reply(
+            200,
+            {
+                "version": __version__,
+                "uptime_s": time.time() - svc.started_at,
+                "store": {
+                    "path": svc.store.path,
+                    "entries": store_stats.entries,
+                    "hits": store_stats.hits,
+                    "misses": store_stats.misses,
+                    "hit_rate": store_stats.hit_rate,
+                },
+                "scheduler": {
+                    "submitted": sched.submitted,
+                    "deduped": sched.deduped,
+                    "store_hits": sched.store_hits,
+                    "computed_cells": sched.computed_cells,
+                    "batches": sched.batches,
+                },
+            },
+        )
+
+    def _get_cache(self) -> None:
+        svc = self.service
+        stats = svc.store.stats()
+        self._reply(
+            200,
+            {
+                "path": svc.store.path,
+                "schema_version": SCHEMA_VERSION,
+                "entries": stats.entries,
+                "session_hits": stats.hits,
+                "session_misses": stats.misses,
+                "session_hit_rate": stats.hit_rate,
+                "total_hits": stats.total_hits,
+            },
+        )
+
+    def _post_cache(self) -> None:
+        payload = self._read_json()
+        action = payload.get("action")
+        if action != "clear":
+            raise ServiceError(
+                f"unknown cache action {action!r}; accepted: 'clear'"
+            )
+        self.service.store.clear()
+        self.service.scheduler.reset_pipeline()
+        self._reply(200, {"cleared": True})
+
+
+class ReproService:
+    """Store + scheduler + HTTP server, wired together.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port`/:attr:`url`).  ``store`` accepts an existing
+    :class:`ResultStore`, a path, or ``None`` for an in-memory store.
+    Use as a context manager, or :meth:`start`/:meth:`close`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store: Union[ResultStore, str, Path, None] = None,
+        jobs: int = 1,
+        linger: float = 0.05,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if isinstance(store, ResultStore):
+            self.store = store
+            self._owns_store = False
+        else:
+            self.store = ResultStore(store if store is not None else ":memory:")
+            self._owns_store = True
+        self.scheduler = BatchScheduler(self.store, jobs=jobs, linger=linger)
+        self.log = log
+        self.started_at = time.time()
+        handler = type("_BoundHandler", (_Handler,), {"service": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ReproService":
+        """Serve in a daemon thread (returns once the socket is live)."""
+        self.scheduler.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (blocks until shutdown)."""
+        self.scheduler.start()
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover — interactive only
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.scheduler.stop()
+        if self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "ReproService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    store: Union[str, Path, None] = None,
+    jobs: int = 1,
+    linger: float = 0.05,
+    log: Optional[Callable[[str], None]] = print,
+) -> None:
+    """Run a blocking evaluation service (the ``repro serve`` command)."""
+    service = ReproService(
+        host=host, port=port, store=store, jobs=jobs, linger=linger, log=log
+    )
+    if log is not None:
+        log(
+            f"repro service v{__version__} listening on {service.url} "
+            f"(store: {service.store.path}, jobs={jobs}, linger={linger}s)"
+        )
+    service.serve_forever()

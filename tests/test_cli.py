@@ -177,6 +177,95 @@ class TestAccuracy:
         assert "pathapprox" in capsys.readouterr().out
 
 
+class TestArgumentValidation:
+    """Bad numeric arguments exit 2 with a one-line parser error, not a
+    deep traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["sweep", "--family", "genome", "--jobs", "0"],
+            ["sweep", "--family", "genome", "--jobs", "-2"],
+            ["sweep", "--family", "genome", "--pfails", "-0.1"],
+            ["sweep", "--family", "genome", "--pfails", "1.5"],
+            ["sweep", "--family", "genome", "--ccrs", "-1"],
+            ["sweep", "--family", "genome", "--sizes", "0"],
+            ["sweep", "--family", "genome", "--processors", "-3"],
+            ["figure", "fig5", "--jobs", "0"],
+            ["figure", "fig5", "--ccr-points", "0"],
+            ["evaluate", "--family", "genome", "--pfail", "-0.5"],
+            ["evaluate", "--family", "genome", "--ccr", "-0.01"],
+            ["evaluate", "--family", "genome", "--ntasks", "0"],
+            ["evaluate", "--family", "genome", "--pfail", "nope"],
+            ["simulate", "--family", "genome", "--pfail", "1.0"],
+            ["accuracy", "--mc-trials", "0"],
+            ["submit", "--family", "genome", "--processors", "0"],
+        ],
+    )
+    def test_rejected_with_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_jobs_one_still_accepted(self, capsys):
+        assert main(TestSweep.BASE + ["--jobs", "1"]) == 0
+
+
+class TestSubmitLocal:
+    ARGS = [
+        "submit",
+        "--family",
+        "genome",
+        "--ntasks",
+        "30",
+        "--processors",
+        "3",
+        "--pfail",
+        "0.001",
+        "--ccr",
+        "0.01",
+        "--local",
+    ]
+
+    def test_local_submit_computes_then_hits_store(self, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        assert main(self.ARGS + ["--store", str(store)]) == 0
+        first = capsys.readouterr().out
+        assert "[computed]" in first and "E[makespan]" in first
+        assert main(self.ARGS + ["--store", str(store)]) == 0
+        second = capsys.readouterr().out
+        assert "[store hit]" in second
+        # identical record both times
+        strip = lambda s: [l for l in s.splitlines() if "E[makespan]" in l]
+        assert strip(first) == strip(second)
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        store = tmp_path / "store.db"
+        assert main(self.ARGS + ["--store", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cached"] is False
+        assert payload["record"]["family"] == "genome"
+        assert len(payload["fingerprint"]) == 64
+
+    def test_matches_direct_run_cell(self, tmp_path, capsys):
+        from repro.experiments.figures import run_cell
+
+        store = tmp_path / "store.db"
+        assert main(self.ARGS + ["--store", str(store), "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        expected = run_cell("genome", 30, 3, 0.001, 0.01, seed=2017)
+        assert payload["record"]["em_some"] == expected.em_some
+        assert payload["record"]["em_all"] == expected.em_all
+        assert payload["record"]["em_none"] == expected.em_none
+
+
 class TestSimulate:
     def test_replay(self, capsys):
         rc = main(

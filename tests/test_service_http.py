@@ -1,0 +1,146 @@
+"""End-to-end tests for the service HTTP server + client on an
+ephemeral port, including store persistence across a restart."""
+
+import pytest
+
+from repro.engine import SweepSpec, run_sweep
+from repro.errors import ServiceError
+from repro.experiments.figures import run_cell
+from repro.service import ReproService, ServiceClient
+
+CELL = dict(family="genome", ntasks=30, processors=3, pfail=1e-3, ccr=0.01)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    with ReproService(port=0, store=tmp_path / "store.db", linger=0.0) as svc:
+        client = ServiceClient(svc.url)
+        client.wait_ready()
+        yield svc, client
+
+
+class TestEvaluate:
+    def test_repeat_is_store_hit_with_identical_record(self, service):
+        svc, client = service
+        first = client.evaluate(**CELL)
+        assert not first.cached
+        second = client.evaluate(**CELL)
+        assert second.cached
+        assert second.record == first.record
+        # the persistent hit counter incremented
+        assert svc.store.hit_count(second.fingerprint) >= 1
+        # and the warm answer skipped computation entirely
+        assert svc.scheduler.stats.computed_cells == 1
+
+    def test_matches_direct_run_cell(self, service):
+        _, client = service
+        reply = client.evaluate(**CELL, seed=2017)
+        expected = run_cell(
+            CELL["family"],
+            CELL["ntasks"],
+            CELL["processors"],
+            CELL["pfail"],
+            CELL["ccr"],
+            seed=2017,
+        )
+        assert reply.record == expected
+
+    def test_bad_request_is_client_error(self, service):
+        _, client = service
+        with pytest.raises(ServiceError, match="pfail"):
+            client.evaluate(**{**CELL, "pfail": -1.0})
+        with pytest.raises(ServiceError, match="unknown request field"):
+            client.evaluate(**{**CELL, "bogus": 1})
+
+    def test_unknown_family_is_client_error(self, service):
+        _, client = service
+        with pytest.raises(ServiceError):
+            client.evaluate(**{**CELL, "family": "not-a-family"})
+
+
+class TestSweep:
+    SPEC = SweepSpec(
+        family="genome",
+        sizes=(30,),
+        processors={30: (3, 5)},
+        pfails=(0.01, 0.001),
+        ccrs=(1e-3, 1e-2),
+        seed=11,
+        seed_policy="stable",
+    )
+
+    def test_records_in_grid_order_match_run_sweep(self, service):
+        _, client = service
+        reply = client.sweep(self.SPEC)
+        assert reply.records == run_sweep(self.SPEC)
+        assert reply.computed == self.SPEC.n_cells
+
+    def test_repeat_sweep_all_cached(self, service):
+        _, client = service
+        client.sweep(self.SPEC)
+        reply = client.sweep(self.SPEC)
+        assert reply.cached == self.SPEC.n_cells
+        assert reply.computed == 0
+        assert reply.records == run_sweep(self.SPEC)
+
+    def test_missing_field_is_client_error(self, service):
+        _, client = service
+        with pytest.raises(ServiceError, match="missing field"):
+            client.sweep(family="genome", sizes=[30], pfails=[0.01], ccrs=[0.01])
+
+
+class TestStatusAndCache:
+    def test_status_counters(self, service):
+        _, client = service
+        client.evaluate(**CELL)
+        client.evaluate(**CELL)
+        status = client.status()
+        assert status["store"]["entries"] == 1
+        assert status["scheduler"]["computed_cells"] == 1
+        assert status["scheduler"]["store_hits"] == 1
+        assert status["uptime_s"] > 0
+
+    def test_cache_detail_and_clear(self, service):
+        _, client = service
+        client.evaluate(**CELL)
+        detail = client.cache_stats()
+        assert detail["entries"] == 1
+        assert detail["schema_version"] >= 1
+        assert client.clear_cache() == {"cleared": True}
+        assert client.cache_stats()["entries"] == 0
+        # cleared: the same request computes again
+        assert not client.evaluate(**CELL).cached
+
+    def test_unknown_path_404(self, service):
+        svc, _ = service
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(svc.url + "/nope")
+        assert exc.value.code == 404
+
+
+class TestPersistence:
+    def test_store_survives_service_restart(self, tmp_path):
+        path = tmp_path / "store.db"
+        with ReproService(port=0, store=path, linger=0.0) as svc:
+            client = ServiceClient(svc.url)
+            client.wait_ready()
+            first = client.evaluate(**CELL)
+            assert not first.cached
+        with ReproService(port=0, store=path, linger=0.0) as svc:
+            client = ServiceClient(svc.url)
+            client.wait_ready()
+            replay = client.evaluate(**CELL)
+            assert replay.cached
+            assert replay.record == first.record
+            # no computation happened in the second service's lifetime
+            assert svc.scheduler.stats.computed_cells == 0
+
+
+class TestClientTransport:
+    def test_unreachable_service(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.status()
