@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__
+from repro.util.validation import ccr_error, pfail_error, seed_error
 
 __all__ = ["main", "build_parser"]
 
@@ -37,14 +38,27 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _seed_value(text: str) -> int:
+    """argparse type: non-negative root seed (SeedSequence-compatible)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    msg = seed_error(value)
+    if msg is not None:
+        raise argparse.ArgumentTypeError(msg)
+    return value
+
+
 def _pfail_value(text: str) -> float:
     """argparse type: failure probability in [0, 1)."""
     try:
         value = float(text)
     except ValueError:
         raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
-    if not 0.0 <= value < 1.0:
-        raise argparse.ArgumentTypeError(f"pfail must be in [0, 1), got {value}")
+    msg = pfail_error(value)
+    if msg is not None:
+        raise argparse.ArgumentTypeError(msg)
     return value
 
 
@@ -54,8 +68,9 @@ def _ccr_value(text: str) -> float:
         value = float(text)
     except ValueError:
         raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
-    if value < 0:
-        raise argparse.ArgumentTypeError(f"CCR must be >= 0, got {value}")
+    msg = ccr_error(value)
+    if msg is not None:
+        raise argparse.ArgumentTypeError(msg)
     return value
 
 
@@ -87,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen = sub.add_parser("generate", help="generate a synthetic workflow")
     gen.add_argument("--family", required=True)
     gen.add_argument("--ntasks", type=_positive_int, default=50)
-    gen.add_argument("--seed", type=int, default=2017)
+    gen.add_argument("--seed", type=_seed_value, default=2017)
     gen.add_argument(
         "--out", type=Path, required=True, help=".dax/.xml or .json output path"
     )
@@ -98,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--processors", type=_positive_int, default=10)
     ev.add_argument("--pfail", type=_pfail_value, default=1e-3)
     ev.add_argument("--ccr", type=_ccr_value, default=0.01)
-    ev.add_argument("--seed", type=int, default=2017)
+    ev.add_argument("--seed", type=_seed_value, default=2017)
     ev.add_argument("--method", default="pathapprox")
 
     sw = sub.add_parser(
@@ -134,7 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="log-spaced CCR grid (default 1e-3 1.0 5)",
     )
-    sw.add_argument("--seed", type=int, default=2017)
+    sw.add_argument("--seed", type=_seed_value, default=2017)
     sw.add_argument("--method", default="pathapprox")
     sw.add_argument(
         "--seed-policy",
@@ -181,7 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     acc.add_argument("--pfails", type=_pfail_value, nargs="*", default=[0.01, 0.001])
     acc.add_argument("--ccr", type=_ccr_value, default=0.01)
     acc.add_argument("--mc-trials", type=_positive_int, default=100_000)
-    acc.add_argument("--seed", type=int, default=2017)
+    acc.add_argument("--seed", type=_seed_value, default=2017)
 
     sim = sub.add_parser("simulate", help="replay one failure-injected run")
     sim.add_argument("--family", required=True)
@@ -189,7 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--processors", type=_positive_int, default=5)
     sim.add_argument("--pfail", type=_pfail_value, default=1e-2)
     sim.add_argument("--ccr", type=_ccr_value, default=0.01)
-    sim.add_argument("--seed", type=int, default=2017)
+    sim.add_argument("--seed", type=_seed_value, default=2017)
     sim.add_argument("--strategy", choices=["ckpt_some", "ckpt_all"], default="ckpt_some")
 
     srv = sub.add_parser(
@@ -243,7 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub_.add_argument("--processors", type=_positive_int, default=10)
     sub_.add_argument("--pfail", type=_pfail_value, default=1e-3)
     sub_.add_argument("--ccr", type=_ccr_value, default=0.01)
-    sub_.add_argument("--seed", type=int, default=2017)
+    sub_.add_argument("--seed", type=_seed_value, default=2017)
     sub_.add_argument("--method", default="pathapprox")
     sub_.add_argument(
         "--seed-policy",

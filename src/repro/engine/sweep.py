@@ -41,8 +41,14 @@ from repro.engine.pipeline import Pipeline
 from repro.engine.records import CellResult
 from repro.errors import ExperimentError
 from repro.util.rng import stable_seed
+from repro.util.validation import (
+    bandwidth_error,
+    ccr_error,
+    pfail_error,
+    seed_error,
+)
 
-__all__ = ["SweepSpec", "run_sweep", "run_specs"]
+__all__ = ["SweepSpec", "cell_wf_seed", "run_sweep", "run_specs"]
 
 #: Allowed seed-derivation policies.
 SEED_POLICIES = ("spawn", "stable")
@@ -70,27 +76,51 @@ class SweepSpec:
     evaluator_options: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "sizes", tuple(self.sizes))
-        object.__setattr__(self, "pfails", tuple(self.pfails))
-        object.__setattr__(self, "ccrs", tuple(self.ccrs))
-        object.__setattr__(
-            self,
-            "processors",
-            {int(k): tuple(v) for k, v in dict(self.processors).items()},
-        )
-        object.__setattr__(
-            self,
-            "evaluator_options",
-            tuple(sorted(dict(self.evaluator_options).items())),
-        )
+        try:
+            object.__setattr__(
+                self, "sizes", tuple(int(n) for n in self.sizes)
+            )
+            object.__setattr__(
+                self, "pfails", tuple(float(p) for p in self.pfails)
+            )
+            object.__setattr__(
+                self, "ccrs", tuple(float(c) for c in self.ccrs)
+            )
+            object.__setattr__(
+                self,
+                "processors",
+                {int(k): tuple(v) for k, v in dict(self.processors).items()},
+            )
+            object.__setattr__(self, "seed", int(self.seed))
+            object.__setattr__(self, "bandwidth", float(self.bandwidth))
+        except (TypeError, ValueError, OverflowError) as exc:
+            raise ExperimentError(
+                f"bad numeric sweep field: {exc}"
+            ) from None
+        try:
+            object.__setattr__(
+                self,
+                "evaluator_options",
+                tuple(sorted(dict(self.evaluator_options).items())),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"evaluator_options must be a mapping with string keys: "
+                f"{exc}"
+            ) from None
         if self.seed_policy not in SEED_POLICIES:
             raise ExperimentError(
                 f"unknown seed policy {self.seed_policy!r}; "
                 f"choose from {list(SEED_POLICIES)}"
             )
-        for ccr in self.ccrs:
-            if ccr < 0:
-                raise ExperimentError(f"target CCR must be >= 0, got {ccr}")
+        for msg in (
+            *(pfail_error(pfail) for pfail in self.pfails),
+            *(ccr_error(ccr) for ccr in self.ccrs),
+            bandwidth_error(self.bandwidth),
+            seed_error(self.seed),
+        ):
+            if msg is not None:
+                raise ExperimentError(msg)
         for ntasks in self.sizes:
             if not self.processors.get(ntasks):
                 raise ExperimentError(
@@ -150,6 +180,34 @@ class _Chunk:
 def _seq_to_seed(seq: np.random.SeedSequence) -> int:
     """Deterministic 63-bit int seed from a spawned SeedSequence."""
     return int(seq.generate_state(1, np.uint64)[0] >> np.uint64(1))
+
+
+def cell_wf_seed(
+    seed: int, seed_policy: str, family: str, ntasks: int
+) -> int:
+    """Workflow seed a 1×1 grid (the per-cell contract) derives.
+
+    ``"stable"`` hashes (seed, family, ntasks) position-independently;
+    ``"spawn"`` takes the index-0 spawns of the SeedSequence tree, which
+    is what a single-cell grid resolves to.  The service store's
+    backfill uses this to verify record provenance: a record whose
+    stored seed disagrees was computed under different workflow seeds
+    (wrong root seed/policy, or a non-initial position of a spawn grid).
+    """
+    if seed_policy not in SEED_POLICIES:
+        raise ExperimentError(
+            f"unknown seed policy {seed_policy!r}; "
+            f"choose from {list(SEED_POLICIES)}"
+        )
+    if seed_policy == "spawn":
+        if seed < 0:
+            raise ExperimentError(
+                "the spawn seed policy requires a non-negative root "
+                f"seed (SeedSequence spawning), got {seed}"
+            )
+        root = np.random.SeedSequence(seed)
+        return _seq_to_seed(root.spawn(1)[0].spawn(2)[0])
+    return stable_seed(seed, family, ntasks)
 
 
 def _derive_chunks(
@@ -381,7 +439,8 @@ def run_specs(
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     pipeline: Optional[Pipeline] = None,
-) -> List[List[CellResult]]:
+    return_exceptions: bool = False,
+) -> List[Any]:
     """Batch entry point: execute several sweeps; one record list per spec.
 
     This is the hook the service scheduler dispatches coalesced request
@@ -393,27 +452,40 @@ def run_specs(
     over a process pool (``0``/negative means "all cores"); a single
     spec falls through to :func:`run_sweep`'s own cell-level fan-out.
     Records are identical for every ``jobs`` value.
+
+    With ``return_exceptions=True`` a spec whose execution raises yields
+    its exception object in that slot instead of aborting the whole
+    batch (:func:`asyncio.gather` semantics) — the service scheduler
+    uses this to fail only the requests belonging to a bad spec while
+    the co-batched specs' results are kept.
     """
     specs = list(specs)
     if not specs:
         return []
     if jobs is None or jobs < 1:
         jobs = os.cpu_count() or 1
+
+    def one(spec: SweepSpec, pipe: Optional[Pipeline], n: int) -> Any:
+        try:
+            return run_sweep(spec, jobs=n, progress=progress, pipeline=pipe)
+        except Exception as exc:
+            if not return_exceptions:
+                raise
+            return exc
+
     if len(specs) == 1:
-        return [
-            run_sweep(specs[0], jobs=jobs, progress=progress, pipeline=pipeline)
-        ]
+        return [one(specs[0], pipeline, jobs)]
     if jobs == 1:
         pipe = pipeline if pipeline is not None else Pipeline()
-        return [
-            run_sweep(s, jobs=1, progress=progress, pipeline=pipe)
-            for s in specs
-        ]
+        return [one(s, pipe, 1) for s in specs]
     try:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
     except (OSError, PermissionError, ModuleNotFoundError):
-        return run_specs(specs, jobs=1, progress=progress, pipeline=pipeline)
-    out: Dict[int, List[CellResult]] = {}
+        return run_specs(
+            specs, jobs=1, progress=progress, pipeline=pipeline,
+            return_exceptions=return_exceptions,
+        )
+    out: Dict[int, Any] = {}
     try:
         with pool:
             futures = {
@@ -421,7 +493,15 @@ def run_specs(
             }
             for fut in as_completed(futures):
                 i = futures[fut]
-                out[i] = fut.result()
+                try:
+                    out[i] = fut.result()
+                except BrokenProcessPool:
+                    raise
+                except Exception as exc:
+                    if not return_exceptions:
+                        raise
+                    out[i] = exc
+                    continue
                 if progress is not None:
                     for rec in out[i]:
                         progress(_progress_message(specs[i], rec))
@@ -434,5 +514,8 @@ def run_specs(
         )
         if progress is not None:
             progress(f"! process pool broke ({exc}); restarting serially")
-        return run_specs(specs, jobs=1, progress=progress, pipeline=pipeline)
+        return run_specs(
+            specs, jobs=1, progress=progress, pipeline=pipeline,
+            return_exceptions=return_exceptions,
+        )
     return [out[i] for i in range(len(specs))]

@@ -40,12 +40,18 @@ class EvalReply:
 
 @dataclass(frozen=True)
 class SweepReply:
-    """One ``/sweep`` answer (records in grid order)."""
+    """One ``/sweep`` answer (records in grid order).
+
+    ``note`` is the server's seed-policy caveat when present (spawn
+    policy over multiple (size, processors) groups — see
+    :mod:`repro.service.server`), else ``None``.
+    """
 
     records: List[CellResult]
     cached: int
     computed: int
     wall_time_s: float
+    note: Optional[str] = None
 
 
 class ServiceClient:
@@ -145,6 +151,7 @@ class ServiceClient:
             cached=int(reply["cached"]),
             computed=int(reply["computed"]),
             wall_time_s=float(reply["wall_time_s"]),
+            note=reply.get("note"),
         )
 
     def status(self) -> Dict[str, Any]:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, List, Mapping, Tuple
 
@@ -33,6 +34,12 @@ from repro.engine.records import CellResult
 from repro.engine.sweep import SEED_POLICIES, SweepSpec
 from repro.errors import ServiceError
 from repro.makespan.api import EVALUATORS
+from repro.util.validation import (
+    bandwidth_error,
+    ccr_error,
+    pfail_error,
+    seed_error,
+)
 
 __all__ = [
     "EvalRequest",
@@ -80,27 +87,56 @@ class EvalRequest:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "family", str(self.family))
-        object.__setattr__(self, "ntasks", int(self.ntasks))
-        object.__setattr__(self, "processors", int(self.processors))
-        object.__setattr__(self, "pfail", float(self.pfail))
-        object.__setattr__(self, "ccr", float(self.ccr))
-        object.__setattr__(self, "seed", int(self.seed))
-        object.__setattr__(self, "bandwidth", float(self.bandwidth))
-        object.__setattr__(
-            self,
-            "evaluator_options",
-            tuple(sorted(dict(self.evaluator_options).items())),
-        )
+        try:
+            object.__setattr__(self, "ntasks", int(self.ntasks))
+            object.__setattr__(self, "processors", int(self.processors))
+            object.__setattr__(self, "pfail", float(self.pfail))
+            object.__setattr__(self, "ccr", float(self.ccr))
+            object.__setattr__(self, "seed", int(self.seed))
+            object.__setattr__(self, "bandwidth", float(self.bandwidth))
+        except (TypeError, ValueError, OverflowError) as exc:
+            raise ServiceError(f"bad numeric request field: {exc}") from None
+        try:
+            options = tuple(sorted(dict(self.evaluator_options).items()))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                f"evaluator_options must be a mapping with string keys: {exc}"
+            ) from None
+        object.__setattr__(self, "evaluator_options", options)
         if self.ntasks < 1:
             raise ServiceError(f"ntasks must be >= 1, got {self.ntasks}")
         if self.processors < 1:
             raise ServiceError(
                 f"processors must be >= 1, got {self.processors}"
             )
-        if not 0.0 <= self.pfail < 1.0:
-            raise ServiceError(f"pfail must be in [0, 1), got {self.pfail}")
-        if self.ccr < 0:
-            raise ServiceError(f"ccr must be >= 0, got {self.ccr}")
+        for msg in (
+            pfail_error(self.pfail),
+            ccr_error(self.ccr),
+            bandwidth_error(self.bandwidth),
+            seed_error(self.seed),
+        ):
+            if msg is not None:
+                raise ServiceError(msg)
+        # Option values must be JSON scalars: the canonical fingerprint
+        # payload is strict JSON, and the scheduler's coalesce_key needs
+        # hashable options (an unhashable value would otherwise blow up
+        # batch planning mid-dispatch, failing unrelated requests).
+        for key, value in options:
+            if not isinstance(key, str):
+                raise ServiceError(
+                    f"evaluator option names must be strings, got {key!r}"
+                )
+            if isinstance(value, float) and not math.isfinite(value):
+                raise ServiceError(
+                    f"evaluator option {key!r} must be finite, got {value}"
+                )
+            if value is not None and not isinstance(
+                value, (str, int, float, bool)
+            ):
+                raise ServiceError(
+                    f"evaluator option {key!r} must be a JSON scalar "
+                    f"(str/int/float/bool/None), got {type(value).__name__}"
+                )
         if self.method not in EVALUATORS:
             raise ServiceError(
                 f"unknown method {self.method!r}; "
@@ -159,7 +195,7 @@ def request_from_dict(payload: Mapping[str, Any]) -> EvalRequest:
         )
     try:
         return EvalRequest(**dict(payload))
-    except TypeError as exc:
+    except (TypeError, ValueError, OverflowError) as exc:
         raise ServiceError(f"bad request payload: {exc}") from None
 
 

@@ -175,20 +175,32 @@ class BatchScheduler:
             unique.setdefault(fp, req)
 
         with self._dispatch_lock:
-            resolved = self._resolve(unique, progress)
+            resolved, errors = self._resolve(unique, progress)
 
         with self._lock:
             self.stats.submitted += len(requests)
             self.stats.deduped += len(requests) - len(unique)
+        for fp in fps:
+            if fp in errors:
+                raise errors[fp]
         return [resolved[fp] for fp in fps]
 
     def _resolve(
         self,
         unique: Dict[str, EvalRequest],
         progress: Optional[Callable[[str], None]] = None,
-    ) -> Dict[str, EvalOutcome]:
-        """Answer unique fingerprints: store first, then coalesced dispatch."""
+    ) -> Tuple[Dict[str, EvalOutcome], Dict[str, BaseException]]:
+        """Answer unique fingerprints: store first, then coalesced dispatch.
+
+        Returns ``(resolved, errors)``; every input fingerprint appears
+        in exactly one of the two.  Failures are isolated per dispatched
+        spec: a request whose evaluation raises (unknown family, engine
+        error, ...) lands in ``errors`` without poisoning unrelated
+        requests that merely shared the batch, and records from the
+        specs that succeeded are still stored.
+        """
         resolved: Dict[str, EvalOutcome] = {}
+        errors: Dict[str, BaseException] = {}
         misses: Dict[str, EvalRequest] = {}
         for fp, req in unique.items():
             record = self.store.get(fp) if self.store is not None else None
@@ -198,18 +210,34 @@ class BatchScheduler:
                 misses[fp] = req
 
         batches = plan_batches(list(misses.values()))
+        done = 0
+        computed = 0
         if batches:
+            # One dispatch, per-spec error capture (run_specs
+            # return_exceptions): a failing spec lands its exception in
+            # its own slot, so co-batched specs' records are kept and
+            # stored — no request is failed by a stranger it merely
+            # shared a linger window with.
             specs = [spec for spec, _ in batches]
             results = run_specs(
                 specs, jobs=self.jobs, progress=progress,
-                pipeline=self.pipeline,
+                pipeline=self.pipeline, return_exceptions=True,
             )
             for (spec, cells), records in zip(batches, results):
+                if isinstance(records, BaseException):
+                    for req in cells:
+                        errors[fingerprint(req)] = records
+                    continue
                 if len(cells) != len(records):  # pragma: no cover
-                    raise ServiceError(
-                        f"batch {spec.name!r} returned {len(records)} records "
-                        f"for {len(cells)} requested cells"
+                    exc = ServiceError(
+                        f"batch {spec.name!r} returned {len(records)} "
+                        f"records for {len(cells)} requested cells"
                     )
+                    for req in cells:
+                        errors[fingerprint(req)] = exc
+                    continue
+                done += 1
+                computed += len(cells)
                 for req, record in zip(cells, records):
                     fp = fingerprint(req)
                     if self.store is not None:
@@ -218,11 +246,9 @@ class BatchScheduler:
 
         with self._lock:
             self.stats.store_hits += len(unique) - len(misses)
-            self.stats.computed_cells += sum(
-                len(cells) for _, cells in batches
-            )
-            self.stats.batches += len(batches)
-        return resolved
+            self.stats.computed_cells += computed
+            self.stats.batches += done
+        return resolved, errors
 
     def evaluate(
         self,
@@ -312,13 +338,26 @@ class BatchScheduler:
                 self._queue.clear()
             if not batch:
                 continue
+            # The queue is keyed by fingerprint, so the batch is already
+            # unique — resolve it directly and settle each future from
+            # the per-fingerprint outcome/error maps: a request that
+            # fails (unknown family, engine error, ...) rejects only its
+            # own waiters, never unrelated requests that merely arrived
+            # in the same linger window.
+            unique = {fp: pending.request for fp, pending in batch}
             try:
-                outcomes = self.evaluate_many([p.request for _, p in batch])
+                with self._dispatch_lock:
+                    resolved, errors = self._resolve(unique)
             except BaseException as exc:  # noqa: BLE001 — fan the error out
                 for _, pending in batch:
                     pending.future.set_exception(exc)
                 continue
-            # (Merged waiters were already counted at submit time;
-            # evaluate_many counts each unique pending once.)
-            for (_, pending), outcome in zip(batch, outcomes):
-                pending.future.set_result(outcome)
+            # (Merged waiters were already counted at submit time; each
+            # unique pending is counted once here.)
+            with self._lock:
+                self.stats.submitted += len(batch)
+            for fp, pending in batch:
+                if fp in errors:
+                    pending.future.set_exception(errors[fp])
+                else:
+                    pending.future.set_result(resolved[fp])

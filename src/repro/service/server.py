@@ -18,12 +18,20 @@ path          method  semantics
                       to per-cell requests, answered from the store
                       where possible, the rest dispatched as coalesced
                       batches; replies with records in grid order.
-                      Every cell follows the per-cell 1×1 contract, so
-                      for closed-form methods the reply equals
-                      ``run_sweep`` of the same spec bit for bit; Monte
-                      Carlo cells use per-cell sampling seeds instead of
-                      a monolithic grid's positional ones (same
-                      estimator, different sampling stream).
+                      Every cell follows the per-cell 1×1 contract.
+                      Under the ``"stable"`` seed policy (the
+                      endpoint's default) that makes the reply equal to
+                      ``run_sweep`` of the same spec bit for bit for
+                      closed-form methods.  Under ``"spawn"`` the
+                      equality only holds for grids with a single
+                      (size, processors) group: ``run_sweep`` derives
+                      spawn seeds positionally across groups, while the
+                      service answers each cell from its own 1×1 grid —
+                      multi-group spawn replies carry a ``note`` field
+                      saying so.  Monte Carlo cells use per-cell
+                      sampling seeds instead of a monolithic grid's
+                      positional ones (same estimator, different
+                      sampling stream).
 /status       GET     uptime, version, store + scheduler counters.
 /cache        GET     store detail (path, schema, entries, hit rates).
 /cache        POST    ``{"action": "clear"}`` empties store + pipeline.
@@ -48,7 +56,11 @@ from repro import __version__
 from repro.engine.records import record_to_dict
 from repro.engine.sweep import SweepSpec
 from repro.errors import ReproError, ServiceError
-from repro.service.fingerprint import request_from_dict, requests_from_spec
+from repro.service.fingerprint import (
+    GRID_SENSITIVE_METHODS,
+    request_from_dict,
+    requests_from_spec,
+)
 from repro.service.scheduler import BatchScheduler
 from repro.service.store import SCHEMA_VERSION, ResultStore
 
@@ -64,19 +76,23 @@ def sweep_spec_from_payload(payload: Dict[str, Any]) -> SweepSpec:
     payload = dict(payload)
     try:
         family = payload.pop("family")
-        sizes = tuple(int(n) for n in payload.pop("sizes"))
+        sizes = payload.pop("sizes")
         processors = payload.pop("processors")
+        pfails = payload.pop("pfails")
+        ccrs = payload.pop("ccrs")
     except KeyError as exc:
         raise ServiceError(f"sweep payload missing field {exc.args[0]!r}") from None
-    if isinstance(processors, dict):
-        processors = {int(k): tuple(v) for k, v in processors.items()}
-    else:
-        processors = {n: tuple(processors) for n in sizes}
-    try:
-        pfails = tuple(payload.pop("pfails"))
-        ccrs = tuple(payload.pop("ccrs"))
-    except KeyError as exc:
-        raise ServiceError(f"sweep payload missing field {exc.args[0]!r}") from None
+    if not isinstance(processors, dict):
+        # Flat list → the same counts for every size; everything else
+        # (int/float coercion of sizes, keys, pfails, ccrs, evaluator
+        # options) is SweepSpec.__post_init__'s job — it raises
+        # ExperimentError, which the handler maps to a 400 like any
+        # other validation failure.
+        try:
+            counts = tuple(processors)
+            processors = {n: counts for n in sizes}
+        except TypeError as exc:
+            raise ServiceError(f"bad sweep sizes/processors: {exc}") from None
     allowed = {
         "seed",
         "method",
@@ -92,10 +108,6 @@ def sweep_spec_from_payload(payload: Dict[str, Any]) -> SweepSpec:
         raise ServiceError(
             f"unknown sweep field(s) {', '.join(map(repr, unknown))}; "
             f"accepted: {sorted(allowed | {'family', 'sizes', 'processors', 'pfails', 'ccrs'})}"
-        )
-    if "evaluator_options" in payload:
-        payload["evaluator_options"] = tuple(
-            sorted(dict(payload["evaluator_options"]).items())
         )
     payload.setdefault("seed_policy", "stable")
     return SweepSpec(
@@ -187,16 +199,31 @@ class _Handler(BaseHTTPRequestHandler):
         requests = requests_from_spec(spec)
         t0 = time.perf_counter()
         outcomes = self.service.scheduler.evaluate_many(requests)
-        self._reply(
-            200,
-            {
-                "n_cells": len(outcomes),
-                "cached": sum(o.cached for o in outcomes),
-                "computed": sum(not o.cached for o in outcomes),
-                "wall_time_s": time.perf_counter() - t0,
-                "records": [record_to_dict(o.record) for o in outcomes],
-            },
-        )
+        payload = {
+            "n_cells": len(outcomes),
+            "cached": sum(o.cached for o in outcomes),
+            "computed": sum(not o.cached for o in outcomes),
+            "wall_time_s": time.perf_counter() - t0,
+            "records": [record_to_dict(o.record) for o in outcomes],
+        }
+        groups = sum(len(spec.processors[n]) for n in spec.sizes)
+        if (
+            spec.seed_policy == "spawn"
+            and groups > 1
+            and spec.method not in GRID_SENSITIVE_METHODS
+        ):
+            # (Monte Carlo gets no note: its per-cell sampling seeds
+            # never match a monolithic grid's under any policy — see
+            # the module docstring.)
+            payload["note"] = (
+                "spawn seed policy over multiple (size, processors) "
+                "groups: cells are answered per the 1×1 contract, so "
+                "workflow/schedule seeds differ from a monolithic "
+                "run_sweep of this grid (its spawn seeds are "
+                "positional); use seed_policy 'stable' for bit-identical "
+                "numbers"
+            )
+        self._reply(200, payload)
 
     def _get_status(self) -> None:
         svc = self.service
@@ -283,6 +310,11 @@ class ReproService:
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+        # Whether a serve loop was (or is being) entered: shutdown()
+        # blocks forever on a server whose serve_forever never ran, so
+        # close() must skip it for a constructed-but-never-started
+        # service (e.g. teardown on an error path before start()).
+        self._serving = False
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -306,11 +338,13 @@ class ReproService:
             daemon=True,
         )
         self._thread.start()
+        self._serving = True
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (blocks until shutdown)."""
         self.scheduler.start()
+        self._serving = True
         try:
             self._httpd.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover — interactive only
@@ -319,7 +353,17 @@ class ReproService:
             self.close()
 
     def close(self) -> None:
-        self._httpd.shutdown()
+        if self._serving:
+            # Bounded: shutdown() blocks on an event only a running
+            # serve loop sets, and an exception delivered between
+            # `_serving = True` and the loop's first iteration (e.g.
+            # Ctrl-C in the blocking `repro serve` path) would deadlock
+            # an unbounded call.
+            waiter = threading.Thread(
+                target=self._httpd.shutdown, daemon=True
+            )
+            waiter.start()
+            waiter.join(timeout=5.0)
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)

@@ -374,12 +374,30 @@ class ResultStore:
         under fingerprints whose defining computation used different
         workflow/schedule seeds, silently serving wrong numbers as hits
         (``repro sweep`` defaults to ``spawn``, ``repro submit`` to
-        ``stable``).  Grid-sensitive methods (Monte Carlo) are refused —
-        their records depend on the source grid's shape and cannot honour
-        the per-cell 1×1 contract.  Existing entries are never
-        overwritten; returns the number of entries added.  Atomic: on
-        any error the store is rolled back to its prior state.
+        ``stable``).  Two record classes are refused because their
+        correctness under the per-cell 1×1 fingerprint contract cannot
+        be established from record data:
+
+        * grid-sensitive methods (Monte Carlo) — their sampling stream
+          depends on the cell's position in the source grid;
+        * all ``seed_policy="spawn"`` records — spawn derives workflow
+          *and schedule* seeds from the source grid's positional
+          SeedSequence spawns.  A record stores its workflow seed (so a
+          wrong size position is detectable) but not its schedule seed,
+          so a cell taken from a non-initial processor position of a
+          spawn grid is indistinguishable from a contract-conforming
+          one while carrying different numbers.  ``"stable"`` seeds are
+          position-independent, making stable-policy sweeps the safe —
+          and only accepted — backfill source.
+
+        Every accepted record's stored workflow seed is additionally
+        verified against :func:`repro.engine.sweep.cell_wf_seed` for the
+        claimed ``seed``/``seed_policy``, refusing records computed
+        under a different root seed or policy.  Existing entries are
+        never overwritten; returns the number of entries added.  Atomic:
+        on any error the store is rolled back to its prior state.
         """
+        from repro.engine.sweep import SEED_POLICIES
         from repro.service.fingerprint import GRID_SENSITIVE_METHODS
 
         if method in GRID_SENSITIVE_METHODS:
@@ -388,10 +406,46 @@ class ResultStore:
                 "on the source grid's shape, not just the cell (the "
                 "per-cell 1×1 contract does not hold)"
             )
+        if seed_policy not in SEED_POLICIES:
+            raise ServiceError(
+                f"unknown seed policy {seed_policy!r}; "
+                f"choose from {list(SEED_POLICIES)}"
+            )
+        if seed_policy == "spawn":
+            raise ServiceError(
+                "cannot backfill spawn-policy records: spawn derives "
+                "workflow/schedule seeds from positional SeedSequence "
+                "spawns of the source grid, and records do not carry "
+                "their schedule seed, so conformance to the per-cell "
+                "1×1 fingerprint contract cannot be verified; re-run "
+                "the sweep with seed_policy='stable' (the "
+                "position-independent derivation) to backfill it"
+            )
+        from repro.engine.sweep import cell_wf_seed
+
+        expected_seeds: Dict[Tuple[str, int], int] = {}
         added = 0
         with self._lock:
             try:
                 for record in records:
+                    cell = (record.family, record.ntasks_requested)
+                    if cell not in expected_seeds:
+                        expected_seeds[cell] = cell_wf_seed(
+                            seed, seed_policy, *cell
+                        )
+                    if record.seed != expected_seeds[cell]:
+                        raise ServiceError(
+                            f"record for {record.family} "
+                            f"n={record.ntasks_requested} "
+                            f"p={record.processors} carries workflow seed "
+                            f"{record.seed}, but the per-cell contract "
+                            f"derives {expected_seeds[cell]} from root "
+                            f"seed {seed} under policy {seed_policy!r}: "
+                            "the record was computed with different "
+                            "seeds (wrong root seed or policy, or a "
+                            "non-initial position of a spawn grid) and "
+                            "would be served as a wrong hit"
+                        )
                     request = EvalRequest(
                         family=record.family,
                         ntasks=record.ntasks_requested,

@@ -2,9 +2,18 @@
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
-__all__ = ["require_positive", "require_nonnegative", "require_in_unit_interval"]
+__all__ = [
+    "require_positive",
+    "require_nonnegative",
+    "require_in_unit_interval",
+    "pfail_error",
+    "ccr_error",
+    "bandwidth_error",
+    "seed_error",
+]
 
 
 def require_positive(value: float, name: str) -> float:
@@ -30,3 +39,38 @@ def require_in_unit_interval(
         bound = "[0, 1)" if open_right else "[0, 1]"
         raise ValueError(f"{name} must be in {bound}, got {value!r}")
     return value
+
+
+# ----------------------------------------------------------------------
+# Experiment-parameter domains.  Enforced at three altitudes — argparse
+# types in the CLI, SweepSpec in the engine, EvalRequest in the service
+# — each with its own exception type, so these return an error message
+# (``None`` when valid) and every site states the rule exactly once.
+
+
+def pfail_error(value: float) -> Optional[str]:
+    """Failure probability: finite, in [0, 1)."""
+    if not (math.isfinite(value) and 0.0 <= value < 1.0):
+        return f"pfail must be in [0, 1), got {value}"
+    return None
+
+
+def ccr_error(value: float) -> Optional[str]:
+    """CCR target: finite, >= 0."""
+    if not (math.isfinite(value) and value >= 0):
+        return f"CCR must be finite and >= 0, got {value}"
+    return None
+
+
+def bandwidth_error(value: float) -> Optional[str]:
+    """Platform bandwidth: finite, > 0."""
+    if not (math.isfinite(value) and value > 0):
+        return f"bandwidth must be finite and > 0, got {value}"
+    return None
+
+
+def seed_error(value: int) -> Optional[str]:
+    """Root experiment seed: non-negative (SeedSequence-compatible)."""
+    if value < 0:
+        return f"seed must be >= 0, got {value}"
+    return None

@@ -197,6 +197,11 @@ class TestArgumentValidation:
             ["evaluate", "--family", "genome", "--ccr", "-0.01"],
             ["evaluate", "--family", "genome", "--ntasks", "0"],
             ["evaluate", "--family", "genome", "--pfail", "nope"],
+            ["evaluate", "--family", "genome", "--pfail", "nan"],
+            ["evaluate", "--family", "genome", "--ccr", "nan"],
+            ["evaluate", "--family", "genome", "--ccr", "inf"],
+            ["sweep", "--family", "genome", "--seed", "-1"],
+            ["submit", "--family", "genome", "--seed", "-1"],
             ["simulate", "--family", "genome", "--pfail", "1.0"],
             ["accuracy", "--mc-trials", "0"],
             ["submit", "--family", "genome", "--processors", "0"],

@@ -270,6 +270,79 @@ class TestSweepSpecValidation:
         with pytest.raises(ExperimentError):
             run_sweep(small_spec(ccrs=()))
 
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"ccrs": (float("nan"),)},
+            {"ccrs": (float("inf"),)},
+            {"ccrs": (-1.0,)},
+            {"pfails": (float("nan"),)},
+            {"pfails": (1.0,)},
+            {"pfails": (-0.1,)},
+            {"bandwidth": 0.0},
+            {"bandwidth": float("nan")},
+            {"seed": -1, "seed_policy": "spawn"},
+            {"seed": -1},  # stable too: engine and service must agree
+            {"seed": "abc"},
+            {"pfails": (None,)},
+            {"bandwidth": "x"},
+            {"evaluator_options": 5},
+            {"evaluator_options": {1: "a", "b": 2}},  # unsortable keys
+        ],
+    )
+    def test_non_finite_or_out_of_range_values_rejected(self, bad):
+        with pytest.raises(ExperimentError):
+            small_spec(**bad)
+
+
+class TestCellWfSeed:
+    @pytest.mark.parametrize("policy", ["stable", "spawn"])
+    def test_matches_one_by_one_grid_derivation(self, policy):
+        """cell_wf_seed must stay in lockstep with _derive_chunks' seed
+        tree — the service store's backfill provenance check depends on
+        it (a silent desync would mis-verify records)."""
+        from repro.engine import cell_wf_seed
+
+        spec = small_spec(
+            processors={50: (3,)},
+            pfails=(0.01,),
+            ccrs=(1e-3,),
+            seed_policy=policy,
+        )
+        (record,) = run_sweep(spec)
+        assert record.seed == cell_wf_seed(spec.seed, policy, "genome", 50)
+
+    def test_spawn_requires_non_negative_seed(self):
+        from repro.engine import cell_wf_seed
+
+        with pytest.raises(ExperimentError):
+            cell_wf_seed(-1, "spawn", "genome", 50)
+        with pytest.raises(ExperimentError):
+            cell_wf_seed(11, "nope", "genome", 50)
+
+
+class TestRunSpecs:
+    def test_return_exceptions_isolates_failing_spec(self):
+        from repro.errors import ReproError
+
+        good = small_spec(
+            processors={50: (3,)}, pfails=(0.01,), ccrs=(1e-3,)
+        )
+        bad = small_spec(
+            family="not-a-family",
+            processors={50: (3,)},
+            pfails=(0.01,),
+            ccrs=(1e-3,),
+        )
+        from repro.engine import run_specs
+
+        results = run_specs([good, bad], return_exceptions=True)
+        assert results[0] == run_sweep(good)
+        assert isinstance(results[1], ReproError)
+        # default semantics unchanged: the batch raises
+        with pytest.raises(ReproError):
+            run_specs([good, bad])
+
     def test_n_cells(self):
         assert small_spec().n_cells == 2 * 2 * 2
 

@@ -6,7 +6,7 @@ import pytest
 import repro.engine.pipeline as pipeline_mod
 from repro.api import run_strategies
 from repro.engine import SweepSpec, run_sweep
-from repro.errors import ServiceError
+from repro.errors import ReproError, ServiceError
 from repro.experiments.figures import run_cell
 from repro.generators import generate
 from repro.service import (
@@ -86,7 +86,17 @@ class TestFingerprint:
             {"processors": 0},
             {"pfail": -0.1},
             {"pfail": 1.0},
+            {"pfail": float("nan")},
             {"ccr": -1.0},
+            {"ccr": float("nan")},
+            {"ccr": float("inf")},
+            {"bandwidth": 0.0},
+            {"bandwidth": -1.0},
+            {"bandwidth": float("nan")},
+            {"seed": -1},
+            {"seed": "abc"},
+            {"seed": float("nan")},
+            {"ntasks": "abc"},
             {"method": "nope"},
             {"seed_policy": "nope"},
         ],
@@ -94,6 +104,22 @@ class TestFingerprint:
     def test_invalid_requests_rejected(self, bad):
         with pytest.raises(ServiceError):
             req(**bad)
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"trials": [1, 2]},  # unhashable, not a JSON scalar
+            {"k": {"nested": 1}},
+            {"k": float("nan")},
+            {1: "x"},  # non-string key
+            [["a"]],  # not key/value shaped
+        ],
+    )
+    def test_non_scalar_evaluator_options_rejected(self, options):
+        """Bad option values must fail at construction, not later inside
+        batch planning where they would poison an unrelated batch."""
+        with pytest.raises(ServiceError):
+            req(evaluator_options=options)
 
 
 class TestRequestContract:
@@ -120,6 +146,12 @@ class TestRequestContract:
         assert record.em_some == outcome.em_some
         assert record.em_all == outcome.em_all
         assert record.em_none == outcome.em_none
+
+    def test_spawn_policy_follows_the_per_cell_contract(self):
+        r = req(seed_policy="spawn")
+        (expected,) = run_sweep(request_to_spec(r))
+        outcome = BatchScheduler(ResultStore(":memory:")).evaluate(r)
+        assert outcome.record == expected
 
     def test_montecarlo_follows_the_per_cell_contract(self):
         """Monte Carlo cells are answered per the 1×1 contract: the
@@ -285,6 +317,56 @@ class TestResultStore:
             store.backfill(
                 [], seed=7, seed_policy="stable", method="montecarlo"
             )
+
+    def test_backfill_rejects_unknown_policy_even_for_empty_records(self):
+        """A typo'd policy must not look like a successful no-op."""
+        store = ResultStore(":memory:")
+        with pytest.raises(ServiceError, match="seed policy"):
+            store.backfill([], seed=7, seed_policy="spwan")
+
+    def test_backfill_refuses_spawn_policy_records(self):
+        """Spawn derives workflow *and schedule* seeds from the source
+        grid's positional SeedSequence spawns, and records do not carry
+        their schedule seed — so a cell filtered out of a multi-size or
+        multi-processor spawn grid is indistinguishable from a
+        contract-conforming one while holding different numbers.  Spawn
+        backfill is therefore refused outright."""
+        store = ResultStore(":memory:")
+        with pytest.raises(ServiceError, match="spawn"):
+            store.backfill([], seed=11, seed_policy="spawn")
+        spec = SweepSpec(
+            family="genome",
+            sizes=(30,),
+            processors={30: (3,)},
+            pfails=(0.001,),
+            ccrs=(0.01,),
+            seed=11,
+            seed_policy="spawn",
+        )
+        with pytest.raises(ServiceError, match="spawn"):
+            store.backfill(run_sweep(spec), seed=11, seed_policy="spawn")
+        assert len(store) == 0
+
+    def test_backfill_verifies_record_seed_provenance(self):
+        """Each record's stored workflow seed must match the per-cell
+        contract derivation for the claimed root seed — a wrong root
+        would file records under fingerprints of a different
+        computation."""
+        spec = SweepSpec(
+            family="genome",
+            sizes=(30,),
+            processors={30: (3,)},
+            pfails=(0.001,),
+            ccrs=(0.01,),
+            seed=11,
+            seed_policy="stable",
+        )
+        records = run_sweep(spec)
+        store = ResultStore(":memory:")
+        with pytest.raises(ServiceError, match="workflow seed"):
+            store.backfill(records, seed=12, seed_policy="stable")
+        assert len(store) == 0
+        assert store.backfill(records, seed=11, seed_policy="stable") == 1
 
     def test_hit_counter_batching_flushes_on_read_and_close(self, tmp_path):
         path = tmp_path / "store.db"
@@ -452,6 +534,37 @@ class TestBatchScheduler:
         scheduler = BatchScheduler(ResultStore(":memory:"))
         with pytest.raises(ServiceError, match="not running"):
             scheduler.submit(req())
+
+    def test_failure_isolated_to_owning_spec(self):
+        """A failing request must not lose the results of unrelated
+        requests batched with it: the good spec's records are computed
+        and stored even though the bad one raises."""
+        store = ResultStore(":memory:")
+        scheduler = BatchScheduler(store)
+        good = req()
+        bad = req(family="not-a-family")
+        with pytest.raises(ReproError):
+            scheduler.evaluate_many([good, bad])
+        assert store.peek(good) is not None
+        assert scheduler.stats.computed_cells == 1
+        # the good record is now a store hit
+        outcome = scheduler.evaluate(good)
+        assert outcome.cached
+
+    def test_worker_rejects_only_the_failing_request(self):
+        """Concurrent requests coalesced into one linger window: the bad
+        one's future gets the exception, the good one still resolves."""
+        scheduler = BatchScheduler(ResultStore(":memory:"), linger=0.2)
+        scheduler.start()
+        try:
+            good = scheduler.submit(req())
+            bad = scheduler.submit(req(family="not-a-family"))
+            outcome = good.result(timeout=60)
+            assert outcome.record is not None
+            with pytest.raises(ReproError):
+                bad.result(timeout=60)
+        finally:
+            scheduler.stop()
 
     def test_worker_propagates_errors(self, monkeypatch):
         scheduler = BatchScheduler(ResultStore(":memory:"), linger=0.0)

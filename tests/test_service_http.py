@@ -51,6 +51,38 @@ class TestEvaluate:
             client.evaluate(**{**CELL, "pfail": -1.0})
         with pytest.raises(ServiceError, match="unknown request field"):
             client.evaluate(**{**CELL, "bogus": 1})
+        # a 400 validation reply, not a 500, for malformed numerics —
+        # including the Infinity literal json.loads accepts
+        with pytest.raises(ServiceError, match="numeric"):
+            client.evaluate(**{**CELL, "seed": "abc"})
+        with pytest.raises(ServiceError, match="seed"):
+            client.evaluate(**{**CELL, "seed": -1})
+        with pytest.raises(ServiceError, match="numeric"):
+            client.evaluate(**{**CELL, "ntasks": float("inf")})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"sizes": [float("inf")]},
+            {"pfails": 5},  # not iterable
+            {"pfails": [None]},
+            {"bandwidth": "x"},
+            {"seed": "abc"},
+            {"evaluator_options": [["a"]]},  # not a mapping
+        ],
+    )
+    def test_malformed_payload_is_client_error_not_500(self, service, bad):
+        _, client = service
+        base = dict(
+            family="genome",
+            sizes=[30],
+            processors=[3],
+            pfails=[0.01],
+            ccrs=[0.01],
+        )
+        with pytest.raises(ServiceError) as exc:
+            client.sweep(**{**base, **bad})
+        assert "internal error" not in str(exc.value)
 
     def test_unknown_family_is_client_error(self, service):
         _, client = service
@@ -74,6 +106,7 @@ class TestSweep:
         reply = client.sweep(self.SPEC)
         assert reply.records == run_sweep(self.SPEC)
         assert reply.computed == self.SPEC.n_cells
+        assert reply.note is None  # stable policy: bit-identity holds
 
     def test_repeat_sweep_all_cached(self, service):
         _, client = service
@@ -87,6 +120,33 @@ class TestSweep:
         _, client = service
         with pytest.raises(ServiceError, match="missing field"):
             client.sweep(family="genome", sizes=[30], pfails=[0.01], ccrs=[0.01])
+
+    def test_multi_group_spawn_sweep_carries_note(self, service):
+        """run_sweep derives spawn seeds positionally across (size,
+        processors) groups, so a multi-group spawn reply flags that it
+        is *not* bit-identical to the monolithic sweep."""
+        _, client = service
+        reply = client.sweep(
+            family="genome",
+            sizes=[30],
+            processors=[3, 5],
+            pfails=[0.001],
+            ccrs=[0.01],
+            seed=11,
+            seed_policy="spawn",
+        )
+        assert reply.note is not None and "spawn" in reply.note
+        # single-group spawn grids keep the bit-identity, hence no note
+        single = client.sweep(
+            family="genome",
+            sizes=[30],
+            processors=[3],
+            pfails=[0.001],
+            ccrs=[0.01],
+            seed=11,
+            seed_policy="spawn",
+        )
+        assert single.note is None
 
 
 class TestStatusAndCache:
@@ -144,3 +204,35 @@ class TestClientTransport:
         client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
         with pytest.raises(ServiceError, match="cannot reach"):
             client.status()
+
+
+class TestLifecycle:
+    def test_close_without_start_does_not_hang(self, tmp_path):
+        """shutdown() blocks forever unless a serve loop ran; close() on
+        a constructed-but-never-started service must still return (the
+        teardown path of a failed startup)."""
+        import threading
+
+        svc = ReproService(port=0, store=tmp_path / "store.db")
+        t = threading.Thread(target=svc.close, daemon=True)
+        t.start()
+        t.join(timeout=10.0)
+        assert not t.is_alive()
+
+    def test_close_after_start_is_idempotent(self, tmp_path):
+        svc = ReproService(port=0, store=tmp_path / "store.db").start()
+        svc.close()
+        svc.close()  # second close must not raise or block
+
+    def test_close_bounded_when_interrupted_before_serve_loop(self, tmp_path):
+        """An exception delivered between `_serving = True` and the
+        serve loop's first iteration (Ctrl-C in the blocking path) must
+        not deadlock close() — shutdown() is waited with a timeout."""
+        import threading
+
+        svc = ReproService(port=0, store=tmp_path / "store.db")
+        svc._serving = True  # simulate the pre-loop interrupt window
+        t = threading.Thread(target=svc.close, daemon=True)
+        t.start()
+        t.join(timeout=30.0)
+        assert not t.is_alive()
