@@ -1,0 +1,138 @@
+"""Batched vs per-cell evaluation benchmark (the makespan hot path).
+
+Profiling (PR 1) showed PathApprox evaluation is ~95% of per-cell sweep
+cost.  This benchmark isolates the batched evaluation core's win: the
+same grid is run through :func:`repro.engine.run_sweep` twice, once with
+``batch_eval=False`` (the per-cell reference path: one evaluator call
+per cell, 2-state laws rebuilt per path occurrence) and once with the
+default batched path (one :class:`~repro.makespan.paramdag.ParamDAG`
+template per structure group, vectorised node laws, memoised folds).
+Records are asserted bit-identical; the machine-readable summary lands
+in ``BENCH_eval.json`` at the repo root with ``cells_per_s`` /
+``wall_s`` / ``speedup`` keys per grid and overall.
+
+Grids: the 84-cell MONTAGE grid of ``bench_sweep_engine.py`` and a
+40-cell GENOME-50 grid.  ``REPRO_BENCH_SMOKE=1`` shrinks both to a few
+cells (the CI bench-smoke job uses this to validate the JSON shape
+without paying the full wall time).  Run directly::
+
+    PYTHONPATH=src:. python benchmarks/bench_eval_batch.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Tuple
+
+from repro.engine import CellResult, SweepSpec, run_sweep
+from repro.experiments.figures import log_grid
+
+from benchmarks.conftest import save_artifact, save_json
+
+#: Tiny grids for the CI smoke job (JSON shape, not timings).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def montage_spec() -> SweepSpec:
+    return SweepSpec(
+        family="montage",
+        sizes=(50,),
+        processors={50: (3,) if SMOKE else (3, 5, 7, 10)},
+        pfails=(0.01,) if SMOKE else (0.01, 0.001, 0.0001),
+        ccrs=log_grid(1e-3, 1e0, 3 if SMOKE else 7),
+        seed=2017,
+        seed_policy="stable",
+        name="bench-eval-montage",
+    )
+
+
+def genome_spec() -> SweepSpec:
+    return SweepSpec(
+        family="genome",
+        sizes=(50,),
+        processors={50: (5,) if SMOKE else (5, 10)},
+        pfails=(0.01,) if SMOKE else (0.01, 0.001),
+        ccrs=log_grid(1e-3, 1e0, 3 if SMOKE else 10),
+        seed=2017,
+        seed_policy="stable",
+        name="bench-eval-genome",
+    )
+
+
+def run_grid(spec: SweepSpec) -> Tuple[Dict[str, float], List[CellResult]]:
+    """Time per-cell vs batched evaluation of one grid; assert parity."""
+    t0 = time.perf_counter()
+    per_cell = run_sweep(spec, jobs=1, batch_eval=False)
+    wall_per_cell = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batched = run_sweep(spec, jobs=1, batch_eval=True)
+    wall_batched = time.perf_counter() - t0
+    assert batched == per_cell, (
+        f"{spec.name}: batched records diverge from the per-cell path"
+    )
+    cells = len(batched)
+    return (
+        {
+            "cells": cells,
+            "wall_s": wall_batched,
+            "per_cell_wall_s": wall_per_cell,
+            "cells_per_s": cells / wall_batched,
+            "per_cell_cells_per_s": cells / wall_per_cell,
+            "speedup": wall_per_cell / wall_batched,
+        },
+        batched,
+    )
+
+
+def compare() -> Tuple[str, List[CellResult]]:
+    grids = {"montage": montage_spec(), "genome": genome_spec()}
+    summary: Dict[str, object] = {
+        "benchmark": "eval_batch",
+        "smoke": SMOKE,
+        "grids": {},
+    }
+    lines = ["batched vs per-cell evaluation (jobs=1, bit-identical records)"]
+    montage_cells: List[CellResult] = []
+    total_cells = 0
+    total_batched = 0.0
+    total_per_cell = 0.0
+    for name, spec in grids.items():
+        stats, records = run_grid(spec)
+        summary["grids"][name] = stats  # type: ignore[index]
+        total_cells += stats["cells"]
+        total_batched += stats["wall_s"]
+        total_per_cell += stats["per_cell_wall_s"]
+        if name == "montage":
+            montage_cells = records
+        lines.append(
+            f"  {name:<8} {stats['cells']:>4} cells  "
+            f"per-cell {stats['per_cell_wall_s']:7.2f}s "
+            f"({stats['per_cell_cells_per_s']:6.2f} cells/s)  "
+            f"batched {stats['wall_s']:7.2f}s "
+            f"({stats['cells_per_s']:6.2f} cells/s)  "
+            f"speedup {stats['speedup']:.2f}x"
+        )
+    # Top-level trajectory keys (the montage grid is the acceptance
+    # reference; overall aggregates cover both grids).
+    summary["cells"] = total_cells
+    summary["wall_s"] = total_batched
+    summary["per_cell_wall_s"] = total_per_cell
+    summary["cells_per_s"] = total_cells / total_batched
+    summary["per_cell_cells_per_s"] = total_cells / total_per_cell
+    summary["speedup"] = total_per_cell / total_batched
+    save_json("BENCH_eval.json", summary)
+    return "\n".join(lines), montage_cells
+
+
+def bench_eval_batch(benchmark):
+    """Times the batched montage sweep; validates parity along the way."""
+    report, cells = compare()
+    save_artifact("eval_batch.txt", report + "\n")
+    spec = montage_spec()
+    result = benchmark(lambda: run_sweep(spec, jobs=1, batch_eval=True))
+    assert result == cells
+
+
+if __name__ == "__main__":
+    print(compare()[0])

@@ -13,7 +13,7 @@ Runs the same GENOME request mix three ways:
 
 All three produce bit-identical records (asserted).  The table lands in
 ``benchmarks/results/service.txt`` and the machine-readable trajectory
-in ``benchmarks/results/BENCH_service.json``.  Run directly::
+in ``BENCH_service.json`` at the repo root.  Run directly::
 
     python benchmarks/bench_service.py
 """

@@ -6,12 +6,15 @@ Runs the same MONTAGE (pfail × CCR) grid two ways:
   ``mspgify``, ``allocate``, plan, evaluate — the shape of the seed's
   serial loops via :func:`repro.experiments.figures.run_cell`);
 * **engine**: :func:`repro.engine.run_sweep` with the shared artifact
-  cache (tree/schedule computed once per (workflow, processors) pair),
-  serial and with a process pool.
+  cache (tree/schedule computed once per (workflow, processors) pair)
+  and batched evaluation (one DAG template per structure group), serial
+  and with a process pool.
 
-Both produce bit-identical records (asserted); artifacts and timings are
-saved under ``benchmarks/results/sweep_engine.txt``.  Run directly for a
-quick table::
+Both produce bit-identical records (asserted); the rendered table is
+saved under ``benchmarks/results/sweep_engine.txt`` and the
+machine-readable summary in ``BENCH_sweep.json`` at the repo root (see
+``bench_eval_batch.py`` for the batched-vs-per-cell evaluation split).
+Run directly for a quick table::
 
     PYTHONPATH=src:. python benchmarks/bench_sweep_engine.py
 """

@@ -51,16 +51,22 @@ def save_artifact(name: str, text: str) -> Path:
     return path
 
 
+#: Repo root — the machine-readable ``BENCH_*.json`` summaries live
+#: here (not under benchmarks/results/) so the cross-PR perf trajectory
+#: is one flat, discoverable set of files at the top of the tree.
+ROOT_DIR = Path(__file__).resolve().parent.parent
+
+
 def save_json(name: str, payload) -> Path:
     """Persist a machine-readable benchmark summary (``BENCH_*.json``).
 
     These files are the cross-PR perf trajectory: every run overwrites
-    ``benchmarks/results/<name>`` with one flat JSON object (wall times,
-    cells/sec, cache hit rates) that tooling can diff between commits.
+    ``<repo root>/<name>`` with one flat JSON object (wall times,
+    cells/sec, cache hit rates, speedups) that tooling can diff between
+    commits.
     """
     import json
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / name
+    path = ROOT_DIR / name
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

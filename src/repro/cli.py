@@ -4,9 +4,11 @@ Sub-commands::
 
     generate   emit a synthetic workflow (DAX or JSON by extension)
     evaluate   run the full strategy comparison on one configuration
+    methods    list the registered expected-makespan evaluators
     sweep      run a parameter grid through the staged pipeline engine
                (artifact cache + optional --jobs process-pool fan-out;
-               records to JSONL/CSV)
+               records to JSONL/CSV; --no-batch-eval forces the
+               per-cell reference path)
     figure     regenerate a paper figure grid (CSV + ASCII panels)
     accuracy   run the §VI-B estimator accuracy study
     simulate   replay one failure-injected execution with an event log
@@ -116,6 +118,19 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--seed", type=_seed_value, default=2017)
     ev.add_argument("--method", default="pathapprox")
 
+    met = sub.add_parser(
+        "methods",
+        help="list registered expected-makespan evaluators",
+        description=(
+            "List every evaluator in the makespan registry with its "
+            "declared keyword options and capabilities (deterministic "
+            "vs stochastic, batched grid evaluation)."
+        ),
+    )
+    met.add_argument(
+        "--json", action="store_true", help="emit the registry as JSON"
+    )
+
     sw = sub.add_parser(
         "sweep",
         help="run a parameter grid through the staged pipeline engine",
@@ -165,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=_jobs_count,
         default=1,
         help="worker processes (>= 1; 1 = in-process serial)",
+    )
+    sw.add_argument(
+        "--no-batch-eval",
+        action="store_true",
+        help=(
+            "price cells one at a time (reference scalar path) instead "
+            "of batching each grid group through one DAG template; "
+            "records are bit-identical either way"
+        ),
     )
     sw.add_argument(
         "--out",
@@ -242,6 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.05,
         help="seconds the scheduler waits to coalesce concurrent requests",
+    )
+    srv.add_argument(
+        "--no-batch-eval",
+        action="store_true",
+        help=(
+            "evaluate coalesced batches cell by cell (reference scalar "
+            "path) instead of the batched template entry point"
+        ),
     )
 
     sub_ = sub.add_parser(
@@ -322,6 +354,56 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_methods(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.makespan.api import EVALUATORS, get_evaluator
+    from repro.util.tables import format_table
+
+    evaluators = [get_evaluator(name) for name in sorted(EVALUATORS)]
+    if args.json:
+        payload = {
+            ev.name: {
+                "summary": ev.summary,
+                "deterministic": ev.deterministic,
+                "supports_batch": ev.supports_batch,
+                "options": (
+                    "any"
+                    if ev.accepts_any_option
+                    else [
+                        {"name": opt.name, "default": repr(opt.default), "doc": opt.doc}
+                        for opt in ev.options
+                    ]
+                ),
+            }
+            for ev in evaluators
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for ev in evaluators:
+        if ev.accepts_any_option:
+            options = "any (**kwargs)"
+        else:
+            options = ", ".join(opt.describe() for opt in ev.options) or "none"
+        rows.append(
+            [
+                ev.name,
+                "deterministic" if ev.deterministic else "stochastic",
+                "yes" if ev.supports_batch else "no",
+                options,
+            ]
+        )
+    print(
+        format_table(
+            ["method", "kind", "batch", "options"],
+            rows,
+            title="registered expected-makespan evaluators",
+        )
+    )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.engine.records import records_to_csv, records_to_jsonl
     from repro.engine.sweep import SweepSpec, run_sweep
@@ -367,7 +449,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"invalid sweep grid: {exc}", file=sys.stderr)
         return 2
     progress = None if args.quiet else (lambda msg: print("  " + msg))
-    records = run_sweep(spec, jobs=args.jobs, progress=progress)
+    records = run_sweep(
+        spec,
+        jobs=args.jobs,
+        progress=progress,
+        batch_eval=not args.no_batch_eval,
+    )
     print()
     print(render_cells_table(records, title=f"sweep ({args.family})"))
     if args.out is not None:
@@ -457,6 +544,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=args.store,
         jobs=args.jobs,
         linger=args.linger,
+        batch_eval=not args.no_batch_eval,
     )
     return 0
 
@@ -527,6 +615,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
+    "methods": _cmd_methods,
     "sweep": _cmd_sweep,
     "figure": _cmd_figure,
     "accuracy": _cmd_accuracy,

@@ -10,10 +10,13 @@ everything that runs them at scale:
 * :mod:`repro.engine.sweep` — a deterministic grid executor with
   ``concurrent.futures`` process-pool fan-out, ``SeedSequence``-spawned
   per-cell child seeds (serial and parallel runs produce identical
-  records), chunking, and a progress callback; :func:`run_specs` is the
-  batch entry point (several sweeps over one shared pipeline, or fanned
-  out spec-per-worker) that :mod:`repro.service` dispatches coalesced
-  request batches through;
+  records), chunking, and a progress callback; cells are priced through
+  the makespan layer's batched evaluation entry point (one DAG template
+  per structure group, bit-identical to per-cell evaluation;
+  ``batch_eval=False`` is the reference escape hatch) and
+  :func:`run_specs` is the batch entry point (several sweeps over one
+  shared pipeline, or fanned out spec-per-worker) that
+  :mod:`repro.service` dispatches coalesced request batches through;
 * :mod:`repro.engine.records` — the typed result-record schema with
   JSONL/CSV serialisation (both directions), shared by the experiments
   harness, the CLI, the benchmarks and the service result store.

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 from repro.ccr import scale_to_ccr
 from repro.checkpoint.plan import CheckpointPlan
@@ -37,8 +37,9 @@ from repro.checkpoint.strategies import ckpt_all_plan, ckpt_some_plan
 from repro.engine.records import CellResult
 from repro.errors import ExperimentError
 from repro.generators import generate
-from repro.makespan.api import expected_makespan
+from repro.makespan.api import expected_makespan, expected_makespans, get_evaluator
 from repro.makespan.ckptnone import ckptnone_expected_makespan
+from repro.makespan.paramdag import ParamDAG
 from repro.makespan.probdag import ProbDAG
 from repro.makespan.segment_dag import build_segment_dag
 from repro.mspg.expr import MSPG
@@ -398,3 +399,117 @@ class Pipeline:
             superchains=len(schedule.superchains),
             seed=seed,
         )
+
+    # ------------------------------------------------------------------
+    # Batched cell evaluation (stages 4-6 over a whole grid group).
+
+    def _evaluate_grouped(
+        self,
+        dags: Sequence[ProbDAG],
+        method: str,
+        options: Mapping[str, Any],
+    ) -> list:
+        """Price many same-group DAGs through the batch entry point.
+
+        Cells are grouped by :meth:`ParamDAG.structure_key` (pfail/CCR
+        can move the checkpoint plan, so a group's segment DAGs need
+        not all coincide); each structure group becomes one template
+        priced in a single :func:`expected_makespans` call.  Results
+        are bit-identical to per-cell evaluation — the batch contract
+        every ``supports_batch`` evaluator is pinned to.
+        """
+        groups: Dict[Hashable, list] = {}
+        for i, dag in enumerate(dags):
+            groups.setdefault(ParamDAG.structure_key(dag), []).append(i)
+        out: list = [None] * len(dags)
+        for indices in groups.values():
+            template = ParamDAG.from_dags([dags[i] for i in indices])
+            self.cache.count_compute("evaluate")
+            values = expected_makespans(template, method, **options)
+            for i, value in zip(indices, values):
+                out[i] = float(value)
+        return out
+
+    def evaluate_cells(
+        self,
+        family: str,
+        ntasks_requested: int,
+        workflow: Workflow,
+        schedule: Schedule,
+        processors: int,
+        cells: Sequence[Tuple[float, float, Optional[int]]],
+        method: str = "pathapprox",
+        seed: int = 0,
+        bandwidth: float = 100e6,
+        save_final_outputs: bool = True,
+        evaluator_options: Optional[Mapping[str, Any]] = None,
+    ) -> list:
+        """Run stages 4-6 for every ``(pfail, ccr, eval_seed)`` cell of
+        one prepared (workflow, processors) group, batching evaluation.
+
+        The per-cell stages (scale → plan → segment DAG → CKPTNONE)
+        run exactly as :meth:`evaluate_cell` would, in grid order; the
+        expensive expected-makespan evaluations are then dispatched per
+        structure group through the evaluator's batch entry point.
+        Records are bit-identical to the per-cell path.  Evaluators
+        without ``supports_batch`` (Monte Carlo — its ``eval_seed`` is
+        grid-positional) fall back to the per-cell path, seeds intact.
+        """
+        evaluator = get_evaluator(method)
+        if not evaluator.supports_batch:
+            return [
+                self.evaluate_cell(
+                    family=family,
+                    ntasks_requested=ntasks_requested,
+                    workflow=workflow,
+                    schedule=schedule,
+                    platform=self.platform_for(
+                        workflow, processors, pfail, bandwidth
+                    ),
+                    pfail=pfail,
+                    ccr=ccr,
+                    method=method,
+                    seed=seed,
+                    eval_seed=eval_seed,
+                    save_final_outputs=save_final_outputs,
+                    evaluator_options=evaluator_options,
+                )
+                for pfail, ccr, eval_seed in cells
+            ]
+        options = dict(evaluator_options) if evaluator_options else {}
+        prepared = []
+        for pfail, ccr, _eval_seed in cells:
+            platform = self.platform_for(workflow, processors, pfail, bandwidth)
+            scaled = self.scale(workflow, platform, ccr)
+            plan_some, plan_all = self.plans(
+                scaled, schedule, platform, save_final_outputs
+            )
+            dag_some = self.segment_dag(scaled, schedule, plan_some, platform)
+            dag_all = self.segment_dag(scaled, schedule, plan_all, platform)
+            em_none = self.evaluate_none(workflow, scaled, schedule, platform)
+            prepared.append(
+                (platform, plan_some, plan_all, dag_some, dag_all, em_none)
+            )
+        em_some = self._evaluate_grouped([p[3] for p in prepared], method, options)
+        em_all = self._evaluate_grouped([p[4] for p in prepared], method, options)
+        return [
+            CellResult(
+                family=family,
+                ntasks_requested=ntasks_requested,
+                ntasks=workflow.n_tasks,
+                processors=platform.processors,
+                pfail=pfail,
+                ccr=ccr,
+                em_some=em_some[i],
+                em_all=em_all[i],
+                em_none=em_none,
+                checkpoints_some=plan_some.n_segments,
+                checkpoints_all=plan_all.n_segments,
+                superchains=len(schedule.superchains),
+                seed=seed,
+            )
+            for i, (
+                (pfail, ccr, _eval_seed),
+                (platform, plan_some, plan_all, _ds, _da, em_none),
+            ) in enumerate(zip(cells, prepared))
+        ]

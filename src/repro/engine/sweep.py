@@ -19,7 +19,12 @@ by :func:`run_sweep`.  The execution plan is deterministic:
   pair;
 * with ``jobs > 1`` chunks fan out over a ``concurrent.futures``
   process pool, each worker amortising the invariant stages over its
-  chunk with a private pipeline.
+  chunk with a private pipeline;
+* each chunk's cells are priced through the makespan layer's batched
+  entry point (one parameterised-DAG template per structure group) when
+  the evaluator supports it — bit-identical to per-cell evaluation,
+  with ``batch_eval=False`` as the reference escape hatch; Monte Carlo
+  always runs per cell so its sampling seeds stay grid-positional.
 
 Results are always returned in grid order, one
 :class:`~repro.engine.records.CellResult` per cell.
@@ -39,7 +44,8 @@ import numpy as np
 
 from repro.engine.pipeline import Pipeline
 from repro.engine.records import CellResult
-from repro.errors import ExperimentError
+from repro.errors import EvaluationError, ExperimentError
+from repro.makespan.api import get_evaluator
 from repro.util.rng import stable_seed
 from repro.util.validation import (
     bandwidth_error,
@@ -294,13 +300,37 @@ def _progress_message(spec: SweepSpec, cell: CellResult) -> str:
     )
 
 
+def _supports_batch(method: str) -> bool:
+    """Whether the registered evaluator opted into batched evaluation.
+
+    Unknown methods answer False so the per-cell path raises exactly
+    the error it always has.
+    """
+    try:
+        evaluator = get_evaluator(method)
+    except EvaluationError:
+        return False
+    return bool(getattr(evaluator, "supports_batch", False))
+
+
 def _run_chunk(
     spec: SweepSpec,
     chunk: _Chunk,
     pipeline: Pipeline,
     progress: Optional[Callable[[str], None]] = None,
+    batch_eval: bool = True,
 ) -> List[CellResult]:
-    """Execute one chunk's cells through the staged pipeline."""
+    """Execute one chunk's cells through the staged pipeline.
+
+    With ``batch_eval`` (the default) and a batch-capable evaluator the
+    chunk's cells are priced through
+    :meth:`~repro.engine.pipeline.Pipeline.evaluate_cells` — the DAG
+    template is built once per structure group and the evaluator runs
+    once per group instead of once per cell.  Records are bit-identical
+    either way; Monte Carlo (and any evaluator without
+    ``supports_batch``) always takes the per-cell path, keeping its
+    grid-positional ``eval_seed`` derivation intact.
+    """
     workflow = pipeline.prepare(spec.family, chunk.ntasks, chunk.wf_seed)
     tree = pipeline.mspg_tree(workflow)
     schedule = pipeline.schedule_for(
@@ -310,6 +340,24 @@ def _run_chunk(
         linearizer=spec.linearizer,
         tree=tree,
     )
+    if batch_eval and len(chunk.cells) > 1 and _supports_batch(spec.method):
+        records = pipeline.evaluate_cells(
+            family=spec.family,
+            ntasks_requested=chunk.ntasks,
+            workflow=workflow,
+            schedule=schedule,
+            processors=chunk.processors,
+            cells=chunk.cells,
+            method=spec.method,
+            seed=chunk.wf_seed,
+            bandwidth=spec.bandwidth,
+            save_final_outputs=spec.save_final_outputs,
+            evaluator_options=dict(spec.evaluator_options),
+        )
+        if progress is not None:
+            for record in records:
+                progress(_progress_message(spec, record))
+        return records
     records: List[CellResult] = []
     for pfail, ccr, eval_seed in chunk.cells:
         platform = pipeline.platform_for(
@@ -335,9 +383,11 @@ def _run_chunk(
     return records
 
 
-def _run_chunk_task(spec: SweepSpec, chunk: _Chunk) -> List[CellResult]:
+def _run_chunk_task(
+    spec: SweepSpec, chunk: _Chunk, batch_eval: bool = True
+) -> List[CellResult]:
     """Process-pool entry point: a private pipeline per chunk."""
-    return _run_chunk(spec, chunk, Pipeline())
+    return _run_chunk(spec, chunk, Pipeline(), batch_eval=batch_eval)
 
 
 def run_sweep(
@@ -346,6 +396,7 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     chunk_cells: Optional[int] = None,
     pipeline: Optional[Pipeline] = None,
+    batch_eval: bool = True,
 ) -> List[CellResult]:
     """Execute a sweep; returns one record per cell, in grid order.
 
@@ -368,6 +419,12 @@ def run_sweep(
     pipeline:
         Existing pipeline (and artifact cache) to reuse for in-process
         execution; ignored when ``jobs > 1``.
+    batch_eval:
+        Price each chunk's cells through the evaluator's batched entry
+        point (default) instead of one evaluation per cell.  Records
+        are bit-identical either way — False is the reference escape
+        hatch (CLI ``--no-batch-eval``).  Evaluators without batch
+        support (Monte Carlo) always run per cell.
     """
     if not spec.sizes or not spec.pfails or not spec.ccrs:
         raise ExperimentError(
@@ -379,7 +436,10 @@ def run_sweep(
 
     if jobs == 1:
         pipe = pipeline if pipeline is not None else Pipeline()
-        ordered = [_run_chunk(spec, ch, pipe, progress) for ch in chunks]
+        ordered = [
+            _run_chunk(spec, ch, pipe, progress, batch_eval=batch_eval)
+            for ch in chunks
+        ]
         return [rec for recs in ordered for rec in recs]
 
     if chunk_cells is None:
@@ -397,12 +457,12 @@ def run_sweep(
     except (OSError, PermissionError, ModuleNotFoundError):
         # No process support in this environment (restricted sandbox):
         # fall back to the serial path, which produces identical records.
-        return run_sweep(spec, jobs=1, progress=progress)
+        return run_sweep(spec, jobs=1, progress=progress, batch_eval=batch_eval)
     results: Dict[Tuple[int, int], List[CellResult]] = {}
     try:
         with pool:
             futures = {
-                pool.submit(_run_chunk_task, spec, ch): ch.order
+                pool.submit(_run_chunk_task, spec, ch, batch_eval): ch.order
                 for ch in chunks
             }
             for fut in as_completed(futures):
@@ -425,13 +485,13 @@ def run_sweep(
         )
         if progress is not None:
             progress(f"! process pool broke ({exc}); restarting serially")
-        return run_sweep(spec, jobs=1, progress=progress)
+        return run_sweep(spec, jobs=1, progress=progress, batch_eval=batch_eval)
     return [rec for order in sorted(results) for rec in results[order]]
 
 
-def _run_spec_task(spec: SweepSpec) -> List[CellResult]:
+def _run_spec_task(spec: SweepSpec, batch_eval: bool = True) -> List[CellResult]:
     """Process-pool entry point for :func:`run_specs`: one serial sweep."""
-    return run_sweep(spec, jobs=1)
+    return run_sweep(spec, jobs=1, batch_eval=batch_eval)
 
 
 def run_specs(
@@ -440,6 +500,7 @@ def run_specs(
     progress: Optional[Callable[[str], None]] = None,
     pipeline: Optional[Pipeline] = None,
     return_exceptions: bool = False,
+    batch_eval: bool = True,
 ) -> List[Any]:
     """Batch entry point: execute several sweeps; one record list per spec.
 
@@ -458,6 +519,11 @@ def run_specs(
     batch (:func:`asyncio.gather` semantics) — the service scheduler
     uses this to fail only the requests belonging to a bad spec while
     the co-batched specs' results are kept.
+
+    ``batch_eval`` is forwarded to every :func:`run_sweep` call: the
+    coalesced service batches ride the same batched evaluation entry
+    point as declared sweeps (False restores the per-cell reference
+    path; records are identical either way).
     """
     specs = list(specs)
     if not specs:
@@ -467,7 +533,10 @@ def run_specs(
 
     def one(spec: SweepSpec, pipe: Optional[Pipeline], n: int) -> Any:
         try:
-            return run_sweep(spec, jobs=n, progress=progress, pipeline=pipe)
+            return run_sweep(
+                spec, jobs=n, progress=progress, pipeline=pipe,
+                batch_eval=batch_eval,
+            )
         except Exception as exc:
             if not return_exceptions:
                 raise
@@ -483,13 +552,14 @@ def run_specs(
     except (OSError, PermissionError, ModuleNotFoundError):
         return run_specs(
             specs, jobs=1, progress=progress, pipeline=pipeline,
-            return_exceptions=return_exceptions,
+            return_exceptions=return_exceptions, batch_eval=batch_eval,
         )
     out: Dict[int, Any] = {}
     try:
         with pool:
             futures = {
-                pool.submit(_run_spec_task, s): i for i, s in enumerate(specs)
+                pool.submit(_run_spec_task, s, batch_eval): i
+                for i, s in enumerate(specs)
             }
             for fut in as_completed(futures):
                 i = futures[fut]
@@ -516,6 +586,6 @@ def run_specs(
             progress(f"! process pool broke ({exc}); restarting serially")
         return run_specs(
             specs, jobs=1, progress=progress, pipeline=pipeline,
-            return_exceptions=return_exceptions,
+            return_exceptions=return_exceptions, batch_eval=batch_eval,
         )
     return [out[i] for i in range(len(specs))]

@@ -14,6 +14,16 @@ is evaluated with one of four estimators (§VI-B):
 plus :func:`repro.makespan.exact.exact` (brute-force enumeration, small
 DAGs only) and the Theorem 1 estimator for CKPTNONE
 (:mod:`repro.makespan.ckptnone`).
+
+Evaluators are registered behind the
+:class:`~repro.makespan.evaluator.Evaluator` protocol (declared option
+schemas, ``deterministic``/``supports_batch`` capabilities) and the
+layer is **batch native**: a :class:`~repro.makespan.paramdag.ParamDAG`
+carries one DAG structure template plus per-cell 2-state parameter
+arrays, :mod:`repro.makespan.batch` provides the vectorised
+distribution kernels (leading cell axis), and
+:func:`~repro.makespan.api.expected_makespans` prices a whole parameter
+grid per evaluator call — bit-identical to the per-cell path.
 """
 
 from repro.makespan.two_state import (
@@ -22,28 +32,53 @@ from repro.makespan.two_state import (
     two_state_from_span,
 )
 from repro.makespan.probdag import ProbDAG
+from repro.makespan.paramdag import ParamDAG
+from repro.makespan.batch import BatchDistribution, rows_of, two_state_rows
 from repro.makespan.segment_dag import build_segment_dag
 from repro.makespan.montecarlo import montecarlo
 from repro.makespan.dodin import dodin
-from repro.makespan.normal import normal
-from repro.makespan.pathapprox import pathapprox
+from repro.makespan.normal import normal, normal_batch
+from repro.makespan.pathapprox import pathapprox, pathapprox_batch
 from repro.makespan.exact import exact
 from repro.makespan.ckptnone import ckptnone_expected_makespan, failure_free_makespan
-from repro.makespan.api import expected_makespan, EVALUATORS
+from repro.makespan.evaluator import (
+    Evaluator,
+    EvaluatorOption,
+    EvaluatorRegistry,
+    FunctionEvaluator,
+)
+from repro.makespan.api import (
+    EVALUATORS,
+    expected_makespan,
+    expected_makespans,
+    get_evaluator,
+)
 
 __all__ = [
     "TwoStateTask",
     "first_order_expected_time",
     "two_state_from_span",
     "ProbDAG",
+    "ParamDAG",
+    "BatchDistribution",
+    "rows_of",
+    "two_state_rows",
     "build_segment_dag",
     "montecarlo",
     "dodin",
     "normal",
+    "normal_batch",
     "pathapprox",
+    "pathapprox_batch",
     "exact",
     "ckptnone_expected_makespan",
     "failure_free_makespan",
-    "expected_makespan",
+    "Evaluator",
+    "EvaluatorOption",
+    "EvaluatorRegistry",
+    "FunctionEvaluator",
     "EVALUATORS",
+    "expected_makespan",
+    "expected_makespans",
+    "get_evaluator",
 ]

@@ -1,0 +1,387 @@
+"""Vectorised :class:`DiscreteDistribution` kernels with a leading cell axis.
+
+A sweep group prices the same DAG structure under many parameter cells,
+so the distribution algebra gets a batched counterpart:
+:class:`BatchDistribution` holds ``n_cells`` independent distributions
+as ``(n_cells, n_atoms)`` arrays and implements convolution, maximum and
+moment-preserving truncation over the whole stack at once — one NumPy
+pass instead of ``n_cells`` Python-level kernel calls.
+
+**The bit-identity contract.**  Every batched operation produces, for
+each row, *exactly* the atoms the scalar
+:class:`~repro.makespan.distribution.DiscreteDistribution` operation
+would produce for that cell — same values, same probabilities, bit for
+bit.  This is what lets the engine's batched evaluation path guarantee
+records identical to the per-cell path.  The contract is kept two ways:
+
+* on the vectorised fast path, every per-row reduction (stable argsort,
+  cumulative sums, row sums of equal length, scatter-adds in row-major
+  order) performs the same floating-point operations in the same order
+  as its scalar counterpart;
+* wherever a result is *data-dependently ragged* — equal support points
+  merging in some rows but not others, truncation bins emptying, a max
+  grid collapsing — the affected operation falls back to the scalar
+  kernel row by row, which satisfies the contract trivially.
+
+Because raggedness is inherent (atom counts are data), batched
+operations return either a :class:`BatchDistribution` (uniform widths,
+vectorised path) or a plain ``list`` of scalar distributions (ragged);
+:func:`rows_of` normalises both forms for callers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.makespan.distribution import DEFAULT_MAX_ATOMS, DiscreteDistribution
+
+__all__ = ["BatchDistribution", "BatchRows", "rows_of", "two_state_rows"]
+
+#: Result type of batched operations: uniform stack or ragged rows.
+BatchRows = Union["BatchDistribution", List[DiscreteDistribution]]
+
+
+def rows_of(batch: BatchRows) -> List[DiscreteDistribution]:
+    """Per-cell distributions of either result form, in cell order."""
+    if isinstance(batch, BatchDistribution):
+        return batch.rows()
+    return list(batch)
+
+
+def _restack(rows: Sequence[DiscreteDistribution]) -> BatchRows:
+    """Stack rows back into a batch when their widths agree."""
+    width = rows[0].n_atoms
+    if all(r.n_atoms == width for r in rows):
+        return BatchDistribution(
+            np.array([r.values for r in rows]),
+            np.array([r.probs for r in rows]),
+            _canonical=True,
+        )
+    return list(rows)
+
+
+def two_state_rows(
+    base: np.ndarray, long: np.ndarray, p: np.ndarray
+) -> List[DiscreteDistribution]:
+    """Per-cell 2-state laws for one node, built in one vectorised pass.
+
+    Equivalent to ``[DiscreteDistribution.two_state(base[c], long[c],
+    p[c]) for c in cells]`` atom for atom.  Degenerate cells (``p <= 0``,
+    ``p >= 1`` or ``long == base`` — single-atom laws) are built through
+    the scalar constructor; the generic 2-atom cells share one batched
+    construction.
+    """
+    base = np.asarray(base, dtype=float)
+    long = np.asarray(long, dtype=float)
+    p = np.asarray(p, dtype=float)
+    degenerate = (p <= 0.0) | (p >= 1.0) | (long == base)
+    rows: List[DiscreteDistribution] = [None] * base.size  # type: ignore[list-item]
+    if not degenerate.all():
+        ok = ~degenerate
+        batch = BatchDistribution.two_state(base[ok], long[ok], p[ok])
+        for slot, row in zip(np.flatnonzero(ok), batch.rows()):
+            rows[slot] = row
+    for c in np.flatnonzero(degenerate):
+        rows[c] = DiscreteDistribution.two_state(
+            float(base[c]), float(long[c]), float(p[c])
+        )
+    return rows
+
+
+class BatchDistribution:
+    """``n_cells`` independent finite distributions, one per row.
+
+    Rows are canonical (sorted support, equal values merged,
+    probabilities normalised) — exactly the invariant of the scalar
+    class, enforced per row.  Instances are immutable; all operators
+    return new objects (or ragged row lists, see the module docstring).
+    """
+
+    __slots__ = ("values", "probs")
+
+    def __init__(
+        self, values: np.ndarray, probs: np.ndarray, _canonical: bool = False
+    ) -> None:
+        values = np.asarray(values, dtype=float)
+        probs = np.asarray(probs, dtype=float)
+        if values.ndim != 2 or values.shape != probs.shape or values.size == 0:
+            raise EvaluationError(
+                f"values/probs must be equal-shape (n_cells, n_atoms) "
+                f"arrays, got {values.shape} and {probs.shape}"
+            )
+        if _canonical:
+            self.values = values
+            self.probs = probs
+            return
+        # Canonicalise per row through the scalar constructor (the
+        # reference semantics); uniform widths are re-stacked.
+        rows = [
+            DiscreteDistribution(values[i], probs[i])
+            for i in range(values.shape[0])
+        ]
+        width = rows[0].n_atoms
+        if any(r.n_atoms != width for r in rows):
+            raise EvaluationError(
+                "rows canonicalise to different atom counts; build ragged "
+                "batches with BatchDistribution.stack or keep them as lists"
+            )
+        self.values = np.array([r.values for r in rows])
+        self.probs = np.array([r.probs for r in rows])
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def stack(cls, dists: Sequence[DiscreteDistribution]) -> "BatchDistribution":
+        """Stack scalar distributions of equal atom count into a batch."""
+        dists = list(dists)
+        if not dists:
+            raise EvaluationError("stack needs at least one distribution")
+        width = dists[0].n_atoms
+        if any(d.n_atoms != width for d in dists):
+            raise EvaluationError(
+                f"cannot stack distributions with differing atom counts "
+                f"{sorted({d.n_atoms for d in dists})}"
+            )
+        return cls(
+            np.array([d.values for d in dists]),
+            np.array([d.probs for d in dists]),
+            _canonical=True,
+        )
+
+    @classmethod
+    def point(cls, value: float, n_cells: int) -> "BatchDistribution":
+        """``n_cells`` copies of the Dirac distribution at ``value``."""
+        if n_cells < 1:
+            raise EvaluationError(f"n_cells must be >= 1, got {n_cells}")
+        return cls(
+            np.full((n_cells, 1), float(value)),
+            np.ones((n_cells, 1)),
+            _canonical=True,
+        )
+
+    @classmethod
+    def two_state(
+        cls, base: np.ndarray, long: np.ndarray, p: np.ndarray
+    ) -> "BatchDistribution":
+        """Per-cell 2-state laws (Equation (1)); generic cells only.
+
+        Every cell must satisfy ``0 < p < 1`` and ``long > base`` (the
+        uniform 2-atom case); route mixed batches through
+        :func:`two_state_rows`, which handles degenerate cells.
+        """
+        base = np.asarray(base, dtype=float)
+        long = np.asarray(long, dtype=float)
+        p = np.asarray(p, dtype=float)
+        if np.any((p <= 0.0) | (p >= 1.0) | (long <= base)):
+            raise EvaluationError(
+                "batched two_state requires 0 < p < 1 and long > base in "
+                "every cell; use two_state_rows for degenerate cells"
+            )
+        values = np.stack([base, long], axis=1)
+        probs = np.stack([1.0 - p, p], axis=1)
+        # Same normalisation as the scalar path: a length-2 sum is the
+        # sequential (1-p) + p in both layouts.
+        totals = probs.sum(axis=1)
+        return cls(values, probs / totals[:, None], _canonical=True)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        """Number of stacked distributions."""
+        return int(self.values.shape[0])
+
+    @property
+    def n_atoms(self) -> int:
+        """Shared number of support points per row."""
+        return int(self.values.shape[1])
+
+    def row(self, i: int) -> DiscreteDistribution:
+        """Cell ``i`` as a scalar distribution (shares the row arrays)."""
+        return DiscreteDistribution._wrap(self.values[i], self.probs[i])
+
+    def rows(self) -> List[DiscreteDistribution]:
+        """All cells as scalar distributions, in order."""
+        return [self.row(i) for i in range(self.n_cells)]
+
+    def mean(self) -> np.ndarray:
+        """Per-cell expected values.
+
+        Computed row by row with the scalar ``values @ probs`` dot so
+        each entry is bit-identical to ``self.row(i).mean()`` (a fused
+        batched reduction could associate the sum differently).
+        """
+        return np.array(
+            [float(self.values[i] @ self.probs[i]) for i in range(self.n_cells)]
+        )
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+
+    def shift(self, offset) -> "BatchDistribution":
+        """Per-cell distribution of ``X + offset`` (scalar or per-cell)."""
+        offset = np.asarray(offset, dtype=float)
+        if offset.ndim == 1:
+            offset = offset[:, None]
+        return BatchDistribution(
+            self.values + offset, self.probs, _canonical=True
+        )
+
+    def convolve(
+        self, other: "BatchDistribution", max_atoms: int = DEFAULT_MAX_ATOMS
+    ) -> BatchRows:
+        """Per-cell ``X + Y`` for independent stacks, vectorised.
+
+        The outer sums/products and the per-row stable sort run over the
+        whole batch at once; rows whose support develops equal values
+        (a data-dependent merge) finalise through the scalar kernel.
+        """
+        self._check_cells(other)
+        c = self.n_cells
+        values = (self.values[:, :, None] + other.values[:, None, :]).reshape(c, -1)
+        probs = (self.probs[:, :, None] * other.probs[:, None, :]).reshape(c, -1)
+        return _canonical_rows(values, probs, max_atoms)
+
+    def max_with(
+        self, other: "BatchDistribution", max_atoms: int = DEFAULT_MAX_ATOMS
+    ) -> BatchRows:
+        """Per-cell ``max(X, Y)`` for independent stacks.
+
+        The CDF-product runs vectorised when every row's support union
+        has the same width (the common case for smoothly varying
+        parameter cells); rows are finalised scalar otherwise.  The
+        vectorised CDF lookup materialises an
+        ``(n_cells, n_atoms, grid)`` comparison tensor — fine for the
+        kernel sizes truncation enforces, not for unbounded supports.
+        """
+        self._check_cells(other)
+        c, a1 = self.values.shape
+        a2 = other.values.shape[1]
+        both = np.sort(np.concatenate([self.values, other.values], axis=1), axis=1)
+        first = np.ones((c, a1 + a2), dtype=bool)
+        first[:, 1:] = np.diff(both, axis=1) != 0
+        counts = first.sum(axis=1)
+        if not (counts == counts[0]).all():
+            return _restack(
+                [
+                    self.row(i).max_with(other.row(i), max_atoms)
+                    for i in range(c)
+                ]
+            )
+        # Uniform union grid: extract per-row unique values.
+        grid = both[first].reshape(c, int(counts[0]))
+        # searchsorted(values, grid, "right") per row as comparison counts.
+        idx1 = (self.values[:, :, None] <= grid[:, None, :]).sum(axis=1)
+        idx2 = (other.values[:, :, None] <= grid[:, None, :]).sum(axis=1)
+        f1 = np.take_along_axis(
+            np.cumsum(self.probs, axis=1), np.maximum(idx1 - 1, 0), axis=1
+        )
+        f1 = np.where(idx1 == 0, 0.0, f1)
+        f2 = np.take_along_axis(
+            np.cumsum(other.probs, axis=1), np.maximum(idx2 - 1, 0), axis=1
+        )
+        f2 = np.where(idx2 == 0, 0.0, f2)
+        f = f1 * f2
+        probs = np.diff(np.concatenate([np.zeros((c, 1)), f], axis=1), axis=1)
+        keep = probs > 0
+        kept = keep.sum(axis=1)
+        if (kept == 0).any() or not (kept == kept[0]).all():
+            # Degenerate or ragged keep patterns: scalar per row.
+            return _restack(
+                [
+                    self.row(i).max_with(other.row(i), max_atoms)
+                    for i in range(c)
+                ]
+            )
+        values = grid[keep].reshape(c, int(kept[0]))
+        probs = probs[keep].reshape(c, int(kept[0]))
+        return _canonical_rows(values, probs, max_atoms, _sorted=True)
+
+    def truncate(self, max_atoms: int = DEFAULT_MAX_ATOMS) -> BatchRows:
+        """Per-cell moment-preserving truncation to ``max_atoms`` points.
+
+        Vectorises the cumulative-probability binning (bins, scatter-add
+        masses and weighted sums) across rows; scalar semantics per row,
+        including the equal-probability-bin conditional means.
+        """
+        if max_atoms < 1:
+            raise EvaluationError(f"max_atoms must be >= 1, got {max_atoms}")
+        if self.n_atoms <= max_atoms:
+            return self
+        cum = np.cumsum(self.probs, axis=1)
+        bins = np.minimum(
+            (cum - self.probs * 0.5) * max_atoms, max_atoms - 1e-9
+        ).astype(int)
+        bins = np.maximum.accumulate(bins, axis=1)
+        c = self.n_cells
+        cell_idx = np.arange(c)[:, None]
+        masses = np.zeros((c, max_atoms))
+        np.add.at(masses, (cell_idx, bins), self.probs)
+        weighted = np.zeros((c, max_atoms))
+        np.add.at(weighted, (cell_idx, bins), self.probs * self.values)
+        # The scalar kernel sizes its bin arrays as bins[-1] + 1 and
+        # drops empty bins; the keep mask does both at once here.
+        rows = []
+        for i in range(c):
+            keep = masses[i] > 0
+            rows.append(
+                DiscreteDistribution(weighted[i][keep] / masses[i][keep], masses[i][keep])
+            )
+        return _restack(rows)
+
+    def _check_cells(self, other: "BatchDistribution") -> None:
+        if self.n_cells != other.n_cells:
+            raise EvaluationError(
+                f"batch cell counts disagree: {self.n_cells} vs {other.n_cells}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchDistribution(cells={self.n_cells}, atoms={self.n_atoms})"
+        )
+
+
+def _canonical_rows(
+    values: np.ndarray,
+    probs: np.ndarray,
+    max_atoms: int,
+    _sorted: bool = False,
+) -> BatchRows:
+    """Sort + merge + normalise + truncate rows, vectorised where uniform.
+
+    Mirrors ``DiscreteDistribution.__init__`` followed by ``truncate``
+    for every row.  Rows needing a data-dependent merge (equal support
+    points) or failing validation finalise through the scalar
+    constructor so errors and atom layouts match it exactly.
+    """
+    c = values.shape[0]
+    if not _sorted:
+        order = np.argsort(values, axis=1, kind="stable")
+        values = np.take_along_axis(values, order, axis=1)
+        probs = np.take_along_axis(probs, order, axis=1)
+    needs_merge = (
+        values.shape[1] > 1 and bool((np.diff(values, axis=1) == 0).any())
+    )
+    totals = probs.sum(axis=1)
+    healthy = bool(np.all(np.isfinite(totals) & (totals > 0)))
+    if needs_merge or not healthy:
+        return _restack(
+            [
+                DiscreteDistribution(values[i], probs[i], _sorted=True).truncate(
+                    max_atoms
+                )
+                for i in range(c)
+            ]
+        )
+    batch = BatchDistribution(
+        values, probs / totals[:, None], _canonical=True
+    )
+    return batch.truncate(max_atoms)

@@ -69,6 +69,21 @@ class DiscreteDistribution:
         return cls(np.array([value]), np.array([1.0]), _sorted=True)
 
     @classmethod
+    def _wrap(cls, values: np.ndarray, probs: np.ndarray) -> "DiscreteDistribution":
+        """Wrap arrays already in canonical form (sorted support, equal
+        values merged, probabilities normalised) without re-validating.
+
+        Internal fast path for the batched kernels
+        (:mod:`repro.makespan.batch`), which produce canonical rows by
+        construction; going through ``__init__`` would re-run the sort/
+        merge/normalise pipeline and must yield the identical arrays.
+        """
+        dist = cls.__new__(cls)
+        dist.values = values
+        dist.probs = probs
+        return dist
+
+    @classmethod
     def two_state(
         cls, base: float, long: float, p: float
     ) -> "DiscreteDistribution":

@@ -31,14 +31,15 @@ the §VI-B accuracy bench.
 
 from __future__ import annotations
 
-import heapq
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import EvaluationError
 from repro.makespan.distribution import DEFAULT_MAX_ATOMS, DiscreteDistribution
 from repro.makespan.probdag import ProbDAG
 
-__all__ = ["pathapprox", "k_longest_paths"]
+__all__ = ["pathapprox", "pathapprox_batch", "k_longest_paths"]
 
 #: Starting path budget of the adaptive schedule.
 INITIAL_PATHS = 32
@@ -65,12 +66,24 @@ def k_longest_paths(dag: ProbDAG, k: int) -> List[List[int]]:
     and only the winning entries are ordered.  Reconstruction walks the
     rank pointers back, so paths are distinct by construction.
     """
+    means = np.array([dag.task(i).mean for i in range(dag.n)])
+    return _k_best_paths(dag.preds, dag.sinks(), means, k)
+
+
+def _k_best_paths(
+    preds: Sequence[Sequence[int]],
+    sinks: Sequence[int],
+    means: np.ndarray,
+    k: int,
+) -> List[List[int]]:
+    """K-best DP core over an explicit structure + expected durations.
+
+    Shared by :func:`k_longest_paths` (scalar) and the batched path,
+    which feeds one row of the template's precomputed mean matrix.
+    """
     if k < 1:
         raise EvaluationError(f"k must be >= 1, got {k}")
-    import numpy as np
-
-    n = dag.n
-    means = np.array([dag.task(i).mean for i in range(n)])
+    n = len(preds)
     # per node: lengths (desc), pred node ids, pred ranks
     best_len: List[np.ndarray] = [None] * n  # type: ignore[list-item]
     best_pred: List[np.ndarray] = [None] * n  # type: ignore[list-item]
@@ -78,18 +91,18 @@ def k_longest_paths(dag: ProbDAG, k: int) -> List[List[int]]:
     minus_one = np.array([-1], dtype=np.int64)
 
     for v in range(n):
-        preds = dag.preds[v]
-        if not preds:
+        ps = preds[v]
+        if not ps:
             best_len[v] = means[v : v + 1].copy()
             best_pred[v] = minus_one
             best_rank[v] = minus_one
             continue
-        lengths = np.concatenate([best_len[q] for q in preds]) + means[v]
+        lengths = np.concatenate([best_len[q] for q in ps]) + means[v]
         pred_ids = np.concatenate(
-            [np.full(best_len[q].size, q, dtype=np.int64) for q in preds]
+            [np.full(best_len[q].size, q, dtype=np.int64) for q in ps]
         )
         ranks = np.concatenate(
-            [np.arange(best_len[q].size, dtype=np.int64) for q in preds]
+            [np.arange(best_len[q].size, dtype=np.int64) for q in ps]
         )
         if lengths.size > k:
             top = np.argpartition(-lengths, k - 1)[:k]
@@ -101,7 +114,7 @@ def k_longest_paths(dag: ProbDAG, k: int) -> List[List[int]]:
         best_rank[v] = ranks[order]
 
     finals: List[Tuple[float, int, int]] = []
-    for s in dag.sinks():
+    for s in sinks:
         for rank in range(best_len[s].size):
             finals.append((float(best_len[s][rank]), s, rank))
     finals.sort(key=lambda e: -e[0])
@@ -187,6 +200,53 @@ def _estimate_with_k(
     return folded.mean(), exhausted
 
 
+def _adaptive_estimate(
+    n: int,
+    k: Optional[int],
+    rtol: float,
+    estimate_with_k: Callable[[int], Tuple[float, bool]],
+) -> float:
+    """The adaptive path-budget schedule, shared by the scalar and
+    batched paths (one definition keeps their control flow — and hence
+    the bit-identity contract — from drifting apart).
+
+    ``estimate_with_k`` returns ``(estimate, exhausted)`` for a budget.
+    With ``k=None`` the budget doubles from :data:`INITIAL_PATHS` until
+    the estimate stalls; above :data:`SINGLE_SHOT_N` nodes the loop is
+    replaced by one ``k = 2n`` shot.
+    """
+    if k is not None:
+        return estimate_with_k(k)[0]
+
+    if n > SINGLE_SHOT_N:
+        # Wide DAGs (hundreds of near-critical parallel chains, e.g.
+        # CKPTALL segment graphs) genuinely need O(n) candidate paths:
+        # the top of the enumeration is near-duplicates of the heavy
+        # chain, and stall-based stopping false-converges during that
+        # plateau.  k = 2n is past the plateau on every family we
+        # validated against Monte Carlo (the accuracy bench pins this
+        # down); paths beyond it are order statistics with strictly
+        # smaller means whose marginal effect on the factored max decays
+        # like the tail of sqrt(ln k).
+        return estimate_with_k(2 * n)[0]
+
+    budget = INITIAL_PATHS
+    estimate, exhausted = estimate_with_k(budget)
+    cap = max(8 * n, 2 * INITIAL_PATHS)
+    stalls = 0
+    while budget < cap and not exhausted:
+        budget *= 2
+        refined, exhausted = estimate_with_k(budget)
+        if abs(refined - estimate) <= rtol * max(abs(estimate), 1e-300):
+            stalls += 1
+            if stalls >= ADAPTIVE_STALLS:
+                return refined
+        else:
+            stalls = 0
+        estimate = refined
+    return estimate
+
+
 def pathapprox(
     dag: ProbDAG,
     k: Optional[int] = None,
@@ -207,37 +267,183 @@ def pathapprox(
     """
     if dag.n == 0:
         return 0.0
-    if k is not None:
-        return _estimate_with_k(dag, k, max_atoms, factor_common)[0]
+    return _adaptive_estimate(
+        dag.n,
+        k,
+        rtol,
+        lambda budget: _estimate_with_k(dag, budget, max_atoms, factor_common),
+    )
 
-    if dag.n > SINGLE_SHOT_N:
-        # Wide DAGs (hundreds of near-critical parallel chains, e.g.
-        # CKPTALL segment graphs) genuinely need O(n) candidate paths:
-        # the top of the enumeration is near-duplicates of the heavy
-        # chain, and stall-based stopping false-converges during that
-        # plateau.  k = 2n is past the plateau on every family we
-        # validated against Monte Carlo (the accuracy bench pins this
-        # down); paths beyond it are order statistics with strictly
-        # smaller means whose marginal effect on the factored max decays
-        # like the tail of sqrt(ln k).
-        return _estimate_with_k(
-            dag, 2 * dag.n, max_atoms, factor_common
-        )[0]
 
-    budget = INITIAL_PATHS
-    estimate, exhausted = _estimate_with_k(dag, budget, max_atoms, factor_common)
-    cap = max(8 * dag.n, 2 * INITIAL_PATHS)
-    stalls = 0
-    while budget < cap and not exhausted:
-        budget *= 2
-        refined, exhausted = _estimate_with_k(
-            dag, budget, max_atoms, factor_common
-        )
-        if abs(refined - estimate) <= rtol * max(abs(estimate), 1e-300):
-            stalls += 1
-            if stalls >= ADAPTIVE_STALLS:
-                return refined
+# --------------------------------------------------------------------- #
+# batched evaluation over a parameterised DAG template
+# --------------------------------------------------------------------- #
+
+
+class _CellFold:
+    """Per-cell evaluation state for the batched path.
+
+    Runs exactly the scalar algorithm — same path enumeration, same
+    variance-keyed fold recursion, same adaptive-k schedule — against
+    the template's precomputed parameter rows, with two bit-safe
+    accelerations the scalar reference forgoes:
+
+    * the per-node 2-state laws are built once (the scalar path rebuilds
+      them at every occurrence along every path);
+    * path sums and fold subtrees are memoised by their exact inputs
+      (node tuple / set of path sets), so the adaptive schedule's budget
+      doublings and the recursion's repeated subproblems reuse results
+      instead of recomputing them.  A memo hit returns the identical
+      object a recomputation would have produced, so every downstream
+      operation sees bit-identical operands.
+    """
+
+    __slots__ = (
+        "preds",
+        "sinks",
+        "means",
+        "variances",
+        "node_dist",
+        "max_atoms",
+        "_sum_memo",
+        "_fold_memo",
+    )
+
+    def __init__(
+        self,
+        preds: Sequence[Sequence[int]],
+        sinks: Sequence[int],
+        means: np.ndarray,
+        variances: np.ndarray,
+        node_dist: Sequence[DiscreteDistribution],
+        max_atoms: int,
+    ) -> None:
+        self.preds = preds
+        self.sinks = sinks
+        self.means = means
+        self.variances = variances
+        self.node_dist = node_dist
+        self.max_atoms = max_atoms
+        self._sum_memo: Dict[Tuple[int, ...], DiscreteDistribution] = {}
+        self._fold_memo: Dict[FrozenSet[FrozenSet[int]], DiscreteDistribution] = {}
+
+    def path_sum(self, nodes: Tuple[int, ...]) -> DiscreteDistribution:
+        dist = self._sum_memo.get(nodes)
+        if dist is None:
+            dist = DiscreteDistribution.point(0.0)
+            for v in nodes:
+                dist = dist.convolve(self.node_dist[v], self.max_atoms)
+            self._sum_memo[nodes] = dist
+        return dist
+
+    def fold(self, paths: Tuple[FrozenSet[int], ...]) -> DiscreteDistribution:
+        # The scalar recursion's result depends only on the *set* of
+        # path sets (intersections, the (variance, id)-keyed split and
+        # the pairwise folds are all order-independent), so the set is
+        # a sound memo key across budget doublings and sibling subtrees.
+        key = frozenset(paths)
+        folded = self._fold_memo.get(key)
+        if folded is not None:
+            return folded
+        common = frozenset.intersection(*paths)
+        rest = [q - common for q in paths]
+        nonempty = [q for q in rest if q]
+        if not nonempty:
+            folded = DiscreteDistribution.point(0.0)
+        elif len(nonempty) == 1:
+            folded = self.path_sum(tuple(sorted(nonempty[0])))
         else:
-            stalls = 0
-        estimate = refined
-    return estimate
+            variances = self.variances
+            split = max(
+                {v for q in nonempty for v in q},
+                key=lambda v: (variances[v], v),
+            )
+            with_split = tuple(q for q in nonempty if split in q)
+            without = tuple(q for q in nonempty if split not in q)
+            if not without:
+                folded = self.fold(with_split)
+            else:
+                folded = self.fold(with_split).max_with(
+                    self.fold(without), self.max_atoms
+                )
+        if common:
+            folded = folded.convolve(
+                self.path_sum(tuple(sorted(common))), self.max_atoms
+            )
+        self._fold_memo[key] = folded
+        return folded
+
+    def estimate_with_k(self, k: int) -> Tuple[float, bool]:
+        paths = _k_best_paths(self.preds, self.sinks, self.means, k)
+        if not paths:
+            raise EvaluationError("DAG has no source-to-sink path")
+        exhausted = len(paths) < k
+        return (
+            self.fold(tuple(frozenset(p) for p in paths)).mean(),
+            exhausted,
+        )
+
+    def run(self, n: int, k: Optional[int], rtol: float) -> float:
+        """The shared adaptive-k schedule over this cell's estimator."""
+        return _adaptive_estimate(n, k, rtol, self.estimate_with_k)
+
+
+def pathapprox_batch(
+    template,
+    k: Optional[int] = None,
+    max_atoms: int = DEFAULT_MAX_ATOMS,
+    factor_common: bool = True,
+    rtol: float = ADAPTIVE_RTOL,
+) -> np.ndarray:
+    """Path-based estimates for every cell of a parameterised DAG.
+
+    ``template`` is a :class:`~repro.makespan.paramdag.ParamDAG`; the
+    result array is **bit-identical** to evaluating each materialised
+    cell with :func:`pathapprox` (pinned by the batch-parity tests).
+    The structure-dependent work is shared across the batch — per-node
+    2-state laws are built in one vectorised pass per node
+    (:func:`~repro.makespan.batch.two_state_rows`), expected durations
+    and variances come from the template's precomputed ``(cells, n)``
+    matrices — while the path enumeration and fold stay per cell (they
+    depend on per-cell parameter values) with exact-input memoisation
+    across the adaptive schedule's budget doublings.
+    """
+    n_cells = template.n_cells
+    if template.n == 0:
+        return np.zeros(n_cells)
+    if not factor_common:
+        # Ablation path (naive CDF-product fold): the fold is ordered by
+        # path rank rather than set-driven, so run the scalar reference.
+        return np.array(
+            [
+                pathapprox(
+                    template.cell(c),
+                    k=k,
+                    max_atoms=max_atoms,
+                    factor_common=False,
+                    rtol=rtol,
+                )
+                for c in range(n_cells)
+            ]
+        )
+    from repro.makespan.batch import two_state_rows
+
+    node_rows = [
+        two_state_rows(template.base[:, j], template.long[:, j], template.p[:, j])
+        for j in range(template.n)
+    ]
+    means = template.means
+    variances = template.variances
+    sinks = template.sinks()
+    out = np.empty(n_cells)
+    for c in range(n_cells):
+        cell = _CellFold(
+            template.preds,
+            sinks,
+            means[c],
+            variances[c],
+            [rows[c] for rows in node_rows],
+            max_atoms,
+        )
+        out[c] = cell.run(template.n, k, rtol)
+    return out

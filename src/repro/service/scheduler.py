@@ -16,7 +16,12 @@ requests it
    reuse the sweep engine gives a declared grid;
 4. **dispatches** the specs through :func:`repro.engine.sweep.run_specs`
    (shared pipeline when serial, spec-per-worker process fan-out for
-   ``jobs > 1``) and writes every fresh record back to the store.
+   ``jobs > 1``) and writes every fresh record back to the store.  The
+   dispatch rides the engine's batched evaluation entry point: each
+   coalesced spec's cells are priced through one DAG template per
+   structure group (bit-identical to per-cell evaluation;
+   ``batch_eval=False`` restores the reference path), and the sizes of
+   the dispatched batches are surfaced via ``/status``.
 
 Batches are *exact covers*: a group's requested (pfail, CCR) cells are
 partitioned into one spec per pfail value, so no unrequested cell is
@@ -68,6 +73,16 @@ class SchedulerStats:
     store_hits: int = 0  #: requests answered by the durable store
     computed_cells: int = 0  #: cells actually evaluated
     batches: int = 0  #: coalesced specs dispatched
+    #: Largest successfully dispatched coalesced spec, in cells.
+    batch_size_max: int = 0
+    #: Cells per successful spec of the last dispatch (failed specs are
+    #: excluded, keeping these consistent with batches/computed_cells).
+    last_batch_sizes: Tuple[int, ...] = ()
+
+    @property
+    def batch_size_mean(self) -> float:
+        """Mean cells per dispatched spec over the scheduler's lifetime."""
+        return self.computed_cells / self.batches if self.batches else 0.0
 
 
 @dataclass
@@ -138,10 +153,15 @@ class BatchScheduler:
         store: Optional[ResultStore] = None,
         jobs: int = 1,
         linger: float = 0.05,
+        batch_eval: bool = True,
     ) -> None:
         self.store = store
         self.jobs = jobs
         self.linger = linger
+        #: Dispatch coalesced specs through the engine's batched
+        #: evaluation entry point (records are bit-identical either
+        #: way; False restores the per-cell reference path).
+        self.batch_eval = batch_eval
         self.pipeline = Pipeline()
         self.stats = SchedulerStats()
         self._lock = threading.Lock()
@@ -222,7 +242,9 @@ class BatchScheduler:
             results = run_specs(
                 specs, jobs=self.jobs, progress=progress,
                 pipeline=self.pipeline, return_exceptions=True,
+                batch_eval=self.batch_eval,
             )
+            sizes = []
             for (spec, cells), records in zip(batches, results):
                 if isinstance(records, BaseException):
                     for req in cells:
@@ -238,6 +260,7 @@ class BatchScheduler:
                     continue
                 done += 1
                 computed += len(cells)
+                sizes.append(len(cells))
                 for req, record in zip(cells, records):
                     fp = fingerprint(req)
                     if self.store is not None:
@@ -248,6 +271,14 @@ class BatchScheduler:
             self.stats.store_hits += len(unique) - len(misses)
             self.stats.computed_cells += computed
             self.stats.batches += done
+            if batches:
+                # Sizes cover the *successful* specs only, so max/mean/
+                # last stay consistent with batches/computed_cells.
+                self.stats.last_batch_sizes = tuple(sizes)
+                if sizes:
+                    self.stats.batch_size_max = max(
+                        self.stats.batch_size_max, max(sizes)
+                    )
         return resolved, errors
 
     def evaluate(

@@ -32,7 +32,9 @@ path          method  semantics
                       sampling seeds instead of a monolithic grid's
                       positional ones (same estimator, different
                       sampling stream).
-/status       GET     uptime, version, store + scheduler counters.
+/status       GET     uptime, version, store + scheduler counters
+                      (including the coalesced batch sizes dispatched
+                      through the engine's batched evaluation core).
 /cache        GET     store detail (path, schema, entries, hit rates).
 /cache        POST    ``{"action": "clear"}`` empties store + pipeline.
 ============  ======  ====================================================
@@ -247,6 +249,10 @@ class _Handler(BaseHTTPRequestHandler):
                     "store_hits": sched.store_hits,
                     "computed_cells": sched.computed_cells,
                     "batches": sched.batches,
+                    "batch_eval": svc.scheduler.batch_eval,
+                    "batch_size_max": sched.batch_size_max,
+                    "batch_size_mean": sched.batch_size_mean,
+                    "last_batch_sizes": list(sched.last_batch_sizes),
                 },
             },
         )
@@ -296,6 +302,7 @@ class ReproService:
         jobs: int = 1,
         linger: float = 0.05,
         log: Optional[Callable[[str], None]] = None,
+        batch_eval: bool = True,
     ) -> None:
         if isinstance(store, ResultStore):
             self.store = store
@@ -303,7 +310,9 @@ class ReproService:
         else:
             self.store = ResultStore(store if store is not None else ":memory:")
             self._owns_store = True
-        self.scheduler = BatchScheduler(self.store, jobs=jobs, linger=linger)
+        self.scheduler = BatchScheduler(
+            self.store, jobs=jobs, linger=linger, batch_eval=batch_eval
+        )
         self.log = log
         self.started_at = time.time()
         handler = type("_BoundHandler", (_Handler,), {"service": self})
@@ -386,10 +395,12 @@ def serve(
     jobs: int = 1,
     linger: float = 0.05,
     log: Optional[Callable[[str], None]] = print,
+    batch_eval: bool = True,
 ) -> None:
     """Run a blocking evaluation service (the ``repro serve`` command)."""
     service = ReproService(
-        host=host, port=port, store=store, jobs=jobs, linger=linger, log=log
+        host=host, port=port, store=store, jobs=jobs, linger=linger, log=log,
+        batch_eval=batch_eval,
     )
     if log is not None:
         log(

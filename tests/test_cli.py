@@ -66,6 +66,29 @@ class TestEvaluate:
         assert "all/some=" in out
 
 
+class TestMethods:
+    def test_lists_registered_evaluators(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("montecarlo", "dodin", "normal", "pathapprox", "exact"):
+            assert name in out
+        assert "stochastic" in out and "deterministic" in out
+        # declared options surface, replacing the error-path-only
+        # discoverability of the old inspect cache
+        assert "trials=100000" in out and "k=None" in out
+
+    def test_json_shape(self, capsys):
+        import json
+
+        assert main(["methods", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["montecarlo"]["deterministic"] is False
+        assert payload["montecarlo"]["supports_batch"] is False
+        assert payload["pathapprox"]["supports_batch"] is True
+        option_names = [o["name"] for o in payload["pathapprox"]["options"]]
+        assert option_names == ["k", "max_atoms", "factor_common", "rtol"]
+
+
 class TestSweep:
     BASE = [
         "sweep",
@@ -121,6 +144,12 @@ class TestSweep:
         a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
         assert main(self.BASE + ["--out", str(a)]) == 0
         assert main(self.BASE + ["--jobs", "2", "--out", str(b)]) == 0
+        assert a.read_text() == b.read_text()
+
+    def test_no_batch_eval_identical_records(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(self.BASE + ["--out", str(a)]) == 0
+        assert main(self.BASE + ["--no-batch-eval", "--out", str(b)]) == 0
         assert a.read_text() == b.read_text()
 
     def test_ccr_grid_default(self, capsys):

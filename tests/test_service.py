@@ -513,6 +513,27 @@ class TestBatchScheduler:
         assert a.record == b.record
         assert not b.cached  # nothing persists without a store
 
+    def test_batch_size_stats_track_dispatches(self):
+        scheduler = BatchScheduler(ResultStore(":memory:"))
+        requests = self.grid_requests()  # 2 pairs × 2 pfails → 4 specs
+        scheduler.evaluate_many(requests)
+        stats = scheduler.stats
+        assert stats.last_batch_sizes == (2, 2, 2, 2)
+        assert stats.batch_size_max == 2
+        assert stats.batch_size_mean == pytest.approx(2.0)
+        # a later single-cell dispatch shrinks the last sizes, not max
+        scheduler.evaluate(req(pfail=0.005))
+        assert scheduler.stats.last_batch_sizes == (1,)
+        assert scheduler.stats.batch_size_max == 2
+
+    def test_batch_eval_off_is_bit_identical(self):
+        requests = self.grid_requests()
+        batched = BatchScheduler(ResultStore(":memory:")).evaluate_many(requests)
+        reference = BatchScheduler(
+            ResultStore(":memory:"), batch_eval=False
+        ).evaluate_many(requests)
+        assert [o.record for o in batched] == [o.record for o in reference]
+
     def test_background_worker_coalesces_duplicates(self):
         scheduler = BatchScheduler(ResultStore(":memory:"), linger=0.05)
         scheduler.start()

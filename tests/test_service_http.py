@@ -159,6 +159,11 @@ class TestStatusAndCache:
         assert status["scheduler"]["computed_cells"] == 1
         assert status["scheduler"]["store_hits"] == 1
         assert status["uptime_s"] > 0
+        # batched-evaluation visibility: the dispatched batch sizes
+        assert status["scheduler"]["batch_eval"] is True
+        assert status["scheduler"]["batch_size_max"] == 1
+        assert status["scheduler"]["last_batch_sizes"] == [1]
+        assert status["scheduler"]["batch_size_mean"] == pytest.approx(1.0)
 
     def test_cache_detail_and_clear(self, service):
         _, client = service
