@@ -9,6 +9,10 @@ Public API overview
   structure extraction.
 * :mod:`repro.generators` — Pegasus-style synthetic workflow families
   (MONTAGE, GENOME, LIGO, …) and DAX I/O.
+* :mod:`repro.workloads` — workflow sources: synthetic family
+  generation and external ``.dax``/``.json`` files (content-hash
+  addressed) behind one :class:`~repro.workloads.WorkflowSource`
+  abstraction, plus the registry the service loads file sources into.
 * :func:`repro.scheduling.allocate` — Algorithm 1 (list scheduling with
   proportional mapping), producing superchain schedules.
 * :mod:`repro.checkpoint` — Algorithm 2 (optimal checkpoint placement in
@@ -43,6 +47,12 @@ __all__ = [
     "BatchScheduler",
     "ReproService",
     "ServiceClient",
+    "FamilySource",
+    "FileSource",
+    "SourceRegistry",
+    "WorkflowSource",
+    "load_source",
+    "workflow_hash",
     "__version__",
 ]
 
@@ -59,10 +69,25 @@ _SERVICE_EXPORTS = {
     "ServiceClient",
 }
 
+#: Workflow-source names, re-exported lazily for the same reason (the
+#: workloads module pulls in the generator package).
+_WORKLOAD_EXPORTS = {
+    "FamilySource",
+    "FileSource",
+    "SourceRegistry",
+    "WorkflowSource",
+    "load_source",
+    "workflow_hash",
+}
+
 
 def __getattr__(name: str):
     if name in _SERVICE_EXPORTS:
         import repro.service as _service
 
         return getattr(_service, name)
+    if name in _WORKLOAD_EXPORTS:
+        import repro.workloads as _workloads
+
+        return getattr(_workloads, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -4,16 +4,19 @@ Sub-commands::
 
     generate   emit a synthetic workflow (DAX or JSON by extension)
     evaluate   run the full strategy comparison on one configuration
+               (a synthetic --family or an external --dax workflow)
     methods    list the registered expected-makespan evaluators
     sweep      run a parameter grid through the staged pipeline engine
                (artifact cache + optional --jobs process-pool fan-out;
                records to JSONL/CSV; --no-batch-eval forces the
-               per-cell reference path)
+               per-cell reference path; --dax sweeps an external
+               workflow file instead of a synthetic family)
     figure     regenerate a paper figure grid (CSV + ASCII panels)
     accuracy   run the §VI-B estimator accuracy study
     simulate   replay one failure-injected execution with an event log
     serve      run the persistent evaluation service (HTTP + SQLite)
-    submit     submit one cell to a running service (or --local store)
+    submit     submit one cell to a running service (or --local store);
+               --dax registers + submits an external workflow
 """
 
 from __future__ import annotations
@@ -89,6 +92,57 @@ def _jobs_count(text: str) -> int:
     return value
 
 
+def _family_or_dax(args: argparse.Namespace, command: str) -> Optional[str]:
+    """Enforce "exactly one of --family / --dax"; returns an error line.
+
+    (Returned, not printed, so callers control the stream and exit
+    code — every caller maps a message to exit 2.)
+    """
+    if args.family is None and args.dax is None:
+        return f"repro {command}: one of --family or --dax is required"
+    if args.family is not None and args.dax is not None:
+        return f"repro {command}: --family and --dax are mutually exclusive"
+    if args.dax is not None and getattr(args, "ntasks", None) is not None:
+        return (
+            f"repro {command}: --ntasks cannot be combined with --dax "
+            "(the workflow file fixes its own task count)"
+        )
+    return None
+
+
+def _unknown_family_message(family: str) -> str:
+    """One-line exit-2 message for an unregistered workflow family."""
+    from repro.generators import FAMILIES
+
+    return (
+        f"unknown workflow family {family!r}; registered families: "
+        f"{', '.join(sorted(FAMILIES))} (or pass an external workflow "
+        "file with --dax)"
+    )
+
+
+def _check_family(family: str) -> Optional[str]:
+    """The unknown-family message, or ``None`` when registered."""
+    from repro.generators import FAMILIES
+
+    if family.lower() not in FAMILIES:
+        return _unknown_family_message(family)
+    return None
+
+
+def _load_dax_source(path: Path):
+    """Load a workflow file as a :class:`~repro.workloads.FileSource`.
+
+    Raises :class:`~repro.errors.SerializationError` (bad suffix,
+    unparseable/inconsistent document) and
+    :class:`~repro.errors.WorkflowError` (empty workflow) — callers map
+    both to exit 2 with the error's one-line message.
+    """
+    from repro.workloads import load_source
+
+    return load_source(path)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -110,8 +164,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     ev = sub.add_parser("evaluate", help="compare CKPTSOME/ALL/NONE on one cell")
-    ev.add_argument("--family", required=True)
-    ev.add_argument("--ntasks", type=_positive_int, default=50)
+    ev.add_argument("--family", default=None, help="synthetic workflow family")
+    ev.add_argument(
+        "--dax",
+        type=Path,
+        default=None,
+        help="external workflow file (.dax/.xml or .json) instead of --family",
+    )
+    ev.add_argument(
+        "--ntasks",
+        type=_positive_int,
+        default=None,
+        help="requested task count for --family (default 50); "
+        "incompatible with --dax (the file fixes its own task count)",
+    )
     ev.add_argument("--processors", type=_positive_int, default=10)
     ev.add_argument("--pfail", type=_pfail_value, default=1e-3)
     ev.add_argument("--ccr", type=_ccr_value, default=0.01)
@@ -142,8 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
             "pool (records are identical for any N)."
         ),
     )
-    sw.add_argument("--family", required=True)
-    sw.add_argument("--sizes", type=_positive_int, nargs="+", default=[50])
+    sw.add_argument("--family", default=None, help="synthetic workflow family")
+    sw.add_argument(
+        "--dax",
+        type=Path,
+        default=None,
+        help=(
+            "sweep an external workflow file (.dax/.xml or .json) instead "
+            "of a synthetic --family; the grid's single size is the "
+            "file's task count"
+        ),
+    )
+    sw.add_argument("--sizes", type=_positive_int, nargs="+", default=None)
     sw.add_argument(
         "--processors",
         type=_positive_int,
@@ -285,8 +361,24 @@ def build_parser() -> argparse.ArgumentParser:
             "store without a server)."
         ),
     )
-    sub_.add_argument("--family", required=True)
-    sub_.add_argument("--ntasks", type=_positive_int, default=50)
+    sub_.add_argument("--family", default=None, help="synthetic workflow family")
+    sub_.add_argument(
+        "--dax",
+        type=Path,
+        default=None,
+        help=(
+            "submit an external workflow file (.dax/.xml or .json): "
+            "registered with the service (POST /register) and addressed "
+            "by its canonical content hash"
+        ),
+    )
+    sub_.add_argument(
+        "--ntasks",
+        type=_positive_int,
+        default=None,
+        help="requested task count for --family (default 50); "
+        "incompatible with --dax (the file fixes its own task count)",
+    )
     sub_.add_argument("--processors", type=_positive_int, default=10)
     sub_.add_argument("--pfail", type=_pfail_value, default=1e-3)
     sub_.add_argument("--ccr", type=_ccr_value, default=0.01)
@@ -324,24 +416,55 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.generators import generate, write_dax
     from repro.generators.serialization import save_workflow
 
-    wf = generate(args.family, args.ntasks, args.seed)
-    suffix = args.out.suffix.lower()
-    if suffix in (".dax", ".xml"):
-        write_dax(wf, args.out)
-    elif suffix == ".json":
-        save_workflow(wf, args.out)
-    else:
-        print(f"unsupported output extension {suffix!r}", file=sys.stderr)
+    from repro.workloads import SOURCE_SUFFIXES
+
+    message = _check_family(args.family)
+    if message is not None:
+        print(message, file=sys.stderr)
         return 2
+    suffix = args.out.suffix.lower()
+    fmt = SOURCE_SUFFIXES.get(suffix)
+    if fmt is None:
+        # One format registry: the same suffix table the --dax readers
+        # use decides what generate can write.
+        print(
+            f"unsupported output extension {suffix!r} for {args.out}; "
+            f"supported formats: {', '.join(sorted(SOURCE_SUFFIXES))} "
+            "(.dax/.xml = Pegasus DAX v3, .json = native schema)",
+            file=sys.stderr,
+        )
+        return 2
+    wf = generate(args.family, args.ntasks, args.seed)
+    if fmt == "dax":
+        write_dax(wf, args.out)
+    else:
+        save_workflow(wf, args.out)
     print(f"wrote {wf!r} to {args.out}")
     return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.api import run_strategies
+    from repro.errors import SerializationError, WorkflowError
     from repro.generators import generate
 
-    wf = generate(args.family, args.ntasks, args.seed)
+    message = _family_or_dax(args, "evaluate")
+    if message is not None:
+        print(message, file=sys.stderr)
+        return 2
+    if args.dax is not None:
+        try:
+            wf = _load_dax_source(args.dax).workflow
+        except (SerializationError, WorkflowError, OSError) as exc:
+            print(f"cannot load {args.dax}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        message = _check_family(args.family)
+        if message is not None:
+            print(message, file=sys.stderr)
+            return 2
+        ntasks = args.ntasks if args.ntasks is not None else 50
+        wf = generate(args.family, ntasks, args.seed)
     outcome = run_strategies(
         wf,
         args.processors,
@@ -407,10 +530,26 @@ def _cmd_methods(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.engine.records import records_to_csv, records_to_jsonl
     from repro.engine.sweep import SweepSpec, run_sweep
-    from repro.errors import ExperimentError
+    from repro.errors import ExperimentError, SerializationError, WorkflowError
     from repro.experiments.figures import log_grid
     from repro.experiments.results import render_cells_table
 
+    message = _family_or_dax(args, "sweep")
+    if message is not None:
+        print(message, file=sys.stderr)
+        return 2
+    if args.dax is not None and args.sizes is not None:
+        print(
+            "repro sweep: --sizes cannot be combined with --dax "
+            "(the grid's single size is the workflow file's task count)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.family is not None:
+        message = _check_family(args.family)
+        if message is not None:
+            print(message, file=sys.stderr)
+            return 2
     if args.out is not None:
         if args.out.suffix.lower() not in (".jsonl", ".csv"):
             print(
@@ -434,17 +573,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             lo, hi, points = args.ccr_grid or (1e-3, 1.0, 5)
             ccrs = log_grid(lo, hi, int(points))
-        spec = SweepSpec(
-            family=args.family,
-            sizes=tuple(args.sizes),
-            processors={n: tuple(args.processors) for n in args.sizes},
-            pfails=tuple(args.pfails),
-            ccrs=ccrs,
-            seed=args.seed,
-            method=args.method,
-            seed_policy=args.seed_policy,
-            name=f"sweep[{args.family}]",
-        )
+        if args.dax is not None:
+            try:
+                source = _load_dax_source(args.dax)
+            except (SerializationError, WorkflowError, OSError) as exc:
+                print(f"cannot load {args.dax}: {exc}", file=sys.stderr)
+                return 2
+            spec = SweepSpec.from_source(
+                source,
+                processors=tuple(args.processors),
+                pfails=tuple(args.pfails),
+                ccrs=ccrs,
+                seed=args.seed,
+                method=args.method,
+                seed_policy=args.seed_policy,
+            )
+        else:
+            sizes = tuple(args.sizes) if args.sizes is not None else (50,)
+            spec = SweepSpec(
+                family=args.family,
+                sizes=sizes,
+                processors={n: tuple(args.processors) for n in sizes},
+                pfails=tuple(args.pfails),
+                ccrs=ccrs,
+                seed=args.seed,
+                method=args.method,
+                seed_policy=args.seed_policy,
+                name=f"sweep[{args.family}]",
+            )
     except ExperimentError as exc:
         print(f"invalid sweep grid: {exc}", file=sys.stderr)
         return 2
@@ -456,7 +612,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         batch_eval=not args.no_batch_eval,
     )
     print()
-    print(render_cells_table(records, title=f"sweep ({args.family})"))
+    print(render_cells_table(records, title=f"sweep ({spec.family})"))
     if args.out is not None:
         if args.out.suffix.lower() == ".jsonl":
             records_to_jsonl(records, args.out)
@@ -553,19 +709,41 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     import json as _json
 
     from repro.engine.records import record_to_dict
-    from repro.errors import ServiceError
+    from repro.errors import SerializationError, ServiceError, WorkflowError
     from repro.service.fingerprint import EvalRequest
+
+    message = _family_or_dax(args, "submit")
+    if message is not None:
+        print(message, file=sys.stderr)
+        return 2
+    source = None
+    if args.dax is not None:
+        try:
+            source = _load_dax_source(args.dax)
+        except (SerializationError, WorkflowError, OSError) as exc:
+            print(f"cannot load {args.dax}: {exc}", file=sys.stderr)
+            return 2
+    elif _check_family(args.family) is not None:
+        print(_check_family(args.family), file=sys.stderr)
+        return 2
 
     try:
         request = EvalRequest(
-            family=args.family,
-            ntasks=args.ntasks,
+            family=args.family or "",
+            # The cell's size axis is the file's actual task count for
+            # --dax submissions (--ntasks describes synthetic families).
+            ntasks=(
+                source.workflow.n_tasks
+                if source is not None
+                else (args.ntasks if args.ntasks is not None else 50)
+            ),
             processors=args.processors,
             pfail=args.pfail,
             ccr=args.ccr,
             seed=args.seed,
             method=args.method,
             seed_policy=args.seed_policy,
+            workflow=source.content_hash if source is not None else None,
         )
     except ServiceError as exc:
         print(f"invalid request: {exc}", file=sys.stderr)
@@ -575,15 +753,24 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if args.local:
             from repro.service.scheduler import BatchScheduler
             from repro.service.store import ResultStore
+            from repro.workloads import SourceRegistry
 
+            registry = SourceRegistry()
+            if source is not None:
+                registry.register(source)
             with ResultStore(args.store) as store:
-                outcome = BatchScheduler(store).evaluate(request)
+                outcome = BatchScheduler(store, registry=registry).evaluate(
+                    request
+                )
             record, cached, fp = outcome.record, outcome.cached, outcome.fingerprint
             wall = None
         else:
             from repro.service.client import ServiceClient
 
-            reply = ServiceClient(args.url).evaluate(request)
+            client = ServiceClient(args.url)
+            if source is not None:
+                client.register(source.workflow, label=source.label)
+            reply = client.evaluate(request)
             record, cached, fp = reply.record, reply.cached, reply.fingerprint
             wall = reply.wall_time_s
     except ServiceError as exc:

@@ -168,6 +168,23 @@ class Pipeline:
             lambda: generate(family, ntasks, seed),
         )
 
+    def prepare_source(self, source, ntasks: int, seed: int) -> Workflow:
+        """Workflow instance from a :class:`~repro.workloads.WorkflowSource`.
+
+        The cache key tail is the source's own
+        :meth:`~repro.workloads.WorkflowSource.cache_key`: family
+        sources key on (family, ntasks, seed) — exactly the
+        :meth:`prepare` key, so family sweeps share its entries — while
+        file sources key on their canonical content hash alone, sharing
+        one cached workflow (and downstream tree/schedule artifacts)
+        across every spec over the same content.
+        """
+        return self.cache.get_or_compute(
+            "prepare",
+            ("workflow", *source.cache_key(ntasks, seed)),
+            lambda: source.resolve(ntasks, seed),
+        )
+
     def platform_for(
         self,
         workflow: Workflow,

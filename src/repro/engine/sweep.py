@@ -1,8 +1,10 @@
 """Grid sweep executor: staged pipeline × (optional) process-pool fan-out.
 
-A sweep is declared as a :class:`SweepSpec` — one workflow family, a set
-of sizes, per-size processor counts, and pfail/CCR axes — and executed
-by :func:`run_sweep`.  The execution plan is deterministic:
+A sweep is declared as a :class:`SweepSpec` — one workflow family (or
+an external workflow file wrapped in a
+:class:`~repro.workloads.FileSource`, see :meth:`SweepSpec.from_source`),
+a set of sizes, per-size processor counts, and pfail/CCR axes — and
+executed by :func:`run_sweep`.  The execution plan is deterministic:
 
 * the grid is decomposed into *groups*, one per (size, processors) pair,
   iterated size-major (the historical ``run_figure`` order);
@@ -47,6 +49,7 @@ from repro.engine.records import CellResult
 from repro.errors import EvaluationError, ExperimentError
 from repro.makespan.api import get_evaluator
 from repro.util.rng import stable_seed
+from repro.workloads import FamilySource, FileSource, WorkflowSource
 from repro.util.validation import (
     bandwidth_error,
     ccr_error,
@@ -80,6 +83,12 @@ class SweepSpec:
     #: PathApprox, ...).  Accepts a mapping; stored as a sorted tuple of
     #: (name, value) pairs so specs stay hashable and picklable.
     evaluator_options: Tuple[Tuple[str, Any], ...] = ()
+    #: External workflow source (``None`` = generate ``family``
+    #: instances).  Set through :meth:`from_source`; when present,
+    #: ``family`` must be the source's ``spec_family`` and ``sizes`` its
+    #: actual task count, so records and seed derivations stay
+    #: content-addressed.
+    source: Optional[FileSource] = None
 
     def __post_init__(self) -> None:
         try:
@@ -132,6 +141,54 @@ class SweepSpec:
                 raise ExperimentError(
                     f"no processor counts configured for size {ntasks}"
                 )
+        if self.source is not None:
+            if not isinstance(self.source, FileSource):
+                raise ExperimentError(
+                    f"spec source must be a FileSource, got "
+                    f"{type(self.source).__name__}"
+                )
+            if self.family != self.source.spec_family:
+                raise ExperimentError(
+                    f"family {self.family!r} does not match the source's "
+                    f"content-derived family {self.source.spec_family!r}"
+                )
+            if self.sizes != (self.source.workflow.n_tasks,):
+                raise ExperimentError(
+                    f"a file-sourced spec's sizes must be the workflow's "
+                    f"actual task count ({self.source.workflow.n_tasks},), "
+                    f"got {self.sizes}"
+                )
+
+    @classmethod
+    def from_source(
+        cls,
+        source: FileSource,
+        processors: Sequence[int],
+        pfails: Sequence[float],
+        ccrs: Sequence[float],
+        **kwargs: Any,
+    ) -> "SweepSpec":
+        """Spec over one external workflow: the size axis is the file's
+        task count, ``processors`` is a flat list of counts, and the
+        family string is the source's content-derived ``file:<hash12>``."""
+        ntasks = source.workflow.n_tasks
+        kwargs.setdefault("name", f"sweep[{source.spec_family}]")
+        return cls(
+            family=source.spec_family,
+            sizes=(ntasks,),
+            processors={ntasks: tuple(processors)},
+            pfails=tuple(pfails),
+            ccrs=tuple(ccrs),
+            source=source,
+            **kwargs,
+        )
+
+    @property
+    def resolved_source(self) -> WorkflowSource:
+        """The spec's workflow source (family generation by default)."""
+        return (
+            self.source if self.source is not None else FamilySource(self.family)
+        )
 
     @property
     def n_cells(self) -> int:
@@ -331,7 +388,9 @@ def _run_chunk(
     ``supports_batch``) always takes the per-cell path, keeping its
     grid-positional ``eval_seed`` derivation intact.
     """
-    workflow = pipeline.prepare(spec.family, chunk.ntasks, chunk.wf_seed)
+    workflow = pipeline.prepare_source(
+        spec.resolved_source, chunk.ntasks, chunk.wf_seed
+    )
     tree = pipeline.mspg_tree(workflow)
     schedule = pipeline.schedule_for(
         workflow,

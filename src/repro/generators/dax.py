@@ -22,7 +22,7 @@ import xml.etree.ElementTree as ET
 from pathlib import Path
 from typing import Dict, Set, Tuple, Union
 
-from repro.errors import SerializationError
+from repro.errors import SerializationError, WorkflowError
 from repro.mspg.graph import Workflow
 
 __all__ = ["read_dax", "write_dax"]
@@ -91,15 +91,25 @@ def read_dax(path: Union[str, Path]) -> Workflow:
 
     Files referenced without a size attribute default to 0 bytes; jobs
     without a runtime attribute default to weight 0 (as the real DAX
-    schema allows both omissions).
+    schema allows both omissions).  The namespace is taken from the
+    document's root element, so namespace-less documents and documents
+    under a non-Pegasus namespace URI parse the same as canonical ones.
+    Structural inconsistencies — duplicate job ids, dangling
+    ``<child>``/``<parent>`` references, inconsistent file sizes, cycles
+    — all raise :class:`~repro.errors.SerializationError`.
     """
     try:
         root = ET.parse(str(path)).getroot()
     except ET.ParseError as exc:
         raise SerializationError(f"cannot parse DAX file {path}: {exc}") from exc
 
+    # Real-world DAX documents come namespace-less, under the canonical
+    # Pegasus URI, or under site-local variants of it — key element
+    # lookups off whatever namespace the root actually declares.
+    ns = root.tag[1 : root.tag.index("}")] if root.tag.startswith("{") else None
+
     def tag(name: str) -> str:
-        return f"{{{_NS}}}{name}" if root.tag.startswith("{") else name
+        return f"{{{ns}}}{name}" if ns is not None else name
 
     wf = Workflow(root.get("name", Path(str(path)).stem))
 
@@ -110,14 +120,31 @@ def read_dax(path: Union[str, Path]) -> Workflow:
         tid = job.get("id")
         if tid is None:
             raise SerializationError(f"job without id in {path}")
-        weight = float(job.get("runtime", "0"))
+        try:
+            weight = float(job.get("runtime", "0"))
+        except ValueError:
+            raise SerializationError(
+                f"job {tid!r} has non-numeric runtime "
+                f"{job.get('runtime')!r} in {path}"
+            ) from None
         category = job.get("name", "")
-        wf.add_task(tid, weight, category=category)
+        try:
+            wf.add_task(tid, weight, category=category)
+        except WorkflowError as exc:
+            # Duplicate job ids, bad weights, ... — surface as a clean
+            # serialisation failure naming the document.
+            raise SerializationError(f"bad job in {path}: {exc}") from None
         for uses in job.iter(tag("uses")):
             fname = uses.get("file")
             if fname is None:
                 raise SerializationError(f"uses without file in job {tid!r}")
-            size = float(uses.get("size", "0"))
+            try:
+                size = float(uses.get("size", "0"))
+            except ValueError:
+                raise SerializationError(
+                    f"file {fname!r} has non-numeric size "
+                    f"{uses.get('size')!r} in {path}"
+                ) from None
             prev = file_sizes.get(fname)
             if prev is not None and prev != size:
                 raise SerializationError(
@@ -135,22 +162,42 @@ def read_dax(path: Union[str, Path]) -> Workflow:
             else:
                 consumers.setdefault(fname, set()).add(tid)
 
-    for fname, size in file_sizes.items():
-        wf.add_file(fname, size, producer=producers.get(fname))
-    for fname, tids in consumers.items():
-        for tid in sorted(tids):
-            wf.add_input(tid, fname)
+    try:
+        for fname, size in file_sizes.items():
+            wf.add_file(fname, size, producer=producers.get(fname))
+        for fname, tids in consumers.items():
+            for tid in sorted(tids):
+                wf.add_input(tid, fname)
+    except WorkflowError as exc:
+        raise SerializationError(f"bad data flow in {path}: {exc}") from None
 
     for child in root.iter(tag("child")):
         ref = child.get("ref")
         if ref is None:
             raise SerializationError(f"child without ref in {path}")
+        if ref not in wf:
+            raise SerializationError(
+                f"child ref {ref!r} names no job in {path}"
+            )
         for parent in child.iter(tag("parent")):
             pref = parent.get("ref")
             if pref is None:
                 raise SerializationError(f"parent without ref in {path}")
-            if ref not in wf.succs(pref):
-                wf.add_control_edge(pref, ref)
+            if pref not in wf:
+                raise SerializationError(
+                    f"parent ref {pref!r} (child {ref!r}) names no job "
+                    f"in {path}"
+                )
+            try:
+                if ref not in wf.succs(pref):
+                    wf.add_control_edge(pref, ref)
+            except WorkflowError as exc:
+                raise SerializationError(
+                    f"bad dependency in {path}: {exc}"
+                ) from None
 
-    wf.validate()
+    try:
+        wf.validate()
+    except WorkflowError as exc:
+        raise SerializationError(f"inconsistent workflow in {path}: {exc}") from None
     return wf

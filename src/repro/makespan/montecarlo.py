@@ -53,7 +53,13 @@ def sample_makespans(
     With ``antithetic=True``, trials are drawn in pairs ``(U, 1-U)`` —
     a classical variance-reduction device (each pair is negatively
     correlated through the shared uniforms), benchmarked in
-    ``benchmarks/bench_ablation_montecarlo.py``.
+    ``benchmarks/bench_ablation_montecarlo.py``.  Samples ``2k`` and
+    ``2k+1`` of the returned array are one pair, for *any*
+    ``trials``/``batch`` combination: uniforms are drawn in whole pairs
+    per batch (batch sizes are rounded down to even counts), so a pair
+    never straddles a batch boundary and no complement is lost to batch
+    truncation.  Only an odd ``trials``'s final sample is a lone ``U``
+    (its complement would be trial ``trials + 1``).
     """
     if trials < 1:
         raise EvaluationError(f"trials must be >= 1, got {trials}")
@@ -61,6 +67,10 @@ def sample_makespans(
     base = dag.base
     extra = dag.long - base
     p = dag.p
+    if antithetic:
+        # Whole pairs per batch: an odd batch size would orphan one
+        # complement per batch and shift every later pair off its mate.
+        batch = max(2, batch - batch % 2)
     out = np.empty(trials)
     done = 0
     while done < trials:
@@ -68,7 +78,10 @@ def sample_makespans(
         if antithetic:
             half = (m + 1) // 2
             u = rng.random((half, dag.n))
-            u = np.concatenate([u, 1.0 - u], axis=0)[:m]
+            paired = np.empty((2 * half, dag.n))
+            paired[0::2] = u
+            paired[1::2] = 1.0 - u
+            u = paired[:m]
         else:
             u = rng.random((m, dag.n))
         durations = base + extra * (u < p)

@@ -10,8 +10,9 @@ maximal work.
 Module map
 ----------
 ``fingerprint``
-    :class:`EvalRequest` (one cell: family/size/seed, processors, pfail,
-    CCR, method + evaluator options) and its canonical SHA-256
+    :class:`EvalRequest` (one cell: a family/size/seed triple *or* an
+    external workflow named by content hash, processors, pfail, CCR,
+    method + evaluator options) and its canonical SHA-256
     :func:`fingerprint`; the 1×1 :func:`request_to_spec` execution
     contract; grid↔cells conversion (:func:`requests_from_spec`).
 ``store``
@@ -28,7 +29,9 @@ Module map
 ``server``
     :class:`ReproService` / :func:`serve` — a stdlib
     ``ThreadingHTTPServer`` JSON API: ``POST /evaluate``,
-    ``POST /sweep``, ``GET /status``, ``GET|POST /cache``.
+    ``POST /sweep``, ``POST /register`` (load an external workflow
+    source, addressed thereafter by its canonical content hash),
+    ``GET /sources``, ``GET /status``, ``GET|POST /cache``.
 ``client``
     :class:`ServiceClient` — thin ``urllib`` client returning parsed
     :class:`~repro.engine.records.CellResult` replies.

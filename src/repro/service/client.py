@@ -18,11 +18,12 @@ import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.engine.records import CellResult, record_from_dict
 from repro.engine.sweep import SweepSpec
 from repro.errors import ServiceError
+from repro.mspg.graph import Workflow
 from repro.service.fingerprint import EvalRequest, request_to_dict
 
 __all__ = ["EvalReply", "SweepReply", "ServiceClient"]
@@ -145,6 +146,15 @@ class ServiceClient:
                 "seed_policy": spec.seed_policy,
                 "evaluator_options": dict(spec.evaluator_options),
             }
+            if spec.source is not None:
+                # A file-sourced spec names its workflow by content
+                # hash; the server resolves it from its registry (the
+                # workflow-sourced payload shape takes a flat
+                # processors list).
+                fields["workflow"] = spec.source.content_hash
+                fields["processors"] = list(
+                    spec.processors[spec.sizes[0]]
+                )
         reply = self._request("/sweep", dict(fields))
         return SweepReply(
             records=[record_from_dict(r) for r in reply["records"]],
@@ -153,6 +163,29 @@ class ServiceClient:
             wall_time_s=float(reply["wall_time_s"]),
             note=reply.get("note"),
         )
+
+    def register(
+        self, workflow: Union[Workflow, Dict[str, Any]], label: Optional[str] = None
+    ) -> str:
+        """Register an external workflow source; returns its content hash.
+
+        Accepts a :class:`~repro.mspg.graph.Workflow` or its
+        ``repro-workflow-v1`` JSON dict.  Idempotent: re-registering the
+        same content (e.g. after a service restart) returns the same
+        hash, so previously stored fingerprints keep matching.
+        """
+        if isinstance(workflow, Workflow):
+            from repro.generators.serialization import workflow_to_json
+
+            workflow = workflow_to_json(workflow)
+        payload: Dict[str, Any] = {"workflow": workflow}
+        if label is not None:
+            payload["label"] = label
+        return str(self._request("/register", payload)["workflow"])
+
+    def sources(self) -> List[Dict[str, Any]]:
+        """The service's registered external workflow sources."""
+        return list(self._request("/sources")["sources"])
 
     def status(self) -> Dict[str, Any]:
         return self._request("/status")

@@ -1,11 +1,13 @@
 """Canonical request fingerprinting for the evaluation service.
 
 An :class:`EvalRequest` names one experiment cell — the workflow
-(family, size, seed), the platform (processors, pfail, bandwidth), the
-CCR target, and the evaluation method with its options.  Its
-:func:`fingerprint` is a SHA-256 digest of the canonical JSON payload,
-used as the durable-store key and the request-coalescing identity: two
-requests with the same fingerprint are the same computation.
+(either a (family, size, seed) generation triple or the content hash of
+a registered external workflow file), the platform (processors, pfail,
+bandwidth), the CCR target, and the evaluation method with its options.
+Its :func:`fingerprint` is a SHA-256 digest of the canonical JSON
+payload, used as the durable-store key and the request-coalescing
+identity: two requests with the same fingerprint are the same
+computation.
 
 **The execution contract.**  A request is *defined* to produce the
 record of the 1×1 grid sweep containing only its cell::
@@ -28,12 +30,13 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, fields, replace
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.engine.records import CellResult
 from repro.engine.sweep import SEED_POLICIES, SweepSpec
 from repro.errors import ServiceError
 from repro.makespan.api import EVALUATORS
+from repro.workloads import SourceRegistry, file_family
 from repro.util.validation import (
     bandwidth_error,
     ccr_error,
@@ -58,8 +61,15 @@ __all__ = [
 GRID_SENSITIVE_METHODS = frozenset({"montecarlo"})
 
 #: Fingerprint schema tag — bump when the canonical payload changes shape
-#: so old digests can never alias new ones.
-FINGERPRINT_VERSION = 1
+#: so old digests can never alias new ones.  v2 added the ``workflow``
+#: field (external workflow sources addressed by content hash); opening
+#: a v1 store migrates its rows to v2 digests (see
+#: :mod:`repro.service.store`).
+FINGERPRINT_VERSION = 2
+
+#: Shape of a workflow content hash (see :func:`repro.workloads.workflow_hash`).
+_HASH_HEX_LEN = 64
+_HASH_CHARS = frozenset("0123456789abcdef")
 
 
 @dataclass(frozen=True)
@@ -70,6 +80,13 @@ class EvalRequest:
     seeds are derived from it per ``seed_policy``, exactly as
     :class:`~repro.engine.sweep.SweepSpec` does.  ``evaluator_options``
     accepts a mapping and is canonicalised to a sorted tuple of pairs.
+
+    ``workflow`` names an external workflow by canonical content hash
+    (:func:`repro.workloads.workflow_hash`) instead of generating a
+    ``family`` instance; the family string is then content-derived
+    (``file:<hash12>``, filled in automatically) and ``ntasks`` must be
+    the file's actual task count (checked against the registered source
+    at dispatch time).
     """
 
     family: str
@@ -84,9 +101,34 @@ class EvalRequest:
     save_final_outputs: bool = True
     seed_policy: str = "stable"
     evaluator_options: Tuple[Tuple[str, Any], ...] = ()
+    #: Content hash of an external workflow (``None`` = family-sourced).
+    workflow: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "family", str(self.family))
+        if self.workflow is not None:
+            if (
+                not isinstance(self.workflow, str)
+                or len(self.workflow) != _HASH_HEX_LEN
+                or not set(self.workflow) <= _HASH_CHARS
+            ):
+                raise ServiceError(
+                    f"workflow must be a {_HASH_HEX_LEN}-char lowercase hex "
+                    f"content hash (see repro.workloads.workflow_hash), "
+                    f"got {self.workflow!r}"
+                )
+            derived = file_family(self.workflow)
+            if self.family and self.family != derived:
+                raise ServiceError(
+                    f"family {self.family!r} contradicts the workflow "
+                    f"content hash (its family string is {derived!r}); "
+                    "omit family for file-sourced requests"
+                )
+            object.__setattr__(self, "family", derived)
+        elif not self.family:
+            raise ServiceError(
+                "a request needs either a family or a workflow content hash"
+            )
         try:
             object.__setattr__(self, "ntasks", int(self.ntasks))
             object.__setattr__(self, "processors", int(self.processors))
@@ -155,6 +197,7 @@ class EvalRequest:
         batches them into common :class:`SweepSpec` grids."""
         return (
             self.family,
+            self.workflow,
             self.ntasks,
             self.processors,
             self.seed,
@@ -185,7 +228,11 @@ def request_to_dict(request: EvalRequest) -> Dict[str, Any]:
 
 def request_from_dict(payload: Mapping[str, Any]) -> EvalRequest:
     """Rebuild a request from a field mapping; unknown keys are an error
-    (a mistyped field silently defaulting would corrupt fingerprints)."""
+    (a mistyped field silently defaulting would corrupt fingerprints).
+
+    ``family`` may be omitted when a ``workflow`` content hash is given
+    (it is content-derived in that case, see :class:`EvalRequest`).
+    """
     names = {f.name for f in fields(EvalRequest)}
     unknown = sorted(set(payload) - names)
     if unknown:
@@ -193,8 +240,11 @@ def request_from_dict(payload: Mapping[str, Any]) -> EvalRequest:
             f"unknown request field(s) {', '.join(map(repr, unknown))}; "
             f"accepted: {sorted(names)}"
         )
+    payload = dict(payload)
+    if payload.get("workflow") is not None:
+        payload.setdefault("family", "")
     try:
-        return EvalRequest(**dict(payload))
+        return EvalRequest(**payload)
     except (TypeError, ValueError, OverflowError) as exc:
         raise ServiceError(f"bad request payload: {exc}") from None
 
@@ -212,8 +262,31 @@ def fingerprint(request: EvalRequest) -> str:
     return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
 
-def request_to_spec(request: EvalRequest) -> SweepSpec:
-    """The request's defining 1×1 grid (see the module docstring)."""
+def request_to_spec(
+    request: EvalRequest, registry: Optional[SourceRegistry] = None
+) -> SweepSpec:
+    """The request's defining 1×1 grid (see the module docstring).
+
+    Requests naming an external workflow by content hash need a
+    ``registry`` holding the source; an unknown hash (or a ``ntasks``
+    that contradicts the file's task count) raises
+    :class:`~repro.errors.ServiceError`.
+    """
+    source = None
+    if request.workflow is not None:
+        if registry is None:
+            raise ServiceError(
+                f"request names workflow source "
+                f"{request.workflow[:12]!r} but no source registry is "
+                "available"
+            )
+        source = registry.require(request.workflow)
+        if request.ntasks != source.workflow.n_tasks:
+            raise ServiceError(
+                f"request ntasks={request.ntasks} contradicts workflow "
+                f"source {request.workflow[:12]!r} "
+                f"({source.workflow.n_tasks} tasks)"
+            )
     return SweepSpec(
         family=request.family,
         sizes=(request.ntasks,),
@@ -227,6 +300,7 @@ def request_to_spec(request: EvalRequest) -> SweepSpec:
         save_final_outputs=request.save_final_outputs,
         seed_policy=request.seed_policy,
         evaluator_options=request.evaluator_options,
+        source=source,
         name=f"cell[{request.family}]",
     )
 
@@ -252,6 +326,9 @@ def requests_from_spec(spec: SweepSpec) -> List[EvalRequest]:
             save_final_outputs=spec.save_final_outputs,
             seed_policy=spec.seed_policy,
             evaluator_options=spec.evaluator_options,
+            workflow=(
+                spec.source.content_hash if spec.source is not None else None
+            ),
         )
         for ntasks in spec.sizes
         for p in spec.processors[ntasks]

@@ -50,6 +50,7 @@ from repro.engine.sweep import SweepSpec, run_specs
 from repro.errors import ServiceError
 from repro.service.fingerprint import EvalRequest, fingerprint, request_to_spec
 from repro.service.store import ResultStore
+from repro.workloads import SourceRegistry
 
 __all__ = ["EvalOutcome", "SchedulerStats", "BatchScheduler", "plan_batches"]
 
@@ -96,6 +97,7 @@ class _Pending:
 
 def plan_batches(
     requests: Sequence[EvalRequest],
+    registry: Optional[SourceRegistry] = None,
 ) -> List[Tuple[SweepSpec, List[EvalRequest]]]:
     """Partition unique requests into coalesced sweep specs.
 
@@ -103,6 +105,10 @@ def plan_batches(
     lists, in the spec's grid order, the request each produced record
     answers.  The partition is an exact cover: every requested cell
     appears exactly once, and no spec contains an unrequested cell.
+    ``registry`` resolves requests naming an external workflow by
+    content hash; an unresolvable reference raises
+    :class:`~repro.errors.ServiceError` (the scheduler pre-screens
+    those per request so one bad reference cannot fail a whole batch).
     """
     groups: Dict[Tuple, List[EvalRequest]] = {}
     for req in requests:
@@ -114,7 +120,7 @@ def plan_batches(
         if head.grid_sensitive:
             # Positional sampling seeds: the 1×1 contract is only
             # reproducible cell by cell.
-            batches.extend((request_to_spec(r), [r]) for r in members)
+            batches.extend((request_to_spec(r, registry), [r]) for r in members)
             continue
         # One spec per pfail value; its CCR axis is exactly the CCRs
         # requested at that pfail (requests are unique, so no repeats).
@@ -123,7 +129,7 @@ def plan_batches(
             by_pfail.setdefault(r.pfail, []).append(r)
         for pfail, cells in by_pfail.items():
             spec = replace(
-                request_to_spec(head),
+                request_to_spec(head, registry),
                 pfails=(pfail,),
                 ccrs=tuple(r.ccr for r in cells),
                 name=f"batch[{head.family} n={head.ntasks} "
@@ -154,10 +160,15 @@ class BatchScheduler:
         jobs: int = 1,
         linger: float = 0.05,
         batch_eval: bool = True,
+        registry: Optional[SourceRegistry] = None,
     ) -> None:
         self.store = store
         self.jobs = jobs
         self.linger = linger
+        #: External workflow sources addressable by content hash
+        #: (``request.workflow``); a fresh empty registry by default so
+        #: callers can always ``scheduler.registry.register(...)``.
+        self.registry = registry if registry is not None else SourceRegistry()
         #: Dispatch coalesced specs through the engine's batched
         #: evaluation entry point (records are bit-identical either
         #: way; False restores the per-cell reference path).
@@ -228,8 +239,23 @@ class BatchScheduler:
                 resolved[fp] = EvalOutcome(req, fp, record, cached=True)
             else:
                 misses[fp] = req
+        # Counted here, before the source pre-screen shrinks `misses`:
+        # a request failing source resolution was not served by the store.
+        store_hits = len(unique) - len(misses)
 
-        batches = plan_batches(list(misses.values()))
+        # Pre-screen workflow-source references request by request, so
+        # one unknown/contradictory hash fails only its own request
+        # instead of blowing up batch planning for everyone else.
+        for fp, req in list(misses.items()):
+            if req.workflow is None:
+                continue
+            try:
+                request_to_spec(req, self.registry)
+            except ServiceError as exc:
+                errors[fp] = exc
+                del misses[fp]
+
+        batches = plan_batches(list(misses.values()), self.registry)
         done = 0
         computed = 0
         if batches:
@@ -268,7 +294,7 @@ class BatchScheduler:
                     resolved[fp] = EvalOutcome(req, fp, record, cached=False)
 
         with self._lock:
-            self.stats.store_hits += len(unique) - len(misses)
+            self.stats.store_hits += store_hits
             self.stats.computed_cells += computed
             self.stats.batches += done
             if batches:

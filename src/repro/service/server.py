@@ -13,8 +13,22 @@ path          method  semantics
                       Concurrent requests are coalesced: each handler
                       thread submits to the shared scheduler, which
                       batches everything arriving within the linger
-                      window and merges identical fingerprints.
-/sweep        POST    a whole grid (SweepSpec-shaped payload); expanded
+                      window and merges identical fingerprints.  A
+                      ``workflow`` field names a registered external
+                      workflow by content hash instead of a family.
+/register     POST    load an external workflow source:
+                      ``{"workflow": <repro-workflow-v1 JSON>,
+                      "label": ...}``; replies with the canonical
+                      content hash (idempotent — re-registering the
+                      same content returns the same hash, so clients
+                      simply re-register after a restart and stored
+                      fingerprints keep matching), the content-derived
+                      family string and the task count.
+/sources      GET     the registered external workflow sources
+                      (hash, family, ntasks, label per entry).
+/sweep        POST    a whole grid (SweepSpec-shaped payload; a
+                      ``workflow`` content hash may replace
+                      family/sizes for a registered source); expanded
                       to per-cell requests, answered from the store
                       where possible, the rest dispatched as coalesced
                       batches; replies with records in grid order.
@@ -65,17 +79,33 @@ from repro.service.fingerprint import (
 )
 from repro.service.scheduler import BatchScheduler
 from repro.service.store import SCHEMA_VERSION, ResultStore
+from repro.workloads import FileSource, SourceRegistry
 
 __all__ = ["ReproService", "serve", "sweep_spec_from_payload"]
 
 
-def sweep_spec_from_payload(payload: Dict[str, Any]) -> SweepSpec:
+def sweep_spec_from_payload(
+    payload: Dict[str, Any], registry: Optional[SourceRegistry] = None
+) -> SweepSpec:
     """Build a :class:`SweepSpec` from a ``/sweep`` JSON payload.
 
     ``processors`` may be a mapping (size → counts, JSON string keys
     accepted) or a flat list applied to every size, mirroring the CLI.
+    A ``workflow`` content hash (resolved through ``registry``)
+    replaces ``family``/``sizes``: the grid's single size is the file's
+    task count and ``processors`` must be a flat list of counts.
     """
     payload = dict(payload)
+    source = None
+    if payload.get("workflow") is not None:
+        if registry is None:
+            raise ServiceError(
+                "sweep payload names a workflow source but no source "
+                "registry is available"
+            )
+        source = registry.require(str(payload.pop("workflow")))
+        payload.setdefault("family", source.spec_family)
+        payload.setdefault("sizes", [source.workflow.n_tasks])
     try:
         family = payload.pop("family")
         sizes = payload.pop("sizes")
@@ -95,6 +125,11 @@ def sweep_spec_from_payload(payload: Dict[str, Any]) -> SweepSpec:
             processors = {n: counts for n in sizes}
         except TypeError as exc:
             raise ServiceError(f"bad sweep sizes/processors: {exc}") from None
+    elif source is not None:
+        raise ServiceError(
+            "a workflow-sourced sweep takes a flat processors list "
+            "(its single size is the file's task count)"
+        )
     allowed = {
         "seed",
         "method",
@@ -109,7 +144,7 @@ def sweep_spec_from_payload(payload: Dict[str, Any]) -> SweepSpec:
     if unknown:
         raise ServiceError(
             f"unknown sweep field(s) {', '.join(map(repr, unknown))}; "
-            f"accepted: {sorted(allowed | {'family', 'sizes', 'processors', 'pfails', 'ccrs'})}"
+            f"accepted: {sorted(allowed | {'family', 'sizes', 'processors', 'pfails', 'ccrs', 'workflow'})}"
         )
     payload.setdefault("seed_policy", "stable")
     return SweepSpec(
@@ -118,6 +153,7 @@ def sweep_spec_from_payload(payload: Dict[str, Any]) -> SweepSpec:
         processors=processors,
         pfails=pfails,
         ccrs=ccrs,
+        source=source,
         **payload,
     )
 
@@ -171,7 +207,13 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
-        self._dispatch({"/status": self._get_status, "/cache": self._get_cache})
+        self._dispatch(
+            {
+                "/status": self._get_status,
+                "/cache": self._get_cache,
+                "/sources": self._get_sources,
+            }
+        )
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         self._dispatch(
@@ -179,6 +221,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "/evaluate": self._post_evaluate,
                 "/sweep": self._post_sweep,
                 "/cache": self._post_cache,
+                "/register": self._post_register,
             }
         )
 
@@ -196,8 +239,49 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _post_register(self) -> None:
+        payload = self._read_json()
+        body = payload.get("workflow")
+        if not isinstance(body, dict):
+            raise ServiceError(
+                "register payload must carry a 'workflow' object "
+                "(the repro-workflow-v1 JSON serialization, see "
+                "repro.generators.serialization.workflow_to_json)"
+            )
+        from repro.generators.serialization import workflow_from_json
+
+        try:
+            wf = workflow_from_json(body)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            # Structurally malformed bodies (missing 'tasks', wrong
+            # shapes) raise bare builtins from the deserialiser; keep
+            # the malformed-input-is-400 contract /evaluate and /sweep
+            # follow.
+            raise ServiceError(
+                f"malformed workflow serialization: {exc!r}"
+            ) from None
+        label = payload.get("label")
+        source = FileSource(wf, label=str(label) if label is not None else None)
+        known = source.content_hash in self.service.registry
+        self.service.registry.register(source)
+        self._reply(
+            200,
+            {
+                "workflow": source.content_hash,
+                "family": source.spec_family,
+                "ntasks": source.workflow.n_tasks,
+                "label": source.label,
+                "known": known,
+            },
+        )
+
+    def _get_sources(self) -> None:
+        self._reply(200, {"sources": self.service.registry.describe()})
+
     def _post_sweep(self) -> None:
-        spec = sweep_spec_from_payload(self._read_json())
+        spec = sweep_spec_from_payload(
+            self._read_json(), self.service.registry
+        )
         requests = requests_from_spec(spec)
         t0 = time.perf_counter()
         outcomes = self.service.scheduler.evaluate_many(requests)
@@ -236,6 +320,7 @@ class _Handler(BaseHTTPRequestHandler):
             {
                 "version": __version__,
                 "uptime_s": time.time() - svc.started_at,
+                "sources": len(svc.registry),
                 "store": {
                     "path": svc.store.path,
                     "entries": store_stats.entries,
@@ -310,8 +395,13 @@ class ReproService:
         else:
             self.store = ResultStore(store if store is not None else ":memory:")
             self._owns_store = True
+        #: External workflow sources (``POST /register`` loads them in;
+        #: in-memory — clients re-register after a restart, which is
+        #: idempotent and keeps stored fingerprints matching).
+        self.registry = SourceRegistry()
         self.scheduler = BatchScheduler(
-            self.store, jobs=jobs, linger=linger, batch_eval=batch_eval
+            self.store, jobs=jobs, linger=linger, batch_eval=batch_eval,
+            registry=self.registry,
         )
         self.log = log
         self.started_at = time.time()

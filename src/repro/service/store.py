@@ -47,7 +47,10 @@ from repro.service.fingerprint import (
 __all__ = ["SCHEMA_VERSION", "StoreStats", "ResultStore"]
 
 #: Bump on any change to the table layout or the stored JSON shapes.
-SCHEMA_VERSION = 1
+#: v2: requests carry a ``workflow`` content-hash field (external
+#: workflow sources) and fingerprints are the v2 digests; v1 stores are
+#: migrated in place on open (see :meth:`ResultStore._migrate_v1`).
+SCHEMA_VERSION = 2
 
 #: Flush the in-memory persistent-hit-counter deltas to SQLite once this
 #: many accumulate (they also flush on every read of the counters and on
@@ -119,6 +122,8 @@ class ResultStore:
                     (str(SCHEMA_VERSION),),
                 )
                 self._conn.commit()
+            elif int(row[0]) == 1:
+                self._migrate_v1()
             elif int(row[0]) != SCHEMA_VERSION:
                 self._conn.close()
                 raise ServiceError(
@@ -126,6 +131,59 @@ class ResultStore:
                     f"this build reads version {SCHEMA_VERSION}; "
                     "export/backfill it with a matching build"
                 )
+
+    def _migrate_v1(self) -> None:
+        """Rewrite a v1 store's rows under the v2 fingerprint schema.
+
+        v1 predates external workflow sources, so every stored request
+        is family-sourced; rebuilding it from its stored field dict
+        yields the same request with ``workflow=None``, whose v2
+        fingerprint (the canonical payload grew the ``workflow`` key)
+        replaces the old digest.  The mapping is injective — two v1
+        rows never collapse — and atomic: any failure rolls the store
+        back to its untouched v1 state.
+
+        One record class is dropped rather than carried forward:
+        antithetic Monte Carlo cells.  The same build that bumped the
+        schema fixed ``sample_makespans(antithetic=True)`` pairing, so
+        a v1 antithetic record's defining computation now yields
+        different numbers — migrating it would serve stale pre-fix
+        estimates as hits forever.  (Plain Monte Carlo and every
+        closed-form method are untouched by the fix and migrate as-is.)
+        """
+        rows = self._conn.execute(
+            "SELECT fingerprint, request_json FROM results"
+        ).fetchall()
+        try:
+            for old_fp, request_json in rows:
+                request = request_from_dict(json.loads(request_json))
+                if request.method == "montecarlo" and dict(
+                    request.evaluator_options
+                ).get("antithetic"):
+                    self._conn.execute(
+                        "DELETE FROM results WHERE fingerprint = ?",
+                        (old_fp,),
+                    )
+                    continue
+                new_fp = fingerprint(request)
+                self._conn.execute(
+                    "UPDATE results SET fingerprint = ?, request_json = ? "
+                    "WHERE fingerprint = ?",
+                    (
+                        new_fp,
+                        json.dumps(request_to_dict(request), sort_keys=True),
+                        old_fp,
+                    ),
+                )
+            self._conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION),),
+            )
+            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            self._conn.close()
+            raise
 
     # ------------------------------------------------------------------
     # Core keyed access.
@@ -363,13 +421,19 @@ class ResultStore:
         linearizer: str = "random",
         save_final_outputs: bool = True,
         evaluator_options: Tuple[Tuple[str, Any], ...] = (),
+        workflow: Optional[str] = None,
     ) -> int:
         """Key plain sweep records by their reconstructed requests.
 
         A :class:`CellResult` carries its grid axes (family, size,
         processors, pfail, CCR) but not the sweep's root seed or
         evaluation settings — the caller supplies those (they are the
-        arguments the sweep was run with).  ``seed`` and ``seed_policy``
+        arguments the sweep was run with).  ``workflow`` is the content
+        hash of the external workflow a file-sourced sweep (``repro
+        sweep --dax``) ran over; the records' family strings must then
+        be the hash-derived ``file:<hash12>`` (checked per record by
+        :class:`~repro.service.fingerprint.EvalRequest`), which guards
+        against filing one workflow's records under another's hash.  ``seed`` and ``seed_policy``
         are deliberately required: a wrong policy would file the records
         under fingerprints whose defining computation used different
         workflow/schedule seeds, silently serving wrong numbers as hits
@@ -459,6 +523,7 @@ class ResultStore:
                         save_final_outputs=save_final_outputs,
                         seed_policy=seed_policy,
                         evaluator_options=evaluator_options,
+                        workflow=workflow,
                     )
                     fp = fingerprint(request)
                     cur = self._conn.execute(

@@ -41,6 +41,20 @@ class TestGenerate:
         assert main(
             ["generate", "--family", "genome", "--out", str(out)]
         ) == 2
+        err = capsys.readouterr().err
+        assert "supported formats" in err
+        assert ".dax" in err and ".json" in err
+        assert not out.exists()
+
+    def test_unknown_family_exit_2(self, tmp_path, capsys):
+        out = tmp_path / "wf.json"
+        assert main(
+            ["generate", "--family", "nonesuch", "--out", str(out)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown workflow family 'nonesuch'" in err
+        assert "genome" in err and "montage" in err  # lists the registry
+        assert "Traceback" not in err
 
 
 class TestEvaluate:
@@ -64,6 +78,58 @@ class TestEvaluate:
         out = capsys.readouterr().out
         assert "E[makespan]" in out
         assert "all/some=" in out
+
+    def test_unknown_family_exit_2(self, capsys):
+        assert main(["evaluate", "--family", "nonesuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workflow family" in err
+        assert "ligo" in err
+        assert "Traceback" not in err
+
+    def test_dax_workflow(self, capsys):
+        rc = main(
+            [
+                "evaluate",
+                "--dax",
+                "examples/diamond.dax",
+                "--processors",
+                "3",
+                "--pfail",
+                "0.01",
+                "--ccr",
+                "0.01",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "diamond" in out and "E[makespan]" in out
+
+    def test_family_and_dax_mutually_exclusive(self, capsys):
+        assert main(
+            ["evaluate", "--family", "genome", "--dax", "examples/diamond.dax"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_neither_family_nor_dax(self, capsys):
+        assert main(["evaluate"]) == 2
+        assert "--family or --dax" in capsys.readouterr().err
+
+    def test_missing_dax_file(self, tmp_path, capsys):
+        assert main(["evaluate", "--dax", str(tmp_path / "no.dax")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot load" in err and "Traceback" not in err
+
+    def test_bad_dax_suffix(self, tmp_path, capsys):
+        path = tmp_path / "wf.yaml"
+        path.write_text("x")
+        assert main(["evaluate", "--dax", str(path)]) == 2
+        assert "supported formats" in capsys.readouterr().err
+
+    def test_ntasks_with_dax_rejected(self, capsys):
+        assert main(
+            ["evaluate", "--dax", "examples/diamond.dax", "--ntasks", "50"]
+        ) == 2
+        assert "--ntasks cannot be combined" in capsys.readouterr().err
 
 
 class TestMethods:
@@ -157,6 +223,59 @@ class TestSweep:
         assert main(args + ["--ccr-grid", "0.001", "0.1", "3"]) == 0
         out = capsys.readouterr().out
         assert "genome" in out
+
+    def test_unknown_family_exit_2(self, capsys):
+        assert main(["sweep", "--family", "nonesuch", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workflow family" in err and "Traceback" not in err
+
+
+class TestSweepDax:
+    BASE = [
+        "sweep",
+        "--dax",
+        "examples/diamond.dax",
+        "--processors",
+        "2",
+        "3",
+        "--pfails",
+        "0.01",
+        "--ccrs",
+        "0.01",
+        "0.1",
+        "--quiet",
+    ]
+
+    def test_sweeps_external_workflow(self, tmp_path, capsys):
+        out_path = tmp_path / "dax.jsonl"
+        assert main(self.BASE + ["--out", str(out_path)]) == 0
+        from repro.engine.records import records_from_jsonl
+        from repro.workloads import load_source
+
+        records = records_from_jsonl(out_path)
+        assert len(records) == 4
+        family = load_source("examples/diamond.dax").spec_family
+        assert all(r.family == family for r in records)
+        assert all(r.ntasks == 8 for r in records)
+
+    def test_jobs_and_batch_eval_bit_identical(self, tmp_path):
+        a, b, c = (tmp_path / n for n in ("a.jsonl", "b.jsonl", "c.jsonl"))
+        assert main(self.BASE + ["--out", str(a)]) == 0
+        assert main(self.BASE + ["--jobs", "2", "--out", str(b)]) == 0
+        assert main(self.BASE + ["--no-batch-eval", "--out", str(c)]) == 0
+        assert a.read_text() == b.read_text() == c.read_text()
+
+    def test_family_and_dax_mutually_exclusive(self, capsys):
+        assert main(self.BASE + ["--family", "genome"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_sizes_with_dax_rejected(self, capsys):
+        assert main(self.BASE + ["--sizes", "50"]) == 2
+        assert "task count" in capsys.readouterr().err
+
+    def test_neither_family_nor_dax(self, capsys):
+        assert main(["sweep", "--quiet"]) == 2
+        assert "--family or --dax" in capsys.readouterr().err
 
 
 class TestFigure:
@@ -298,6 +417,73 @@ class TestSubmitLocal:
         assert payload["record"]["em_some"] == expected.em_some
         assert payload["record"]["em_all"] == expected.em_all
         assert payload["record"]["em_none"] == expected.em_none
+
+
+class TestSubmitDaxLocal:
+    ARGS = [
+        "submit",
+        "--dax",
+        "examples/diamond.dax",
+        "--processors",
+        "3",
+        "--pfail",
+        "0.001",
+        "--ccr",
+        "0.01",
+        "--local",
+    ]
+
+    def test_local_dax_submit_computes_then_hits_store(self, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        assert main(self.ARGS + ["--store", str(store)]) == 0
+        first = capsys.readouterr().out
+        assert "[computed]" in first and "file:" in first
+        assert main(self.ARGS + ["--store", str(store)]) == 0
+        assert "[store hit]" in capsys.readouterr().out
+
+    def test_record_matches_engine_sweep(self, tmp_path, capsys):
+        import json
+
+        from repro.engine.sweep import SweepSpec, run_sweep
+        from repro.workloads import load_source
+
+        store = tmp_path / "store.db"
+        assert main(self.ARGS + ["--store", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        source = load_source("examples/diamond.dax")
+        (expected,) = run_sweep(
+            SweepSpec.from_source(
+                source,
+                processors=(3,),
+                pfails=(0.001,),
+                ccrs=(0.01,),
+                seed_policy="stable",
+            )
+        )
+        assert payload["record"]["em_some"] == expected.em_some
+        assert payload["record"]["em_all"] == expected.em_all
+        assert payload["record"]["family"] == source.spec_family
+
+    def test_family_and_dax_mutually_exclusive(self, capsys):
+        assert main(self.ARGS + ["--family", "genome"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_ntasks_with_dax_rejected(self, capsys):
+        assert main(self.ARGS + ["--ntasks", "8"]) == 2
+        assert "--ntasks cannot be combined" in capsys.readouterr().err
+
+    def test_unknown_family_exit_2(self, tmp_path, capsys):
+        assert main(
+            [
+                "submit",
+                "--family",
+                "nonesuch",
+                "--local",
+                "--store",
+                str(tmp_path / "s.db"),
+            ]
+        ) == 2
+        assert "unknown workflow family" in capsys.readouterr().err
 
 
 class TestSimulate:

@@ -96,6 +96,129 @@ class TestDaxEdgeCases:
             read_dax(path)
 
 
+class TestDaxRobustness:
+    """Real-world DAX shapes: foreign namespaces and malformed documents
+    must parse or fail with a clean SerializationError — never a raw
+    KeyError/AttributeError from the graph layer."""
+
+    NAMESPACE_LESS = """<?xml version="1.0"?>
+<adag name="plain">
+ <job id="a" name="t" runtime="1.5">
+  <uses file="f" link="output" size="10"/>
+ </job>
+ <job id="b" name="t" runtime="2.5">
+  <uses file="f" link="input" size="10"/>
+ </job>
+</adag>"""
+
+    def test_namespace_less_document(self, tmp_path):
+        path = tmp_path / "plain.dax"
+        path.write_text(self.NAMESPACE_LESS)
+        wf = read_dax(path)
+        assert wf.task_ids == ["a", "b"]
+        assert wf.has_edge("a", "b")
+
+    @pytest.mark.parametrize(
+        "ns",
+        [
+            "http://pegasus.isi.edu/schema/DAX",
+            "http://example.org/site-local/DAX",
+        ],
+    )
+    def test_namespaced_documents(self, tmp_path, ns):
+        path = tmp_path / "ns.dax"
+        path.write_text(
+            self.NAMESPACE_LESS.replace(
+                '<adag name="plain">', f'<adag xmlns="{ns}" name="plain">'
+            )
+        )
+        wf = read_dax(path)
+        assert wf.task_ids == ["a", "b"]
+        assert wf.weight("a") == pytest.approx(1.5)
+        assert wf.has_edge("a", "b")
+
+    def test_duplicate_job_ids(self, tmp_path):
+        path = tmp_path / "dup.dax"
+        path.write_text(
+            """<?xml version="1.0"?>
+<adag name="x">
+ <job id="a" name="t" runtime="1"/>
+ <job id="a" name="t" runtime="2"/>
+</adag>"""
+        )
+        with pytest.raises(SerializationError, match="duplicate task id"):
+            read_dax(path)
+
+    def test_dangling_child_ref(self, tmp_path):
+        path = tmp_path / "dangling.dax"
+        path.write_text(
+            """<?xml version="1.0"?>
+<adag name="x">
+ <job id="a" name="t" runtime="1"/>
+ <child ref="ghost"><parent ref="a"/></child>
+</adag>"""
+        )
+        with pytest.raises(SerializationError, match="ghost"):
+            read_dax(path)
+
+    def test_dangling_parent_ref(self, tmp_path):
+        path = tmp_path / "dangling2.dax"
+        path.write_text(
+            """<?xml version="1.0"?>
+<adag name="x">
+ <job id="a" name="t" runtime="1"/>
+ <child ref="a"><parent ref="ghost"/></child>
+</adag>"""
+        )
+        with pytest.raises(SerializationError, match="ghost"):
+            read_dax(path)
+
+    def test_self_loop_control_edge(self, tmp_path):
+        path = tmp_path / "self.dax"
+        path.write_text(
+            """<?xml version="1.0"?>
+<adag name="x">
+ <job id="a" name="t" runtime="1"/>
+ <child ref="a"><parent ref="a"/></child>
+</adag>"""
+        )
+        with pytest.raises(SerializationError):
+            read_dax(path)
+
+    def test_cyclic_document(self, tmp_path):
+        path = tmp_path / "cycle.dax"
+        path.write_text(
+            """<?xml version="1.0"?>
+<adag name="x">
+ <job id="a" name="t" runtime="1"/>
+ <job id="b" name="t" runtime="1"/>
+ <child ref="a"><parent ref="b"/></child>
+ <child ref="b"><parent ref="a"/></child>
+</adag>"""
+        )
+        with pytest.raises(SerializationError):
+            read_dax(path)
+
+    def test_non_numeric_runtime_and_size(self, tmp_path):
+        path = tmp_path / "runtime.dax"
+        path.write_text(
+            """<?xml version="1.0"?>
+<adag name="x"><job id="a" name="t" runtime="fast"/></adag>"""
+        )
+        with pytest.raises(SerializationError, match="non-numeric runtime"):
+            read_dax(path)
+        path.write_text(
+            """<?xml version="1.0"?>
+<adag name="x">
+ <job id="a" name="t" runtime="1">
+  <uses file="f" link="output" size="big"/>
+ </job>
+</adag>"""
+        )
+        with pytest.raises(SerializationError, match="non-numeric size"):
+            read_dax(path)
+
+
 class TestJsonRoundTrip:
     def test_round_trip_dict(self):
         wf = montage(50, seed=2)

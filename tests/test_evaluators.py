@@ -103,6 +103,61 @@ class TestMonteCarlo:
         b = montecarlo(dag, trials=5000, seed=9, batch=5000)
         assert a == pytest.approx(b)
 
+    @pytest.mark.parametrize(
+        "trials,batch",
+        [(64, 64), (100, 16), (101, 16), (99, 7), (7, 3), (5, 2), (1, 16)],
+    )
+    def test_antithetic_pairing_structure(self, trials, batch):
+        # One node with p=0.5: a (U, 1-U) pair yields exactly one long
+        # duration almost surely, so samples 2k/2k+1 must be one {base,
+        # long} pair whatever the trials/batch combination (odd batches
+        # used to truncate a complement and shift every later pair).
+        dag = chain_dag([10.0], p=0.5)
+        samples = sample_makespans(
+            dag, trials, seed=5, antithetic=True, batch=batch
+        )
+        lo, hi = 10.0, 15.0
+        for k in range(trials // 2):
+            assert sorted(samples[2 * k : 2 * k + 2]) == [lo, hi]
+        if trials % 2:
+            assert samples[-1] in (lo, hi)
+
+    def test_antithetic_estimates_unchanged_for_even_trials(self):
+        # The fix only re-orders how a batch's pair members are laid
+        # out: for even trial counts the drawn uniforms — hence the
+        # sample multiset and every moment — are exactly the ones the
+        # pre-fix code produced (reference reimplementation inline).
+        dag = chain_dag([10.0, 5.0, 2.0], p=0.3)
+        trials, batch, seed = 4096, 1024, 11
+
+        rng = np.random.default_rng(seed)
+        base, extra, p = dag.base, dag.long - dag.base, dag.p
+        reference = np.empty(trials)
+        done = 0
+        while done < trials:
+            m = min(batch, trials - done)
+            u = rng.random((m // 2, dag.n))
+            u = np.concatenate([u, 1.0 - u], axis=0)
+            reference[done : done + m] = dag.makespans(base + extra * (u < p))
+            done += m
+
+        samples = sample_makespans(
+            dag, trials, seed=seed, antithetic=True, batch=batch
+        )
+        assert sorted(samples) == sorted(reference)
+        assert samples.mean() == pytest.approx(reference.mean(), rel=1e-12)
+        assert samples.var() == pytest.approx(reference.var(), rel=1e-12)
+
+    def test_antithetic_pairs_reduce_variance(self):
+        # With adjacent pairing restored, pair-averaging must beat plain
+        # sampling clearly (not just within the old 5% fudge).
+        dag = chain_dag([10.0] * 6, p=0.3)
+        anti = sample_makespans(dag, 40_000, seed=3, antithetic=True)
+        pairs = (anti[0::2] + anti[1::2]) / 2
+        plain = sample_makespans(dag, 40_000, seed=4)
+        plain_pairs = (plain[0::2] + plain[1::2]) / 2
+        assert pairs.std() < plain_pairs.std() * 0.9
+
 
 class TestNormal:
     def test_clark_max_symmetric(self):
