@@ -1,0 +1,129 @@
+"""Batched vs per-cell Monte Carlo evaluation (the content-seed payoff).
+
+Monte Carlo was the one evaluator locked out of the batched evaluation
+core: its positional sampling seeds forced the per-cell path.  With the
+content eval-seed policy each cell's stream is derived from what the
+cell *is* (:func:`repro.engine.sweep.cell_eval_seed`), and
+:func:`repro.makespan.montecarlo.montecarlo_batch` prices a whole
+structure group in one call — per-cell generators feed one stacked
+``(cells, batch, n)`` trial tensor whose longest-path propagation runs
+through the shared kernel once per node instead of once per node *per
+cell*.  Samples are bit-identical to the per-cell path, so the speedup
+is pure overhead amortisation.
+
+The grid is a MONTAGE Monte Carlo grid under ``eval_seed_policy=
+"content"``; both paths are timed via :func:`repro.engine.run_sweep`
+(``batch_eval`` on/off), records asserted bit-identical, and the
+machine-readable summary lands in ``BENCH_mc.json`` at the repo root
+with ``cells_per_s`` / ``wall_s`` / ``speedup`` keys.
+``REPRO_BENCH_SMOKE=1`` shrinks the grid for the CI smoke job.  Run
+directly::
+
+    PYTHONPATH=src:. python benchmarks/bench_mc_batch.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Tuple
+
+from repro.engine import CellResult, SweepSpec, run_sweep
+from repro.experiments.figures import log_grid
+
+from benchmarks.conftest import save_artifact, save_json
+
+#: Tiny grid for the CI smoke job (JSON shape, not timings).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Trials per cell — large enough that Monte Carlo evaluation (not the
+#: shared plan/DAG construction) dominates the sweep, which is also the
+#: regime where the per-cell kernel's strided column accesses fall out
+#: of cache and the batched transposed propagation wins hardest.
+TRIALS = 64 if SMOKE else 8192
+
+
+def montage_spec() -> SweepSpec:
+    return SweepSpec(
+        family="montage",
+        sizes=(50,),
+        processors={50: (3,) if SMOKE else (3, 5, 7, 10)},
+        pfails=(0.01,) if SMOKE else (0.01, 0.001, 0.0001),
+        ccrs=log_grid(1e-3, 1e0, 3 if SMOKE else 7),
+        seed=2017,
+        method="montecarlo",
+        seed_policy="stable",
+        eval_seed_policy="content",
+        evaluator_options={"trials": TRIALS},
+        name="bench-mc-montage",
+    )
+
+
+def run_grid(spec: SweepSpec) -> Tuple[Dict[str, float], List[CellResult]]:
+    """Time per-cell vs batched Monte Carlo on one grid; assert parity."""
+    t0 = time.perf_counter()
+    per_cell = run_sweep(spec, jobs=1, batch_eval=False)
+    wall_per_cell = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batched = run_sweep(spec, jobs=1, batch_eval=True)
+    wall_batched = time.perf_counter() - t0
+    assert batched == per_cell, (
+        f"{spec.name}: batched Monte Carlo records diverge from the "
+        "per-cell path"
+    )
+    cells = len(batched)
+    return (
+        {
+            "cells": cells,
+            "trials": TRIALS,
+            "wall_s": wall_batched,
+            "per_cell_wall_s": wall_per_cell,
+            "cells_per_s": cells / wall_batched,
+            "per_cell_cells_per_s": cells / wall_per_cell,
+            "speedup": wall_per_cell / wall_batched,
+        },
+        batched,
+    )
+
+
+def compare() -> Tuple[str, List[CellResult]]:
+    spec = montage_spec()
+    stats, records = run_grid(spec)
+    summary: Dict[str, object] = {
+        "benchmark": "mc_batch",
+        "smoke": SMOKE,
+        "grids": {"montage": stats},
+        # Top-level trajectory keys (single grid: same numbers).
+        "cells": stats["cells"],
+        "trials": TRIALS,
+        "wall_s": stats["wall_s"],
+        "per_cell_wall_s": stats["per_cell_wall_s"],
+        "cells_per_s": stats["cells_per_s"],
+        "per_cell_cells_per_s": stats["per_cell_cells_per_s"],
+        "speedup": stats["speedup"],
+    }
+    save_json("BENCH_mc.json", summary)
+    lines = [
+        "batched vs per-cell Monte Carlo (content eval seeds, jobs=1, "
+        "bit-identical records)",
+        f"  montage  {stats['cells']:>4} cells x {TRIALS} trials  "
+        f"per-cell {stats['per_cell_wall_s']:7.2f}s "
+        f"({stats['per_cell_cells_per_s']:6.2f} cells/s)  "
+        f"batched {stats['wall_s']:7.2f}s "
+        f"({stats['cells_per_s']:6.2f} cells/s)  "
+        f"speedup {stats['speedup']:.2f}x",
+    ]
+    return "\n".join(lines), records
+
+
+def bench_mc_batch(benchmark):
+    """Times the batched montage MC sweep; validates parity on the way."""
+    report, cells = compare()
+    save_artifact("mc_batch.txt", report + "\n")
+    spec = montage_spec()
+    result = benchmark(lambda: run_sweep(spec, jobs=1, batch_eval=True))
+    assert result == cells
+
+
+if __name__ == "__main__":
+    print(compare()[0])

@@ -84,13 +84,19 @@ def run_strategies(
     linearizer: str = "random",
     save_final_outputs: bool = True,
     pipeline: Optional[Pipeline] = None,
+    eval_seed: Optional[int] = None,
 ) -> StrategyOutcome:
     """Run the full paper pipeline on one workflow.
 
     Parameters mirror §VI-A: ``pfail`` fixes λ via the workflow's mean
     task weight; ``ccr`` (if given) rescales file sizes to the target
     Communication-to-Computation Ratio; ``method`` selects the
-    expected-makespan estimator.
+    expected-makespan estimator.  ``eval_seed`` pins the sampling
+    stream of stochastic estimators (Monte Carlo); the default ``None``
+    keeps the historical fresh-entropy draw (closed-form methods ignore
+    it either way).  ``repro evaluate --eval-seed-policy content``
+    derives it through the :func:`repro.engine.sweep.cell_eval_seed`
+    contract.
 
     Pass an existing :class:`repro.engine.Pipeline` via ``pipeline`` to
     share its artifact cache across calls: repeat calls on the same
@@ -128,8 +134,8 @@ def run_strategies(
         plan_all=plan_all,
         dag_some=dag_some,
         dag_all=dag_all,
-        em_some=pipe.evaluate(dag_some, method),
-        em_all=pipe.evaluate(dag_all, method),
+        em_some=pipe.evaluate(dag_some, method, eval_seed),
+        em_all=pipe.evaluate(dag_all, method, eval_seed),
         em_none=pipe.evaluate_none(
             base, workflow, schedule, platform,
             cacheable=isinstance(seed, int),

@@ -183,6 +183,16 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--ccr", type=_ccr_value, default=0.01)
     ev.add_argument("--seed", type=_seed_value, default=2017)
     ev.add_argument("--method", default="pathapprox")
+    ev.add_argument(
+        "--eval-seed-policy",
+        choices=["positional", "content"],
+        default="positional",
+        help=(
+            "'content' pins stochastic sampling (Monte Carlo) to the "
+            "content-derived cell_eval_seed stream; 'positional' keeps "
+            "the historical fresh-entropy draw"
+        ),
+    )
 
     met = sub.add_parser(
         "methods",
@@ -249,6 +259,18 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "'spawn' derives per-cell seeds via SeedSequence spawning; "
             "'stable' reproduces the historical figure-grid hashing"
+        ),
+    )
+    sw.add_argument(
+        "--eval-seed-policy",
+        choices=["positional", "content"],
+        default="positional",
+        help=(
+            "'positional' derives stochastic sampling seeds from each "
+            "cell's grid position (the historical records); 'content' "
+            "derives them from cell content (position-independent — "
+            "such Monte Carlo records can be coalesced, stored and "
+            "backfilled by the service)"
         ),
     )
     sw.add_argument(
@@ -351,6 +373,16 @@ def build_parser() -> argparse.ArgumentParser:
             "path) instead of the batched template entry point"
         ),
     )
+    srv.add_argument(
+        "--eval-seed-policy",
+        choices=["positional", "content"],
+        default="positional",
+        help=(
+            "default eval-seed policy applied to /evaluate and /sweep "
+            "payloads that do not name one ('content' lets Monte Carlo "
+            "requests coalesce and hit the durable store)"
+        ),
+    )
 
     sub_ = sub.add_parser(
         "submit",
@@ -389,6 +421,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["spawn", "stable"],
         default="stable",
         help="seed derivation for the cell (default matches run_cell)",
+    )
+    sub_.add_argument(
+        "--eval-seed-policy",
+        choices=["positional", "content"],
+        default=None,
+        help=(
+            "'content' derives stochastic sampling seeds from cell "
+            "content, letting Monte Carlo submissions coalesce and be "
+            "served from the durable store; omitted, the serving "
+            "process's default applies ('repro serve "
+            "--eval-seed-policy'; positional for --local)"
+        ),
+    )
+    sub_.add_argument(
+        "--mc-trials",
+        type=_positive_int,
+        default=None,
+        help="Monte Carlo trial count (--method montecarlo only)",
     )
     sub_.add_argument(
         "--url",
@@ -465,6 +515,15 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             return 2
         ntasks = args.ntasks if args.ntasks is not None else 50
         wf = generate(args.family, ntasks, args.seed)
+    eval_seed = None
+    if args.eval_seed_policy == "content":
+        # The one-shot command has no grid, so its workflow seed *is*
+        # the root seed; the content contract hashes that directly.
+        from repro.engine.sweep import cell_eval_seed
+
+        eval_seed = cell_eval_seed(
+            args.seed, args.processors, args.pfail, args.ccr, args.method
+        )
     outcome = run_strategies(
         wf,
         args.processors,
@@ -472,6 +531,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         ccr=args.ccr,
         seed=args.seed,
         method=args.method,
+        eval_seed=eval_seed,
     )
     print(outcome.summary())
     return 0
@@ -587,6 +647,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 method=args.method,
                 seed_policy=args.seed_policy,
+                eval_seed_policy=args.eval_seed_policy,
             )
         else:
             sizes = tuple(args.sizes) if args.sizes is not None else (50,)
@@ -599,6 +660,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 method=args.method,
                 seed_policy=args.seed_policy,
+                eval_seed_policy=args.eval_seed_policy,
                 name=f"sweep[{args.family}]",
             )
     except ExperimentError as exc:
@@ -701,6 +763,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         linger=args.linger,
         batch_eval=not args.no_batch_eval,
+        eval_seed_policy=args.eval_seed_policy,
     )
     return 0
 
@@ -726,6 +789,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     elif _check_family(args.family) is not None:
         print(_check_family(args.family), file=sys.stderr)
         return 2
+    if args.mc_trials is not None and args.method != "montecarlo":
+        print(
+            f"repro submit: --mc-trials only applies to --method "
+            f"montecarlo (got {args.method!r})",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
         request = EvalRequest(
@@ -743,6 +813,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             seed=args.seed,
             method=args.method,
             seed_policy=args.seed_policy,
+            eval_seed_policy=(
+                args.eval_seed_policy
+                if args.eval_seed_policy is not None
+                else "positional"
+            ),
+            evaluator_options=(
+                {"trials": args.mc_trials} if args.mc_trials is not None else {}
+            ),
             workflow=source.content_hash if source is not None else None,
         )
     except ServiceError as exc:
@@ -756,9 +834,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             from repro.workloads import SourceRegistry
 
             registry = SourceRegistry()
-            if source is not None:
-                registry.register(source)
             with ResultStore(args.store) as store:
+                if source is not None:
+                    registry.register(source)
+                    # Same durability as POST /register: the source
+                    # survives in the store's sources table.
+                    store.save_source(source)
                 outcome = BatchScheduler(store, registry=registry).evaluate(
                     request
                 )
@@ -766,11 +847,18 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             wall = None
         else:
             from repro.service.client import ServiceClient
+            from repro.service.fingerprint import request_to_dict
 
             client = ServiceClient(args.url)
             if source is not None:
                 client.register(source.workflow, label=source.label)
-            reply = client.evaluate(request)
+            payload = request_to_dict(request)
+            if args.eval_seed_policy is None:
+                # No explicit flag: leave the choice to the server's
+                # configured default (repro serve --eval-seed-policy)
+                # instead of pinning the client-side fallback.
+                del payload["eval_seed_policy"]
+            reply = client.evaluate(**payload)
             record, cached, fp = reply.record, reply.cached, reply.fingerprint
             wall = reply.wall_time_s
     except ServiceError as exc:

@@ -36,7 +36,13 @@ from repro.engine.records import (
     records_to_csv,
     records_to_jsonl,
 )
-from repro.engine.sweep import SweepSpec, cell_wf_seed, run_specs, run_sweep
+from repro.engine.sweep import (
+    SweepSpec,
+    cell_eval_seed,
+    cell_wf_seed,
+    run_specs,
+    run_sweep,
+)
 
 __all__ = [
     "STAGES",
@@ -51,6 +57,7 @@ __all__ = [
     "records_to_csv",
     "records_to_jsonl",
     "SweepSpec",
+    "cell_eval_seed",
     "cell_wf_seed",
     "run_specs",
     "run_sweep",

@@ -327,15 +327,22 @@ class Pipeline:
     ) -> float:
         """Expected makespan of a segment DAG with the named method.
 
-        ``eval_seed`` is forwarded only to stochastic methods (Monte
-        Carlo); the closed-form estimators take no seed.  Extra keyword
-        ``options`` go straight to the evaluator (``trials=`` for Monte
-        Carlo, ``k=`` for PathApprox, ...); an explicit ``seed`` option
-        overrides ``eval_seed``.
+        ``eval_seed`` is forwarded only to stochastic methods — those
+        whose registered evaluator declares ``deterministic=False`` and
+        accepts a ``seed`` option (Monte Carlo); the closed-form
+        estimators take no seed.  Extra keyword ``options`` go straight
+        to the evaluator (``trials=`` for Monte Carlo, ``k=`` for
+        PathApprox, ...); an explicit ``seed`` option overrides
+        ``eval_seed``.
         """
         self.cache.count_compute("evaluate")
-        if method == "montecarlo" and eval_seed is not None and "seed" not in options:
-            options = {**options, "seed": eval_seed}
+        if eval_seed is not None and "seed" not in options:
+            evaluator = get_evaluator(method)
+            if not evaluator.deterministic and (
+                evaluator.accepts_any_option
+                or "seed" in evaluator.option_names()
+            ):
+                options = {**options, "seed": eval_seed}
         return expected_makespan(dag, method, **options)
 
     def evaluate_none(
@@ -425,6 +432,7 @@ class Pipeline:
         dags: Sequence[ProbDAG],
         method: str,
         options: Mapping[str, Any],
+        eval_seeds: Optional[Sequence[Optional[int]]] = None,
     ) -> list:
         """Price many same-group DAGs through the batch entry point.
 
@@ -433,7 +441,10 @@ class Pipeline:
         not all coincide); each structure group becomes one template
         priced in a single :func:`expected_makespans` call.  Results
         are bit-identical to per-cell evaluation — the batch contract
-        every ``supports_batch`` evaluator is pinned to.
+        every ``supports_batch`` evaluator is pinned to.  ``eval_seeds``
+        (one per DAG) is forwarded as the batch ``seed`` option in each
+        group's cell order, mirroring the seed injection
+        :meth:`evaluate` performs per cell for stochastic methods.
         """
         groups: Dict[Hashable, list] = {}
         for i, dag in enumerate(dags):
@@ -441,8 +452,11 @@ class Pipeline:
         out: list = [None] * len(dags)
         for indices in groups.values():
             template = ParamDAG.from_dags([dags[i] for i in indices])
+            group_options = dict(options)
+            if eval_seeds is not None and "seed" not in group_options:
+                group_options["seed"] = [eval_seeds[i] for i in indices]
             self.cache.count_compute("evaluate")
-            values = expected_makespans(template, method, **options)
+            values = expected_makespans(template, method, **group_options)
             for i, value in zip(indices, values):
                 out[i] = float(value)
         return out
@@ -468,9 +482,11 @@ class Pipeline:
         run exactly as :meth:`evaluate_cell` would, in grid order; the
         expensive expected-makespan evaluations are then dispatched per
         structure group through the evaluator's batch entry point.
-        Records are bit-identical to the per-cell path.  Evaluators
-        without ``supports_batch`` (Monte Carlo — its ``eval_seed`` is
-        grid-positional) fall back to the per-cell path, seeds intact.
+        Records are bit-identical to the per-cell path: stochastic
+        evaluators (Monte Carlo) receive the cells' ``eval_seed``
+        streams as the batch ``seed`` option, one per cell, and
+        evaluators without ``supports_batch`` fall back to the
+        per-cell path, seeds intact.
         """
         evaluator = get_evaluator(method)
         if not evaluator.supports_batch:
@@ -507,8 +523,20 @@ class Pipeline:
             prepared.append(
                 (platform, plan_some, plan_all, dag_some, dag_all, em_none)
             )
-        em_some = self._evaluate_grouped([p[3] for p in prepared], method, options)
-        em_all = self._evaluate_grouped([p[4] for p in prepared], method, options)
+        # Stochastic evaluators take the cells' eval seeds through the
+        # batch seed channel (mirroring evaluate()'s per-cell
+        # injection); closed-form evaluators take no seed at all.
+        eval_seeds = None
+        if not evaluator.deterministic and (
+            evaluator.accepts_any_option or "seed" in evaluator.option_names()
+        ):
+            eval_seeds = [eval_seed for _pf, _cc, eval_seed in cells]
+        em_some = self._evaluate_grouped(
+            [p[3] for p in prepared], method, options, eval_seeds
+        )
+        em_all = self._evaluate_grouped(
+            [p[4] for p in prepared], method, options, eval_seeds
+        )
         return [
             CellResult(
                 family=family,

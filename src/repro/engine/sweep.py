@@ -25,8 +25,10 @@ executed by :func:`run_sweep`.  The execution plan is deterministic:
 * each chunk's cells are priced through the makespan layer's batched
   entry point (one parameterised-DAG template per structure group) when
   the evaluator supports it — bit-identical to per-cell evaluation,
-  with ``batch_eval=False`` as the reference escape hatch; Monte Carlo
-  always runs per cell so its sampling seeds stay grid-positional.
+  with ``batch_eval=False`` as the reference escape hatch; stochastic
+  evaluators (Monte Carlo) receive their per-cell sampling seeds
+  through the batch call, so records are seed-for-seed identical to
+  the per-cell path under either eval-seed policy.
 
 Results are always returned in grid order, one
 :class:`~repro.engine.records.CellResult` per cell.
@@ -57,10 +59,24 @@ from repro.util.validation import (
     seed_error,
 )
 
-__all__ = ["SweepSpec", "cell_wf_seed", "run_sweep", "run_specs"]
+__all__ = [
+    "SweepSpec",
+    "cell_wf_seed",
+    "cell_eval_seed",
+    "run_sweep",
+    "run_specs",
+]
 
 #: Allowed seed-derivation policies.
 SEED_POLICIES = ("spawn", "stable")
+
+#: Allowed evaluation-seed policies.  ``"positional"`` derives each
+#: cell's sampling seed from its position in the declared grid (the
+#: historical behaviour, shared by both :data:`SEED_POLICIES`);
+#: ``"content"`` derives it from what the cell *is* via
+#: :func:`cell_eval_seed`, making stochastic records independent of the
+#: grid they were computed in.
+EVAL_SEED_POLICIES = ("positional", "content")
 
 
 @dataclass(frozen=True)
@@ -78,6 +94,15 @@ class SweepSpec:
     linearizer: str = "random"
     save_final_outputs: bool = True
     seed_policy: str = "spawn"
+    #: How per-cell *evaluation* (sampling) seeds are derived.  The
+    #: default ``"positional"`` reproduces the historical grid-position
+    #: derivation bit for bit (paper figures and all pre-existing
+    #: records); ``"content"`` derives each cell's seed from the cell's
+    #: own content via :func:`cell_eval_seed`, so a cell's record no
+    #: longer depends on the shape of the grid that computed it.  Only
+    #: stochastic methods (Monte Carlo) consume evaluation seeds —
+    #: closed-form records are identical under both policies.
+    eval_seed_policy: str = "positional"
     name: str = "sweep"
     #: Extra evaluator keywords (``trials=`` for Monte Carlo, ``k=`` for
     #: PathApprox, ...).  Accepts a mapping; stored as a sorted tuple of
@@ -127,6 +152,11 @@ class SweepSpec:
             raise ExperimentError(
                 f"unknown seed policy {self.seed_policy!r}; "
                 f"choose from {list(SEED_POLICIES)}"
+            )
+        if self.eval_seed_policy not in EVAL_SEED_POLICIES:
+            raise ExperimentError(
+                f"unknown eval-seed policy {self.eval_seed_policy!r}; "
+                f"choose from {list(EVAL_SEED_POLICIES)}"
             )
         for msg in (
             *(pfail_error(pfail) for pfail in self.pfails),
@@ -273,6 +303,47 @@ def cell_wf_seed(
     return stable_seed(seed, family, ntasks)
 
 
+def cell_eval_seed(
+    wf_seed: int,
+    processors: int,
+    pfail: float,
+    ccr: float,
+    method: str,
+    evaluator_options: Mapping[str, Any] = (),
+) -> int:
+    """Content-derived evaluation (sampling) seed of one cell.
+
+    The ``"content"`` eval-seed policy's defining contract, mirroring
+    :func:`cell_wf_seed`: the seed is a :func:`repro.util.rng.stable_seed`
+    hash of what the cell *is* — its workflow seed (which already pins
+    root seed, family and size under either seed policy), processor
+    count, (pfail, CCR) coordinates, evaluation method and canonical
+    evaluator options — never of where the cell sits in a grid.  Two
+    grids of any shape therefore sample identical streams for identical
+    cells, which is what lets Monte Carlo requests ride request
+    coalescing, batched evaluation and the durable result store.
+
+    Floats are hashed through their exact ``repr`` and options through
+    their canonical sorted-pair form, matching the canonicalisation
+    :class:`SweepSpec` and the service fingerprint already apply.
+    """
+    try:
+        options = tuple(sorted(dict(evaluator_options).items()))
+    except (TypeError, ValueError) as exc:
+        raise ExperimentError(
+            f"evaluator_options must be a mapping with string keys: {exc}"
+        ) from None
+    return stable_seed(
+        "eval",
+        int(wf_seed),
+        int(processors),
+        repr(float(pfail)),
+        repr(float(ccr)),
+        str(method),
+        repr(options),
+    )
+
+
 def _derive_chunks(
     spec: SweepSpec, chunk_cells: Optional[int]
 ) -> List[_Chunk]:
@@ -314,6 +385,18 @@ def _derive_chunks(
                 eval_seeds = [
                     stable_seed(spec.seed, spec.family, ntasks, p, "cell", i)
                     for i in range(n_cells_per_group)
+                ]
+            if spec.eval_seed_policy == "content":
+                # Content policy replaces only the *evaluation* seeds;
+                # the workflow/schedule derivations above (including the
+                # spawn tree's shape) are untouched, so closed-form
+                # records are bit-identical under either policy.
+                eval_seeds = [
+                    cell_eval_seed(
+                        wf_seed, p, pf, cc, spec.method,
+                        dict(spec.evaluator_options),
+                    )
+                    for pf, cc in cell_axes
                 ]
             cells = tuple(
                 (pf, cc, ev)
@@ -384,9 +467,10 @@ def _run_chunk(
     :meth:`~repro.engine.pipeline.Pipeline.evaluate_cells` — the DAG
     template is built once per structure group and the evaluator runs
     once per group instead of once per cell.  Records are bit-identical
-    either way; Monte Carlo (and any evaluator without
-    ``supports_batch``) always takes the per-cell path, keeping its
-    grid-positional ``eval_seed`` derivation intact.
+    either way: stochastic evaluators get their per-cell ``eval_seed``
+    stream threaded through the batch call (whatever the eval-seed
+    policy), and evaluators without ``supports_batch`` take the
+    per-cell path.
     """
     workflow = pipeline.prepare_source(
         spec.resolved_source, chunk.ntasks, chunk.wf_seed
@@ -483,7 +567,7 @@ def run_sweep(
         point (default) instead of one evaluation per cell.  Records
         are bit-identical either way — False is the reference escape
         hatch (CLI ``--no-batch-eval``).  Evaluators without batch
-        support (Monte Carlo) always run per cell.
+        support always run per cell.
     """
     if not spec.sizes or not spec.pfails or not spec.ccrs:
         raise ExperimentError(

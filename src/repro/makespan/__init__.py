@@ -35,7 +35,7 @@ from repro.makespan.probdag import ProbDAG
 from repro.makespan.paramdag import ParamDAG
 from repro.makespan.batch import BatchDistribution, rows_of, two_state_rows
 from repro.makespan.segment_dag import build_segment_dag
-from repro.makespan.montecarlo import montecarlo
+from repro.makespan.montecarlo import montecarlo, montecarlo_batch
 from repro.makespan.dodin import dodin
 from repro.makespan.normal import normal, normal_batch
 from repro.makespan.pathapprox import pathapprox, pathapprox_batch
@@ -65,6 +65,7 @@ __all__ = [
     "two_state_rows",
     "build_segment_dag",
     "montecarlo",
+    "montecarlo_batch",
     "dodin",
     "normal",
     "normal_batch",

@@ -27,7 +27,7 @@ from repro.makespan.evaluator import (
     FunctionEvaluator,
 )
 from repro.makespan.exact import exact
-from repro.makespan.montecarlo import montecarlo
+from repro.makespan.montecarlo import montecarlo, montecarlo_batch
 from repro.makespan.normal import normal, normal_batch
 from repro.makespan.paramdag import ParamDAG
 from repro.makespan.pathapprox import pathapprox, pathapprox_batch
@@ -51,12 +51,14 @@ EVALUATORS.register(
         name="montecarlo",
         summary="sampling ground truth (vectorised trials)",
         deterministic=False,
-        # The engine derives each cell's sampling seed from its grid
-        # position; a template batch has no per-cell seed channel.
-        supports_batch=False,
+        # The batch entry point accepts one seed per cell (the engine
+        # threads each cell's eval_seed through), so batched sampling
+        # is bit-identical to the per-cell loop under any seed policy.
+        supports_batch=True,
+        batch_fn=montecarlo_batch,
         option_docs={
             "trials": "number of sampled scenarios",
-            "seed": "RNG seed (None = fresh entropy)",
+            "seed": "RNG seed (None = fresh entropy; batch: one per cell)",
             "antithetic": "draw (U, 1-U) pairs for variance reduction",
             "batch": "trials per vectorised block (memory bound)",
         },
@@ -159,9 +161,9 @@ def expected_makespans(
 
     Dispatches to the evaluator's batch entry point; the result is
     bit-identical to evaluating each ``template.cell(i)`` through
-    :func:`expected_makespan`.  Raises for evaluators that do not
-    support batching (Monte Carlo: per-cell sampling seeds cannot ride
-    a shared template).
+    :func:`expected_makespan` (stochastic evaluators accept one seed
+    per cell — Monte Carlo's ``seed=[...]``).  Raises for evaluators
+    that do not support batching.
     """
     evaluator = get_evaluator(method)
     if not evaluator.supports_batch:

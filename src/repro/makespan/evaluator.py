@@ -120,14 +120,33 @@ class Evaluator:
         bit-identical to ``[self.evaluate(template.cell(i), **options)]``.
         The default implementation *is* that loop; vectorised overrides
         must preserve it exactly.
+
+        **The per-cell seed convention.**  For stochastic evaluators a
+        sequence-valued ``seed`` option means *one seed per cell* (the
+        engine threads each sweep cell's ``eval_seed`` this way); the
+        per-cell reference above then uses ``seed=seeds[i]`` for cell
+        ``i``.  The default loop slices accordingly — and rejects a
+        sequence whose length disagrees with the cell count rather than
+        letting ``default_rng`` swallow the whole list as one entropy
+        pool per cell, which would silently collapse every cell onto a
+        single stream.  Vectorised overrides (``montecarlo_batch``)
+        follow the same convention.
         """
-        return np.array(
-            [
-                self.evaluate(template.cell(i), **options)
-                for i in range(template.n_cells)
-            ],
-            dtype=float,
-        )
+        seeds = options.get("seed")
+        per_cell_seeds = isinstance(seeds, (list, tuple, np.ndarray))
+        if per_cell_seeds and len(seeds) != template.n_cells:
+            raise EvaluationError(
+                f"evaluator {self.name!r} got {len(seeds)} seeds for "
+                f"{template.n_cells} cells (pass one seed per cell, or "
+                "a scalar)"
+            )
+        out = []
+        for i in range(template.n_cells):
+            cell_options = options
+            if per_cell_seeds:
+                cell_options = {**options, "seed": seeds[i]}
+            out.append(self.evaluate(template.cell(i), **cell_options))
+        return np.array(out, dtype=float)
 
     # ------------------------------------------------------------------
 

@@ -4,13 +4,24 @@ The paper uses 300,000-trial Monte Carlo as ground truth: sample each
 task's 2-state duration, compute the longest path, average.  Sampling and
 longest-path propagation are fully vectorised; trials are processed in
 batches to bound memory (a ``(batch, n)`` float matrix).
+
+:func:`montecarlo_batch` is the batched entry point over a
+:class:`~repro.makespan.paramdag.ParamDAG` template: every cell keeps
+its own independent sampling stream (one
+:class:`numpy.random.Generator` per cell), while the longest-path
+propagation runs once per trial block over the stacked
+``(cells, batch, n)`` duration tensor.  Because sampling, duration
+construction and propagation are element-for-element the operations the
+per-cell path performs, the batched result is **bit-identical** to
+evaluating each cell through :func:`montecarlo` with its own seed — the
+batch contract the engine's batched sweep stage relies on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from math import sqrt
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -18,7 +29,28 @@ from repro.errors import EvaluationError
 from repro.makespan.probdag import ProbDAG
 from repro.util.rng import SeedLike, as_rng
 
-__all__ = ["montecarlo", "montecarlo_result", "MonteCarloResult", "sample_makespans"]
+__all__ = [
+    "montecarlo",
+    "montecarlo_batch",
+    "montecarlo_result",
+    "MonteCarloResult",
+    "sample_makespans",
+]
+
+#: Memory bound for the batched trial tensor: cells are processed in
+#: chunks such that one cell chunk's live float blocks (the per-cell
+#: uniform draws plus the stacked transposed duration/completion
+#: matrices) stay under this many bytes.
+MC_BATCH_MAX_BYTES = 256 * 1024 * 1024
+
+#: Trial sub-chunk of the batched longest-path propagation.  Each
+#: per-cell ``(sub, n)`` uniform block (and its transpose) stays
+#: cache-resident, which is where the batched path's speedup comes
+#: from: the per-cell reference kernel's strided column accesses thrash
+#: the cache once a cell's ``(trials, n)`` matrix outgrows it, while
+#: the transposed batched kernel streams contiguous rows.  Sub-chunking
+#: is row-local, so it never changes a sample.
+MC_PROPAGATE_SUB = 512
 
 
 @dataclass(frozen=True)
@@ -26,7 +58,12 @@ class MonteCarloResult:
     """Estimate with sampling error.
 
     ``stderr`` is the standard error of ``mean``; a ~95% confidence
-    interval is ``mean ± 1.96·stderr``.
+    interval is ``mean ± 1.96·stderr``.  For antithetic runs the
+    standard error is computed over the independent sampling *units* —
+    pair averages (plus the lone final draw of an odd-trials run) —
+    because the raw samples inside a pair are negatively correlated and
+    ``sqrt(var/trials)`` over them overstates the error.  ``variance``
+    always reports the raw per-sample variance.
     """
 
     mean: float
@@ -75,19 +112,51 @@ def sample_makespans(
     done = 0
     while done < trials:
         m = min(batch, trials - done)
-        if antithetic:
-            half = (m + 1) // 2
-            u = rng.random((half, dag.n))
-            paired = np.empty((2 * half, dag.n))
-            paired[0::2] = u
-            paired[1::2] = 1.0 - u
-            u = paired[:m]
-        else:
-            u = rng.random((m, dag.n))
+        u = _draw_uniforms(rng, m, dag.n, antithetic)
         durations = base + extra * (u < p)
         out[done : done + m] = dag.makespans(durations)
         done += m
     return out
+
+
+def _draw_uniforms(
+    rng: np.random.Generator, m: int, n: int, antithetic: bool
+) -> np.ndarray:
+    """One ``(m, n)`` uniform block, antithetic pairs adjacent."""
+    if not antithetic:
+        return rng.random((m, n))
+    half = (m + 1) // 2
+    u = rng.random((half, n))
+    paired = np.empty((2 * half, n))
+    paired[0::2] = u
+    paired[1::2] = 1.0 - u
+    return paired[:m]
+
+
+def _antithetic_stderr(samples: np.ndarray) -> float:
+    """Standard error of the mean of an antithetic sample array.
+
+    The independent units of an antithetic run are the pair averages
+    (samples ``2k``/``2k+1`` share their uniforms), plus the lone final
+    draw when ``trials`` is odd.  The overall mean weights each pair
+    ``2/trials`` and the lone draw ``1/trials``, so::
+
+        Var(mean) = (2/T)^2 · m · Var(pair average)  [+ (1/T)^2 · Var(lone)]
+
+    with ``m = T // 2`` pairs; pair-average variance is estimated from
+    the pair averages (ddof=1) and the lone draw's variance from the raw
+    samples.  For even ``T`` this reduces to the textbook
+    ``sqrt(var(pair averages) / m)``.
+    """
+    trials = len(samples)
+    m = trials // 2
+    pair_avg = 0.5 * (samples[0 : 2 * m : 2] + samples[1 : 2 * m : 2])
+    var_pairs = float(pair_avg.var(ddof=1)) if m > 1 else 0.0
+    var_mean = 4.0 * m * var_pairs / (trials * trials)
+    if trials % 2:
+        var_raw = float(samples.var(ddof=1)) if trials > 1 else 0.0
+        var_mean += var_raw / (trials * trials)
+    return sqrt(var_mean)
 
 
 def montecarlo_result(
@@ -97,14 +166,25 @@ def montecarlo_result(
     antithetic: bool = False,
     batch: int = 16384,
 ) -> MonteCarloResult:
-    """Monte Carlo estimate with its standard error."""
+    """Monte Carlo estimate with its standard error.
+
+    Under ``antithetic=True`` the standard error is computed over pair
+    averages (see :func:`_antithetic_stderr`): the raw samples inside a
+    pair are negatively correlated, so ``sqrt(var/trials)`` over them
+    would overstate the error and hide the variance reduction the
+    pairing buys.
+    """
     samples = sample_makespans(
         dag, trials, seed=seed, antithetic=antithetic, batch=batch
     )
     mean = float(samples.mean())
     var = float(samples.var(ddof=1)) if trials > 1 else 0.0
+    if antithetic:
+        stderr = _antithetic_stderr(samples)
+    else:
+        stderr = sqrt(var / trials)
     return MonteCarloResult(
-        mean=mean, stderr=sqrt(var / trials), trials=trials, variance=var
+        mean=mean, stderr=stderr, trials=trials, variance=var
     )
 
 
@@ -119,3 +199,154 @@ def montecarlo(
     return montecarlo_result(
         dag, trials=trials, seed=seed, antithetic=antithetic, batch=batch
     ).mean
+
+
+def _cell_seeds(
+    seed: Union[SeedLike, Sequence[SeedLike]], n_cells: int
+) -> Optional[List[SeedLike]]:
+    """Normalise the batch ``seed`` option to one seed per cell.
+
+    ``None`` → fresh entropy per cell; a scalar int → every cell gets
+    its own generator seeded with that value (matching the per-cell
+    loop, where each :func:`montecarlo` call constructs a fresh
+    ``default_rng(seed)``); a sequence → one seed per cell (the engine
+    passes the grid's per-cell ``eval_seed`` streams this way).
+    Returns ``None`` for stateful seeds (an already-constructed
+    Generator/SeedSequence), where only the sequential per-cell loop
+    reproduces the single-stream semantics.
+    """
+    if isinstance(seed, (np.random.Generator, np.random.SeedSequence)):
+        return None
+    if isinstance(seed, (list, tuple, np.ndarray)):
+        if len(seed) != n_cells:
+            raise EvaluationError(
+                f"montecarlo batch got {len(seed)} seeds for "
+                f"{n_cells} cells (pass one seed per cell, or a scalar)"
+            )
+        return [None if s is None else int(s) for s in seed]
+    return [seed] * n_cells
+
+
+def _propagate_transposed(
+    preds: Sequence[Sequence[int]], dur_T: np.ndarray
+) -> np.ndarray:
+    """Longest-path propagation over an ``(n, rows)`` duration matrix.
+
+    The transposed twin of :meth:`ProbDAG.makespans`: node ``v``'s
+    completions live in the contiguous row ``comp[v]`` instead of a
+    strided column, so the per-edge ``maximum``/``add`` passes stream
+    sequential memory whatever ``rows`` is — the per-cell kernel's
+    column accesses thrash the cache once a ``(trials, n)`` matrix
+    outgrows it.  Value-identical to the column kernel: the adds are
+    elementwise on the same operands and float ``max`` is exact, so the
+    reduction order cannot move a bit.
+    """
+    n, rows = dur_T.shape
+    if n == 0:
+        return np.zeros(rows)
+    comp = np.empty_like(dur_T)
+    makespan = np.zeros(rows)
+    for v in range(n):
+        ps = preds[v]
+        if ps:
+            ready = comp[ps[0]]
+            if len(ps) > 1:
+                ready = comp[ps].max(axis=0)
+            np.add(ready, dur_T[v], out=comp[v])
+        else:
+            comp[v] = dur_T[v]
+        np.maximum(makespan, comp[v], out=makespan)
+    return makespan
+
+
+def montecarlo_batch(
+    template,
+    trials: int = 100_000,
+    seed: Union[SeedLike, Sequence[SeedLike]] = None,
+    antithetic: bool = False,
+    batch: int = 16384,
+) -> np.ndarray:
+    """Monte Carlo expected makespans of every cell of a parameterised DAG.
+
+    ``template`` is a :class:`~repro.makespan.paramdag.ParamDAG`; the
+    result is bit-identical to
+    ``[montecarlo(template.cell(i), trials, seeds[i], antithetic, batch)]``
+    where ``seeds`` is the per-cell expansion of ``seed`` (see
+    :func:`_cell_seeds`): each cell draws from its own generator in the
+    exact block sizes of the per-cell path, durations are built with the
+    same elementwise expression, and the longest-path propagation —
+    run once per trial sub-chunk over all cells' rows stacked in the
+    cache-friendly transposed layout (:func:`_propagate_transposed`) —
+    performs the same elementwise adds and exact maxima, so batching
+    cannot move a single bit.  Cells are processed in chunks sized to
+    keep the live blocks under :data:`MC_BATCH_MAX_BYTES`; the per-cell
+    trial ``batch`` (which shapes the RNG draws) is never altered.
+    """
+    if trials < 1:
+        raise EvaluationError(f"trials must be >= 1, got {trials}")
+    n_cells = template.n_cells
+    if n_cells == 0:
+        return np.empty(0)
+    seeds = _cell_seeds(seed, n_cells)
+    if seeds is None:
+        # A shared stateful stream is consumed cell by cell in the
+        # per-cell path; only that sequential order reproduces it.
+        return np.array(
+            [
+                montecarlo(
+                    template.cell(i),
+                    trials=trials,
+                    seed=seed,
+                    antithetic=antithetic,
+                    batch=batch,
+                )
+                for i in range(n_cells)
+            ],
+            dtype=float,
+        )
+    n = template.n
+    if antithetic:
+        batch = max(2, batch - batch % 2)
+    sub = MC_PROPAGATE_SUB
+    # Live floats per cell: its (m, n) uniform block, its share of the
+    # (n, cells·sub) transposed duration + completion matrices, and its
+    # (trials,) row of the samples accumulator (which scales with
+    # trials, not batch — dominant for small-n/many-trial runs).
+    per_cell = (
+        (min(batch, trials) + 3 * sub) * max(n, 1) + trials
+    ) * 8
+    cell_chunk = max(1, int(MC_BATCH_MAX_BYTES // max(per_cell, 1)))
+    # Transposed (n, 1) parameter columns, ready to broadcast against
+    # each cell's (n, w) transposed uniform sub-block.
+    base_T = template.base[:, :, None]
+    extra_T = (template.long - template.base)[:, :, None]
+    p_T = template.p[:, :, None]
+    out = np.empty(n_cells)
+    for c0 in range(0, n_cells, cell_chunk):
+        c1 = min(c0 + cell_chunk, n_cells)
+        cells = c1 - c0
+        rngs = [as_rng(seeds[i]) for i in range(c0, c1)]
+        samples = np.empty((cells, trials))
+        done = 0
+        while done < trials:
+            m = min(batch, trials - done)
+            blocks = [_draw_uniforms(rng, m, n, antithetic) for rng in rngs]
+            for t0 in range(0, m, sub):
+                t1 = min(t0 + sub, m)
+                w = t1 - t0
+                dur_T = np.empty((n, cells * w))
+                for j, u in enumerate(blocks):
+                    # (w, n) row slice → cache-resident transpose; the
+                    # duration expression is elementwise, so values
+                    # equal the per-cell `base + extra * (u < p)`.
+                    dur_T[:, j * w : (j + 1) * w] = base_T[c0 + j] + (
+                        extra_T[c0 + j] * (u[t0:t1].T < p_T[c0 + j])
+                    )
+                ms = _propagate_transposed(template.preds, dur_T)
+                samples[:, done + t0 : done + t1] = ms.reshape(cells, w)
+            done += m
+        for j in range(cells):
+            # Row-by-row means: the same contiguous pairwise summation
+            # the per-cell path applies to its (trials,) sample vector.
+            out[c0 + j] = samples[j].mean()
+    return out

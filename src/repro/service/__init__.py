@@ -54,6 +54,7 @@ from repro.service.client import EvalReply, ServiceClient, SweepReply
 from repro.service.fingerprint import (
     EvalRequest,
     fingerprint,
+    grid_sensitive,
     request_from_dict,
     request_to_dict,
     request_to_spec,
@@ -71,6 +72,7 @@ from repro.service.store import SCHEMA_VERSION, ResultStore, StoreStats
 __all__ = [
     "EvalRequest",
     "fingerprint",
+    "grid_sensitive",
     "request_from_dict",
     "request_to_dict",
     "request_to_spec",

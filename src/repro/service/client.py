@@ -144,6 +144,7 @@ class ServiceClient:
                 "linearizer": spec.linearizer,
                 "save_final_outputs": spec.save_final_outputs,
                 "seed_policy": spec.seed_policy,
+                "eval_seed_policy": spec.eval_seed_policy,
                 "evaluator_options": dict(spec.evaluator_options),
             }
             if spec.source is not None:

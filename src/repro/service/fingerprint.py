@@ -19,9 +19,13 @@ Under the default ``"stable"`` seed policy that is bit-identical to
 :func:`repro.api.run_strategies` with the derived workflow/schedule
 seeds) for every closed-form method.  The contract is what makes
 coalescing safe: cell results of closed-form methods do not depend on
-which batch computed them, and the scheduler falls back to per-cell
-dispatch for Monte Carlo, whose sampling stream is derived from the
-cell's position in its grid.
+which batch computed them.  Monte Carlo obeys the contract too when the
+request's ``eval_seed_policy`` is ``"content"`` — its sampling seed is
+then :func:`repro.engine.sweep.cell_eval_seed` of the cell's own
+content, identical in any grid — and such requests coalesce like any
+other method.  Under the legacy ``"positional"`` policy the sampling
+stream is derived from the cell's position in its grid, so the
+scheduler falls back to per-cell 1×1 dispatch for those requests.
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.engine.records import CellResult
-from repro.engine.sweep import SEED_POLICIES, SweepSpec
+from repro.engine.sweep import EVAL_SEED_POLICIES, SEED_POLICIES, SweepSpec
 from repro.errors import ServiceError
 from repro.makespan.api import EVALUATORS
 from repro.workloads import SourceRegistry, file_family
@@ -47,6 +51,7 @@ from repro.util.validation import (
 __all__ = [
     "EvalRequest",
     "GRID_SENSITIVE_METHODS",
+    "grid_sensitive",
     "fingerprint",
     "request_to_dict",
     "request_from_dict",
@@ -55,17 +60,35 @@ __all__ = [
     "request_for_record",
 ]
 
-#: Methods whose cell results depend on the cell's position in the batch
-#: grid (their sampling seed is derived per grid index).  The scheduler
-#: never coalesces these into shared multi-cell specs.
+#: Stochastic methods whose *positional* sampling seeds are derived per
+#: grid index.  Grid sensitivity is policy-conditional: under the
+#: ``"content"`` eval-seed policy these methods derive their seeds from
+#: cell content (see :func:`repro.engine.sweep.cell_eval_seed`) and are
+#: coalesced, stored and backfilled like every closed-form method; only
+#: under the legacy ``"positional"`` policy does the scheduler keep
+#: dispatching them as per-cell 1×1 specs (see :func:`grid_sensitive`).
 GRID_SENSITIVE_METHODS = frozenset({"montecarlo"})
+
+
+def grid_sensitive(method: str, eval_seed_policy: str) -> bool:
+    """Whether a cell's result depends on the shape of the batch grid.
+
+    True only for :data:`GRID_SENSITIVE_METHODS` under the
+    ``"positional"`` eval-seed policy; the ``"content"`` policy makes
+    their sampling seeds position-independent.
+    """
+    return method in GRID_SENSITIVE_METHODS and eval_seed_policy != "content"
+
 
 #: Fingerprint schema tag — bump when the canonical payload changes shape
 #: so old digests can never alias new ones.  v2 added the ``workflow``
-#: field (external workflow sources addressed by content hash); opening
-#: a v1 store migrates its rows to v2 digests (see
+#: field (external workflow sources addressed by content hash); v3 added
+#: ``eval_seed_policy`` (content-seeded Monte Carlo) — positional-policy
+#: rows from older stores are rewritten under v3 digests carrying their
+#: legacy policy explicitly, so they can never answer a content-policy
+#: request.  Opening a v1/v2 store migrates its rows (see
 #: :mod:`repro.service.store`).
-FINGERPRINT_VERSION = 2
+FINGERPRINT_VERSION = 3
 
 #: Shape of a workflow content hash (see :func:`repro.workloads.workflow_hash`).
 _HASH_HEX_LEN = 64
@@ -100,6 +123,13 @@ class EvalRequest:
     linearizer: str = "random"
     save_final_outputs: bool = True
     seed_policy: str = "stable"
+    #: Evaluation-seed derivation (see
+    #: :data:`repro.engine.sweep.EVAL_SEED_POLICIES`): ``"positional"``
+    #: (legacy grid-position seeds; grid-sensitive methods are then
+    #: dispatched per cell) or ``"content"`` (position-independent
+    #: :func:`~repro.engine.sweep.cell_eval_seed` streams; every method
+    #: coalesces and stores alike).
+    eval_seed_policy: str = "positional"
     evaluator_options: Tuple[Tuple[str, Any], ...] = ()
     #: Content hash of an external workflow (``None`` = family-sourced).
     workflow: Optional[str] = None
@@ -189,6 +219,11 @@ class EvalRequest:
                 f"unknown seed policy {self.seed_policy!r}; "
                 f"choose from {list(SEED_POLICIES)}"
             )
+        if self.eval_seed_policy not in EVAL_SEED_POLICIES:
+            raise ServiceError(
+                f"unknown eval-seed policy {self.eval_seed_policy!r}; "
+                f"choose from {list(EVAL_SEED_POLICIES)}"
+            )
 
     @property
     def coalesce_key(self) -> Tuple[Any, ...]:
@@ -206,15 +241,17 @@ class EvalRequest:
             self.linearizer,
             self.save_final_outputs,
             self.seed_policy,
+            self.eval_seed_policy,
             self.evaluator_options,
         )
 
     @property
     def grid_sensitive(self) -> bool:
-        """Whether the result depends on the batch grid shape (Monte
-        Carlo sampling seeds are positional); such requests are always
-        dispatched as per-cell 1×1 grids."""
-        return self.method in GRID_SENSITIVE_METHODS
+        """Whether the result depends on the batch grid shape.  Only
+        positional-policy sampling methods qualify (their seeds are
+        derived per grid index); such requests are always dispatched as
+        per-cell 1×1 grids.  Content-policy requests never are."""
+        return grid_sensitive(self.method, self.eval_seed_policy)
 
 
 def request_to_dict(request: EvalRequest) -> Dict[str, Any]:
@@ -299,6 +336,7 @@ def request_to_spec(
         linearizer=request.linearizer,
         save_final_outputs=request.save_final_outputs,
         seed_policy=request.seed_policy,
+        eval_seed_policy=request.eval_seed_policy,
         evaluator_options=request.evaluator_options,
         source=source,
         name=f"cell[{request.family}]",
@@ -325,6 +363,7 @@ def requests_from_spec(spec: SweepSpec) -> List[EvalRequest]:
             linearizer=spec.linearizer,
             save_final_outputs=spec.save_final_outputs,
             seed_policy=spec.seed_policy,
+            eval_seed_policy=spec.eval_seed_policy,
             evaluator_options=spec.evaluator_options,
             workflow=(
                 spec.source.content_hash if spec.source is not None else None

@@ -25,10 +25,15 @@ requests it
 
 Batches are *exact covers*: a group's requested (pfail, CCR) cells are
 partitioned into one spec per pfail value, so no unrequested cell is
-ever computed.  Grid-sensitive methods (Monte Carlo — its sampling seed
-is positional, see :mod:`repro.service.fingerprint`) are dispatched as
-per-cell 1×1 specs instead; they still share the pipeline's cached
-tree/schedule, so the amortisation survives.
+ever computed.  Grid-sensitive requests (Monte Carlo under the legacy
+``"positional"`` eval-seed policy — its sampling seed is positional,
+see :mod:`repro.service.fingerprint`) are dispatched as per-cell 1×1
+specs instead; they still share the pipeline's cached tree/schedule, so
+the amortisation survives.  Under the ``"content"`` eval-seed policy
+Monte Carlo's sampling seeds are position-independent
+(:func:`repro.engine.sweep.cell_eval_seed`), so those requests coalesce
+into real batches — and ride the batched vectorised sampling core —
+exactly like the closed-form methods.
 
 :class:`BatchScheduler` also runs an optional background worker
 (:meth:`~BatchScheduler.start` / :meth:`~BatchScheduler.submit`) that
@@ -119,7 +124,8 @@ def plan_batches(
         head = members[0]
         if head.grid_sensitive:
             # Positional sampling seeds: the 1×1 contract is only
-            # reproducible cell by cell.
+            # reproducible cell by cell.  (Content-policy stochastic
+            # requests fall through to the coalesced path below.)
             batches.extend((request_to_spec(r, registry), [r]) for r in members)
             continue
         # One spec per pfail value; its CCR axis is exactly the CCRs

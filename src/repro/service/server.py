@@ -20,10 +20,12 @@ path          method  semantics
                       ``{"workflow": <repro-workflow-v1 JSON>,
                       "label": ...}``; replies with the canonical
                       content hash (idempotent — re-registering the
-                      same content returns the same hash, so clients
-                      simply re-register after a restart and stored
-                      fingerprints keep matching), the content-derived
-                      family string and the task count.
+                      same content returns the same hash), the
+                      content-derived family string and the task count.
+                      Sources are persisted in the store's ``sources``
+                      table and rehydrated on service start, so
+                      ``/sweep``-by-hash survives restarts without a
+                      re-upload.
 /sources      GET     the registered external workflow sources
                       (hash, family, ntasks, label per entry).
 /sweep        POST    a whole grid (SweepSpec-shaped payload; a
@@ -42,10 +44,14 @@ path          method  semantics
                       spawn seeds positionally across groups, while the
                       service answers each cell from its own 1×1 grid —
                       multi-group spawn replies carry a ``note`` field
-                      saying so.  Monte Carlo cells use per-cell
-                      sampling seeds instead of a monolithic grid's
-                      positional ones (same estimator, different
-                      sampling stream).
+                      saying so.  Positional-policy Monte Carlo cells
+                      use per-cell sampling seeds instead of a
+                      monolithic grid's positional ones (same
+                      estimator, different sampling stream); under
+                      ``eval_seed_policy: "content"`` Monte Carlo seeds
+                      are content-derived, so the reply equals
+                      ``run_sweep`` of the same content-policy spec
+                      exactly like the closed-form methods.
 /status       GET     uptime, version, store + scheduler counters
                       (including the coalesced batch sizes dispatched
                       through the engine's batched evaluation core).
@@ -72,8 +78,9 @@ from repro import __version__
 from repro.engine.records import record_to_dict
 from repro.engine.sweep import SweepSpec
 from repro.errors import ReproError, ServiceError
+from repro.engine.sweep import EVAL_SEED_POLICIES
 from repro.service.fingerprint import (
-    GRID_SENSITIVE_METHODS,
+    grid_sensitive,
     request_from_dict,
     requests_from_spec,
 )
@@ -137,6 +144,7 @@ def sweep_spec_from_payload(
         "linearizer",
         "save_final_outputs",
         "seed_policy",
+        "eval_seed_policy",
         "evaluator_options",
         "name",
     }
@@ -226,7 +234,11 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _post_evaluate(self) -> None:
-        request = request_from_dict(self._read_json())
+        payload = self._read_json()
+        payload.setdefault(
+            "eval_seed_policy", self.service.default_eval_seed_policy
+        )
+        request = request_from_dict(payload)
         t0 = time.perf_counter()
         outcome = self.service.scheduler.submit(request).result()
         self._reply(
@@ -264,6 +276,10 @@ class _Handler(BaseHTTPRequestHandler):
         source = FileSource(wf, label=str(label) if label is not None else None)
         known = source.content_hash in self.service.registry
         self.service.registry.register(source)
+        # Persist next to the results: a restarted service rehydrates
+        # its registry from the store, so /sweep-by-hash keeps working
+        # without a re-upload.
+        self.service.store.save_source(source)
         self._reply(
             200,
             {
@@ -279,9 +295,11 @@ class _Handler(BaseHTTPRequestHandler):
         self._reply(200, {"sources": self.service.registry.describe()})
 
     def _post_sweep(self) -> None:
-        spec = sweep_spec_from_payload(
-            self._read_json(), self.service.registry
+        payload = self._read_json()
+        payload.setdefault(
+            "eval_seed_policy", self.service.default_eval_seed_policy
         )
+        spec = sweep_spec_from_payload(payload, self.service.registry)
         requests = requests_from_spec(spec)
         t0 = time.perf_counter()
         outcomes = self.service.scheduler.evaluate_many(requests)
@@ -296,11 +314,12 @@ class _Handler(BaseHTTPRequestHandler):
         if (
             spec.seed_policy == "spawn"
             and groups > 1
-            and spec.method not in GRID_SENSITIVE_METHODS
+            and not grid_sensitive(spec.method, spec.eval_seed_policy)
         ):
-            # (Monte Carlo gets no note: its per-cell sampling seeds
-            # never match a monolithic grid's under any policy — see
-            # the module docstring.)
+            # (Positional Monte Carlo gets no note: its per-cell
+            # sampling seeds never match a monolithic grid's — see the
+            # module docstring.  Content-policy Monte Carlo behaves
+            # like the closed-form methods, caveat included.)
             payload["note"] = (
                 "spawn seed policy over multiple (size, processors) "
                 "groups: cells are answered per the 1×1 contract, so "
@@ -321,6 +340,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "version": __version__,
                 "uptime_s": time.time() - svc.started_at,
                 "sources": len(svc.registry),
+                "eval_seed_policy": svc.default_eval_seed_policy,
                 "store": {
                     "path": svc.store.path,
                     "entries": store_stats.entries,
@@ -388,17 +408,30 @@ class ReproService:
         linger: float = 0.05,
         log: Optional[Callable[[str], None]] = None,
         batch_eval: bool = True,
+        eval_seed_policy: str = "positional",
     ) -> None:
+        if eval_seed_policy not in EVAL_SEED_POLICIES:
+            raise ServiceError(
+                f"unknown eval-seed policy {eval_seed_policy!r}; "
+                f"choose from {list(EVAL_SEED_POLICIES)}"
+            )
+        #: Policy applied to /evaluate and /sweep payloads that do not
+        #: name one themselves (a payload's explicit field always wins).
+        self.default_eval_seed_policy = eval_seed_policy
         if isinstance(store, ResultStore):
             self.store = store
             self._owns_store = False
         else:
             self.store = ResultStore(store if store is not None else ":memory:")
             self._owns_store = True
-        #: External workflow sources (``POST /register`` loads them in;
-        #: in-memory — clients re-register after a restart, which is
-        #: idempotent and keeps stored fingerprints matching).
+        #: External workflow sources (``POST /register`` loads them in
+        #: and persists them to the store's ``sources`` table; on
+        #: construction the registry is rehydrated from the store, so a
+        #: restarted service keeps answering by content hash without a
+        #: re-upload — re-registering stays idempotent either way).
         self.registry = SourceRegistry()
+        for source in self.store.load_sources():
+            self.registry.register(source)
         self.scheduler = BatchScheduler(
             self.store, jobs=jobs, linger=linger, batch_eval=batch_eval,
             registry=self.registry,
@@ -486,11 +519,12 @@ def serve(
     linger: float = 0.05,
     log: Optional[Callable[[str], None]] = print,
     batch_eval: bool = True,
+    eval_seed_policy: str = "positional",
 ) -> None:
     """Run a blocking evaluation service (the ``repro serve`` command)."""
     service = ReproService(
         host=host, port=port, store=store, jobs=jobs, linger=linger, log=log,
-        batch_eval=batch_eval,
+        batch_eval=batch_eval, eval_seed_policy=eval_seed_policy,
     )
     if log is not None:
         log(

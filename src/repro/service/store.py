@@ -48,9 +48,12 @@ __all__ = ["SCHEMA_VERSION", "StoreStats", "ResultStore"]
 
 #: Bump on any change to the table layout or the stored JSON shapes.
 #: v2: requests carry a ``workflow`` content-hash field (external
-#: workflow sources) and fingerprints are the v2 digests; v1 stores are
-#: migrated in place on open (see :meth:`ResultStore._migrate_v1`).
-SCHEMA_VERSION = 2
+#: workflow sources).  v3: requests carry an ``eval_seed_policy`` field
+#: (content-seeded Monte Carlo), fingerprints are the v3 digests, and a
+#: ``sources`` table persists registered external workflow sources next
+#: to the results.  v1/v2 stores are migrated in place on open (see
+#: :meth:`ResultStore._migrate_v1` / :meth:`ResultStore._migrate_v2`).
+SCHEMA_VERSION = 3
 
 #: Flush the in-memory persistent-hit-counter deltas to SQLite once this
 #: many accumulate (they also flush on every read of the counters and on
@@ -68,6 +71,12 @@ CREATE TABLE IF NOT EXISTS results (
     record_json  TEXT NOT NULL,
     created_at   REAL NOT NULL,
     hits         INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS sources (
+    content_hash  TEXT PRIMARY KEY,
+    workflow_json TEXT NOT NULL,
+    label         TEXT,
+    created_at    REAL NOT NULL
 );
 """
 
@@ -124,6 +133,8 @@ class ResultStore:
                 self._conn.commit()
             elif int(row[0]) == 1:
                 self._migrate_v1()
+            elif int(row[0]) == 2:
+                self._migrate_v2()
             elif int(row[0]) != SCHEMA_VERSION:
                 self._conn.close()
                 raise ServiceError(
@@ -133,12 +144,13 @@ class ResultStore:
                 )
 
     def _migrate_v1(self) -> None:
-        """Rewrite a v1 store's rows under the v2 fingerprint schema.
+        """Rewrite a v1 store's rows under the current fingerprint schema.
 
-        v1 predates external workflow sources, so every stored request
-        is family-sourced; rebuilding it from its stored field dict
-        yields the same request with ``workflow=None``, whose v2
-        fingerprint (the canonical payload grew the ``workflow`` key)
+        v1 predates external workflow sources and eval-seed policies, so
+        every stored request is family-sourced and positional; rebuilding
+        it from its stored field dict yields the same request with
+        ``workflow=None`` and ``eval_seed_policy="positional"``, whose
+        current fingerprint (the canonical payload grew those keys)
         replaces the old digest.  The mapping is injective — two v1
         rows never collapse — and atomic: any failure rolls the store
         back to its untouched v1 state.
@@ -171,6 +183,44 @@ class ResultStore:
                     "WHERE fingerprint = ?",
                     (
                         new_fp,
+                        json.dumps(request_to_dict(request), sort_keys=True),
+                        old_fp,
+                    ),
+                )
+            self._conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION),),
+            )
+            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            self._conn.close()
+            raise
+
+    def _migrate_v2(self) -> None:
+        """Rewrite a v2 store's rows under the v3 fingerprint schema.
+
+        v2 predates eval-seed policies, so every stored request was
+        computed under the ``"positional"`` derivation; rebuilding it
+        from its stored field dict tags it with that policy explicitly,
+        and its v3 fingerprint replaces the old digest.  **Every row is
+        kept** — including positional Monte Carlo rows, whose records
+        stay valid answers to positional-policy requests — but because
+        the v3 digest covers the policy, a legacy positional row can
+        never be served to a content-policy request.  Injective and
+        atomic, like :meth:`_migrate_v1`.
+        """
+        rows = self._conn.execute(
+            "SELECT fingerprint, request_json FROM results"
+        ).fetchall()
+        try:
+            for old_fp, request_json in rows:
+                request = request_from_dict(json.loads(request_json))
+                self._conn.execute(
+                    "UPDATE results SET fingerprint = ?, request_json = ? "
+                    "WHERE fingerprint = ?",
+                    (
+                        fingerprint(request),
                         json.dumps(request_to_dict(request), sort_keys=True),
                         old_fp,
                     ),
@@ -420,6 +470,7 @@ class ResultStore:
         bandwidth: float = 100e6,
         linearizer: str = "random",
         save_final_outputs: bool = True,
+        eval_seed_policy: str = "positional",
         evaluator_options: Tuple[Tuple[str, Any], ...] = (),
         workflow: Optional[str] = None,
     ) -> int:
@@ -442,8 +493,14 @@ class ResultStore:
         correctness under the per-cell 1×1 fingerprint contract cannot
         be established from record data:
 
-        * grid-sensitive methods (Monte Carlo) — their sampling stream
-          depends on the cell's position in the source grid;
+        * *positional-policy* grid-sensitive methods (Monte Carlo with
+          ``eval_seed_policy="positional"``) — their sampling stream
+          depends on the cell's position in the source grid.  Under
+          ``eval_seed_policy="content"`` the stream is
+          :func:`repro.engine.sweep.cell_eval_seed` of the cell's own
+          content — identical in any grid — so content-policy Monte
+          Carlo records backfill like every closed-form method, subject
+          to the same workflow-seed verification below;
         * all ``seed_policy="spawn"`` records — spawn derives workflow
           *and schedule* seeds from the source grid's positional
           SeedSequence spawns.  A record stores its workflow seed (so a
@@ -461,14 +518,22 @@ class ResultStore:
         never overwritten; returns the number of entries added.  Atomic:
         on any error the store is rolled back to its prior state.
         """
-        from repro.engine.sweep import SEED_POLICIES
-        from repro.service.fingerprint import GRID_SENSITIVE_METHODS
+        from repro.engine.sweep import EVAL_SEED_POLICIES, SEED_POLICIES
+        from repro.service.fingerprint import grid_sensitive
 
-        if method in GRID_SENSITIVE_METHODS:
+        if eval_seed_policy not in EVAL_SEED_POLICIES:
             raise ServiceError(
-                f"cannot backfill {method!r} records: their values depend "
-                "on the source grid's shape, not just the cell (the "
-                "per-cell 1×1 contract does not hold)"
+                f"unknown eval-seed policy {eval_seed_policy!r}; "
+                f"choose from {list(EVAL_SEED_POLICIES)}"
+            )
+        if grid_sensitive(method, eval_seed_policy):
+            raise ServiceError(
+                f"cannot backfill positional-policy {method!r} records: "
+                "their values depend on the source grid's shape, not "
+                "just the cell (the per-cell 1×1 contract does not "
+                "hold); sweeps run with eval_seed_policy='content' use "
+                "position-independent sampling seeds and can be "
+                "backfilled"
             )
         if seed_policy not in SEED_POLICIES:
             raise ServiceError(
@@ -522,6 +587,7 @@ class ResultStore:
                         linearizer=linearizer,
                         save_final_outputs=save_final_outputs,
                         seed_policy=seed_policy,
+                        eval_seed_policy=eval_seed_policy,
                         evaluator_options=evaluator_options,
                         workflow=workflow,
                     )
@@ -549,6 +615,90 @@ class ResultStore:
         written by ``repro sweep --out`` /
         :func:`repro.engine.records.records_to_jsonl`)."""
         return self.backfill(records_from_jsonl(source), **context)
+
+    # ------------------------------------------------------------------
+    # Durable external workflow sources.
+
+    def save_source(self, source: Any) -> str:
+        """Persist one :class:`~repro.workloads.FileSource` (upsert).
+
+        The row is keyed by the canonical content hash and stores the
+        ``repro-workflow-v1`` JSON serialisation, so a service reopening
+        the store can rehydrate its
+        :class:`~repro.workloads.SourceRegistry` and keep answering
+        ``/sweep``-by-hash requests without a re-upload.  Returns the
+        content hash.
+        """
+        from repro.generators.serialization import workflow_to_json
+        from repro.workloads import FileSource
+
+        if not isinstance(source, FileSource):
+            raise ServiceError(
+                f"only file sources can be persisted, got "
+                f"{type(source).__name__}"
+            )
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO sources "
+                "(content_hash, workflow_json, label, created_at) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(content_hash) DO UPDATE SET "
+                "workflow_json = excluded.workflow_json, "
+                "label = excluded.label",
+                (
+                    source.content_hash,
+                    json.dumps(
+                        workflow_to_json(source.workflow), sort_keys=True
+                    ),
+                    source.label,
+                    time.time(),
+                ),
+            )
+            self._conn.commit()
+        return source.content_hash
+
+    def load_sources(self) -> List[Any]:
+        """All persisted file sources, oldest first.
+
+        Each row's workflow is deserialised and its content hash
+        re-derived on load; a row whose stored hash no longer matches
+        its content (an edited or corrupted store) is refused rather
+        than silently served under the wrong address.
+        """
+        from repro.generators.serialization import workflow_from_json
+        from repro.workloads import FileSource
+
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT content_hash, workflow_json, label FROM sources "
+                "ORDER BY created_at, content_hash"
+            ).fetchall()
+        sources = []
+        for content_hash, workflow_json, label in rows:
+            try:
+                workflow = workflow_from_json(json.loads(workflow_json))
+            except Exception as exc:  # noqa: BLE001 — map to ServiceError
+                raise ServiceError(
+                    f"stored workflow source {content_hash[:12]!r} does "
+                    f"not deserialise: {exc!r}"
+                ) from None
+            source = FileSource(workflow, label=label)
+            if source.content_hash != content_hash:
+                raise ServiceError(
+                    f"stored workflow source {content_hash[:12]!r} hashes "
+                    f"to {source.content_hash[:12]!r}: the store row was "
+                    "edited or corrupted"
+                )
+            sources.append(source)
+        return sources
+
+    def source_count(self) -> int:
+        """Number of persisted workflow sources."""
+        with self._lock:
+            (n,) = self._conn.execute(
+                "SELECT COUNT(*) FROM sources"
+            ).fetchone()
+        return int(n)
 
     def entries(self) -> List[Tuple[str, EvalRequest, CellResult, int]]:
         """All (fingerprint, request, record, hits) rows — small stores

@@ -14,7 +14,7 @@ import numpy as np
 
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["SeedLike", "as_rng", "spawn_rngs"]
+__all__ = ["SeedLike", "as_rng", "spawn_rngs", "stable_seed", "sequence_seed"]
 
 
 def as_rng(seed: SeedLike = None) -> np.random.Generator:

@@ -401,9 +401,10 @@ class TestEngineBatchParity:
         )
 
     def test_montecarlo_keeps_positional_seeds(self):
-        """Monte Carlo must ignore batch_eval: its per-cell sampling
-        seeds are grid-positional, so both settings run the per-cell
-        path and agree exactly — and genuinely depend on the seeds."""
+        """Monte Carlo's default (positional) eval seeds survive
+        batch_eval: the batch entry point threads the same per-cell
+        seed streams, so both settings agree exactly — and genuinely
+        depend on the seeds."""
         spec = self.spec(
             "montecarlo", evaluator_options={"trials": 200}
         )

@@ -32,7 +32,9 @@ def chain_dag(weights):
 class TestDeclaredSchemas:
     def test_builtin_capabilities(self):
         assert EVALUATORS["montecarlo"].deterministic is False
-        assert EVALUATORS["montecarlo"].supports_batch is False
+        # Batch-capable since the content-seed work: the batch entry
+        # point takes one sampling seed per cell.
+        assert EVALUATORS["montecarlo"].supports_batch is True
         for name in ("pathapprox", "normal", "dodin", "exact"):
             assert EVALUATORS[name].deterministic is True
             assert EVALUATORS[name].supports_batch is True
@@ -147,11 +149,22 @@ class TestBatchDispatch:
         for i, value in enumerate(batched):
             assert float(value) == expected_makespan(template.cell(i), "normal")
 
-    def test_montecarlo_refuses_batch(self):
-        template = ParamDAG.from_dags([chain_dag([1.0])])
-        with pytest.raises(EvaluationError) as exc:
-            expected_makespans(template, "montecarlo")
-        assert "batched" in str(exc.value)
+    def test_montecarlo_batches_with_per_cell_seeds(self):
+        template = ParamDAG.from_dags(
+            [chain_dag([1.0, 2.0]), chain_dag([3.0, 4.0])]
+        )
+        batched = expected_makespans(
+            template, "montecarlo", trials=500, seed=[11, 12]
+        )
+        for i, seed in enumerate((11, 12)):
+            assert float(batched[i]) == expected_makespan(
+                template.cell(i), "montecarlo", trials=500, seed=seed
+            )
+
+    def test_montecarlo_batch_seed_count_must_match(self):
+        template = ParamDAG.from_dags([chain_dag([1.0]), chain_dag([2.0])])
+        with pytest.raises(EvaluationError, match="seeds"):
+            expected_makespans(template, "montecarlo", trials=10, seed=[1])
 
     def test_batch_options_validated(self):
         template = ParamDAG.from_dags([chain_dag([1.0])])

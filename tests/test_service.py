@@ -312,6 +312,8 @@ class TestResultStore:
             store.backfill([], seed=7)
 
     def test_backfill_refuses_grid_sensitive_methods(self):
+        # Positional policy (the default): Monte Carlo records depend
+        # on the source grid's shape, so backfill must refuse them.
         store = ResultStore(":memory:")
         with pytest.raises(ServiceError, match="montecarlo"):
             store.backfill(
@@ -421,6 +423,9 @@ class TestPlanBatches:
         assert sizes == [1, 2]
 
     def test_montecarlo_never_coalesced(self):
+        # Default (positional) policy: sampling seeds are positional,
+        # so each cell must be its own 1×1 spec.  (Content-policy
+        # coalescing is covered in test_mc_content.py.)
         requests = [
             self.make(0.01, 1e-3, method="montecarlo"),
             self.make(0.01, 1e-2, method="montecarlo"),

@@ -197,8 +197,9 @@ class TestSweepSpecSource:
         assert stats["mspgify"].hits >= 1
 
     def test_monte_carlo_file_source_per_cell(self):
-        # Monte Carlo stays on the per-cell path for file sources too:
-        # batch_eval makes no difference.
+        # Monte Carlo records for file sources are identical whether
+        # the batch entry point runs or not (per-cell seeds thread
+        # through the batch call).
         spec = source_spec(
             FileSource(small_workflow()),
             method="montecarlo",
@@ -341,6 +342,7 @@ class TestStoreMigration:
 
         payload = request_to_dict(request)
         del payload["workflow"]
+        del payload["eval_seed_policy"]  # v3 field: absent from v1 payloads
         payload["_v"] = 1
         canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()
@@ -358,6 +360,7 @@ class TestStoreMigration:
         conn = sqlite3.connect(path)
         payload = request_to_dict(r)
         del payload["workflow"]
+        del payload["eval_seed_policy"]
         conn.execute(
             "UPDATE results SET fingerprint = ?, request_json = ?",
             (self.v1_fingerprint(r), json.dumps(payload, sort_keys=True)),
@@ -413,6 +416,7 @@ class TestStoreMigration:
         for r in (anti, plain):
             payload = request_to_dict(r)
             del payload["workflow"]
+            del payload["eval_seed_policy"]
             conn.execute(
                 "UPDATE results SET fingerprint = ?, request_json = ? "
                 "WHERE fingerprint = ?",
