@@ -1,0 +1,256 @@
+"""Kernel-layer microbenchmark: scalar vs batched vs plan-replayed.
+
+Times the three distribution primitives (convolve / max / truncate) as
+per-row scalar loops against their single-call
+:class:`~repro.makespan.batch.BatchDistribution` counterparts, in both
+truncation modes (``adaptive`` — the ragged bit-exactness reference —
+and ``rect`` — fixed-width binning), and the PATHAPPROX fold as the
+per-cell scalar reference against the compiled fold-plan replay
+(:func:`~repro.makespan.pathapprox.pathapprox_batch`) on a real MONTAGE
+structure group.  All comparisons assert bit-identical results before
+any timing is reported.
+
+One profiled replay pass collects the kernel counters, so the summary
+carries the **scalar-fallback ratio** (share of batched rows finalised
+through the scalar kernel — the number the rect mode exists to drive
+down) and the fold executor's pool-singleton ratio.  The
+machine-readable summary lands in ``BENCH_kernel.json`` at the repo
+root; ``REPRO_BENCH_SMOKE=1`` shrinks sizes for the CI bench-smoke job.
+Run directly::
+
+    PYTHONPATH=src:. python benchmarks/bench_kernels.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.engine import Pipeline
+from repro.makespan import profile as kernel_profile
+from repro.makespan.batch import BatchDistribution, rows_of
+from repro.makespan.distribution import (
+    MODE_ADAPTIVE,
+    MODE_RECT,
+    DiscreteDistribution,
+)
+from repro.makespan.paramdag import ParamDAG
+from repro.makespan.pathapprox import pathapprox, pathapprox_batch
+from repro.util.rng import stable_seed
+
+from benchmarks.conftest import save_artifact, save_json
+
+#: Tiny sizes for the CI smoke job (JSON shape, not timings).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+N_CELLS = 8 if SMOKE else 64
+N_ATOMS = 16 if SMOKE else 64
+#: Truncation budget below the operand width, so every op truncates.
+BUDGET = max(4, N_ATOMS // 2)
+REPEATS = 2 if SMOKE else 20
+
+
+def random_batch(seed: int, n_cells: int, n_atoms: int) -> BatchDistribution:
+    rng = np.random.default_rng(seed)
+    return BatchDistribution.stack(
+        [
+            DiscreteDistribution(
+                rng.uniform(0.0, 100.0, n_atoms),
+                rng.uniform(0.05, 1.0, n_atoms),
+            )
+            for _ in range(n_cells)
+        ]
+    )
+
+
+def _best(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    """Minimum wall time over ``repeats`` runs, plus the last result."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _assert_rows_equal(
+    scalar: List[DiscreteDistribution], batched, label: str
+) -> None:
+    rows = rows_of(batched) if not isinstance(batched, list) else batched
+    assert len(rows) == len(scalar), label
+    for s, b in zip(scalar, rows):
+        assert np.array_equal(s.values, b.values), label
+        assert np.array_equal(s.probs, b.probs), label
+
+
+def bench_primitives() -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Scalar-loop vs batched-call timings for each primitive × mode."""
+    a = random_batch(1, N_CELLS, N_ATOMS)
+    b = random_batch(2, N_CELLS, N_ATOMS)
+    a_rows, b_rows = a.rows(), b.rows()
+    ops: Dict[str, Tuple[Callable, Callable]] = {
+        "convolve": (
+            lambda mode: [
+                x.convolve(y, BUDGET, mode) for x, y in zip(a_rows, b_rows)
+            ],
+            lambda mode: a.convolve(b, BUDGET, mode),
+        ),
+        "max": (
+            lambda mode: [
+                x.max_with(y, BUDGET, mode) for x, y in zip(a_rows, b_rows)
+            ],
+            lambda mode: a.max_with(b, BUDGET, mode),
+        ),
+        "truncate": (
+            lambda mode: [x.truncate(BUDGET, mode) for x in a_rows],
+            lambda mode: a.truncate(BUDGET, mode),
+        ),
+    }
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name, (scalar_fn, batch_fn) in ops.items():
+        out[name] = {}
+        for mode in (MODE_ADAPTIVE, MODE_RECT):
+            scalar_wall, scalar_res = _best(lambda: scalar_fn(mode), REPEATS)
+            batch_wall, batch_res = _best(lambda: batch_fn(mode), REPEATS)
+            _assert_rows_equal(scalar_res, batch_res, f"{name}/{mode}")
+            out[name][mode] = {
+                "scalar_wall_s": scalar_wall,
+                "batched_wall_s": batch_wall,
+                "speedup": scalar_wall / batch_wall,
+                "rows_per_s": N_CELLS / batch_wall,
+            }
+    return out
+
+
+def fold_template() -> ParamDAG:
+    """Largest structure group of a real MONTAGE-50 CKPTALL grid."""
+    pipe = Pipeline()
+    family, size, procs = "montage", 50, 5
+    wf = pipe.prepare(family, size, stable_seed(2017, family, size))
+    tree = pipe.mspg_tree(wf)
+    schedule = pipe.schedule_for(
+        wf, procs, seed=stable_seed(2017, family, size, procs), tree=tree
+    )
+    pfails = (0.01,) if SMOKE else (0.01, 0.001)
+    ccrs = (1e-2,) if SMOKE else (1e-3, 1e-2, 1e-1, 1e0)
+    dags = []
+    for pfail in pfails:
+        for ccr in ccrs:
+            platform = pipe.platform_for(wf, procs, pfail, 100e6)
+            scaled = pipe.scale(wf, platform, ccr)
+            _plan_some, plan_all = pipe.plans(scaled, schedule, platform, True)
+            dags.append(pipe.segment_dag(scaled, schedule, plan_all, platform))
+    groups: Dict[object, List[int]] = {}
+    for i, dag in enumerate(dags):
+        groups.setdefault(ParamDAG.structure_key(dag), []).append(i)
+    indices = max(groups.values(), key=len)
+    return ParamDAG.from_dags([dags[i] for i in indices])
+
+
+def bench_fold(template: ParamDAG) -> Dict[str, Dict[str, float]]:
+    """Per-cell scalar fold vs compiled plan replay, both modes."""
+    out: Dict[str, Dict[str, float]] = {}
+    for mode in (MODE_ADAPTIVE, MODE_RECT):
+        t0 = time.perf_counter()
+        scalar = np.array(
+            [
+                pathapprox(template.cell(c), truncate_mode=mode)
+                for c in range(template.n_cells)
+            ]
+        )
+        scalar_wall = time.perf_counter() - t0
+        # min over repeats: the first replay also pays plan compilation,
+        # later ones replay cached plans (the steady-state sweep cost).
+        plan_wall, replayed = _best(
+            lambda: pathapprox_batch(template, truncate_mode=mode),
+            2 if SMOKE else 3,
+        )
+        assert np.array_equal(scalar, replayed), f"fold/{mode}"
+        out[mode] = {
+            "cells": template.n_cells,
+            "scalar_wall_s": scalar_wall,
+            "plan_wall_s": plan_wall,
+            "speedup": scalar_wall / plan_wall,
+            "cells_per_s": template.n_cells / plan_wall,
+        }
+    return out
+
+
+def profiled_ratios(template: ParamDAG) -> Dict[str, object]:
+    """One profiled pass: batched primitives + plan replay, both modes."""
+    a = random_batch(1, N_CELLS, N_ATOMS)
+    b = random_batch(2, N_CELLS, N_ATOMS)
+    prof = kernel_profile.enable()
+    try:
+        for mode in (MODE_ADAPTIVE, MODE_RECT):
+            a.convolve(b, BUDGET, mode)
+            a.max_with(b, BUDGET, mode)
+            a.truncate(BUDGET, mode)
+            pathapprox_batch(template, truncate_mode=mode)
+        snap = prof.snapshot()
+    finally:
+        kernel_profile.disable()
+    return snap
+
+
+def compare() -> str:
+    primitives = bench_primitives()
+    template = fold_template()
+    fold = bench_fold(template)
+    snap = profiled_ratios(template)
+
+    lines = [
+        f"kernel microbenchmark — {N_CELLS} cells x {N_ATOMS} atoms, "
+        f"budget {BUDGET}"
+    ]
+    for name, modes in primitives.items():
+        for mode, stats in modes.items():
+            lines.append(
+                f"  {name:<9} {mode:<8} scalar {stats['scalar_wall_s']*1e3:8.2f}ms  "
+                f"batched {stats['batched_wall_s']*1e3:8.2f}ms  "
+                f"speedup {stats['speedup']:5.2f}x"
+            )
+    for mode, stats in fold.items():
+        lines.append(
+            f"  fold      {mode:<8} scalar {stats['scalar_wall_s']:7.2f}s   "
+            f"plan    {stats['plan_wall_s']:7.2f}s   "
+            f"speedup {stats['speedup']:5.2f}x  "
+            f"({stats['cells_per_s']:.2f} cells/s, {stats['cells']} cells)"
+        )
+    ratio = snap["scalar_fallback_ratio"]
+    pooled = snap["pool_singleton_ratio"]
+    lines.append(f"  scalar-fallback ratio {ratio:.4f}" if ratio is not None else "")
+    if pooled is not None:
+        lines.append(f"  pool singleton ratio  {pooled:.4f}")
+
+    summary = {
+        "benchmark": "kernels",
+        "smoke": SMOKE,
+        "n_cells": N_CELLS,
+        "n_atoms": N_ATOMS,
+        "budget": BUDGET,
+        "ops": primitives,
+        "fold": fold,
+        "scalar_fallback_ratio": ratio,
+        "pool_singleton_ratio": pooled,
+        "profile_ops": snap["ops"],
+    }
+    save_json("BENCH_kernel.json", summary)
+    return "\n".join(line for line in lines if line)
+
+
+def bench_kernels(benchmark):
+    """Times the batched convolve kernel; validates parity along the way."""
+    report = compare()
+    save_artifact("kernels.txt", report + "\n")
+    a = random_batch(1, N_CELLS, N_ATOMS)
+    b = random_batch(2, N_CELLS, N_ATOMS)
+    benchmark(lambda: a.convolve(b, BUDGET, MODE_ADAPTIVE))
+
+
+if __name__ == "__main__":
+    print(compare())

@@ -22,6 +22,7 @@ Sub-commands::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -289,6 +290,29 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sw.add_argument(
+        "--truncate-mode",
+        choices=["adaptive", "rect"],
+        default=None,
+        help=(
+            "kernel truncation mode for pathapprox: 'adaptive' "
+            "(default, the bit-exact reference) or 'rect' (fixed-width "
+            "binning; every support stays at exactly max_atoms points, "
+            "so the batched kernels never drop to the ragged scalar "
+            "fallback).  Rect records are a different numerical "
+            "approximation and are fingerprinted separately"
+        ),
+    )
+    sw.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "collect kernel-level op counters (convolve/max/truncate "
+            "calls, batched rows, scalar-fallback ratio, per-op wall "
+            "time) and print the table after the sweep; forces --jobs 1 "
+            "(the collector is process-local)"
+        ),
+    )
+    sw.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -381,6 +405,15 @@ def build_parser() -> argparse.ArgumentParser:
             "default eval-seed policy applied to /evaluate and /sweep "
             "payloads that do not name one ('content' lets Monte Carlo "
             "requests coalesce and hit the durable store)"
+        ),
+    )
+    srv.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "collect kernel-level op counters for the service's batches "
+            "and expose them as 'kernel_profile' in GET /status; forces "
+            "--jobs 1 (the collector is process-local)"
         ),
     )
 
@@ -666,15 +699,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ExperimentError as exc:
         print(f"invalid sweep grid: {exc}", file=sys.stderr)
         return 2
+    if args.truncate_mode is not None:
+        if args.method != "pathapprox":
+            print(
+                "--truncate-mode applies to the pathapprox method only "
+                f"(got --method {args.method})",
+                file=sys.stderr,
+            )
+            return 2
+        spec = dataclasses.replace(
+            spec, evaluator_options=(("truncate_mode", args.truncate_mode),)
+        )
     progress = None if args.quiet else (lambda msg: print("  " + msg))
-    records = run_sweep(
-        spec,
-        jobs=args.jobs,
-        progress=progress,
-        batch_eval=not args.no_batch_eval,
-    )
+    jobs = args.jobs
+    prof = None
+    if args.profile:
+        from repro.makespan import profile as kernel_profile
+
+        if jobs != 1:
+            print(
+                "--profile is process-local; forcing --jobs 1",
+                file=sys.stderr,
+            )
+            jobs = 1
+        prof = kernel_profile.enable()
+    try:
+        records = run_sweep(
+            spec,
+            jobs=jobs,
+            progress=progress,
+            batch_eval=not args.no_batch_eval,
+        )
+    finally:
+        if prof is not None:
+            from repro.makespan import profile as kernel_profile
+
+            kernel_profile.disable()
     print()
     print(render_cells_table(records, title=f"sweep ({spec.family})"))
+    if prof is not None:
+        print()
+        print("kernel profile")
+        print(prof.render())
     if args.out is not None:
         if args.out.suffix.lower() == ".jsonl":
             records_to_jsonl(records, args.out)
@@ -764,6 +830,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         linger=args.linger,
         batch_eval=not args.no_batch_eval,
         eval_seed_policy=args.eval_seed_policy,
+        profile=args.profile,
     )
     return 0
 

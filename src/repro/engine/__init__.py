@@ -26,7 +26,14 @@ the facade (:func:`repro.api.run_strategies`) and the CLI ``sweep``/
 ``figure`` sub-commands are all thin layers over this package.
 """
 
-from repro.engine.pipeline import STAGES, ArtifactCache, Pipeline, StageStats
+from repro.engine.pipeline import (
+    COMPUTE_ONLY_STAGES,
+    STAGES,
+    STORED_STAGES,
+    ArtifactCache,
+    Pipeline,
+    StageStats,
+)
 from repro.engine.records import (
     CellResult,
     record_from_dict,
@@ -45,7 +52,9 @@ from repro.engine.sweep import (
 )
 
 __all__ = [
+    "COMPUTE_ONLY_STAGES",
     "STAGES",
+    "STORED_STAGES",
     "ArtifactCache",
     "Pipeline",
     "StageStats",

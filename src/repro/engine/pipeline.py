@@ -62,6 +62,23 @@ STAGES: Tuple[str, ...] = (
     "evaluate",
 )
 
+#: Stages whose results are **counted but never stored**.  Their cache
+#: keys would be unique per cell (checkpoint plans and segment DAGs
+#: depend on the CCR-scaled workflow *and* the pfail-specific platform;
+#: evaluations additionally on method/options), so storing them would
+#: pay key construction and unbounded memory for a guaranteed 0% hit
+#: rate — a long sweep measured exactly that: 0 hits / 168 misses per
+#: stage before they were reclassified.  Their ``misses`` counter is
+#: work-done telemetry (one computation each), not a cache outcome, and
+#: :meth:`ArtifactCache.hit_rate` excludes them.
+COMPUTE_ONLY_STAGES: Tuple[str, ...] = ("plan", "build_dag", "evaluate")
+
+#: Stages that actually store artifacts — the denominator of
+#: :meth:`ArtifactCache.hit_rate`.
+STORED_STAGES: Tuple[str, ...] = tuple(
+    s for s in STAGES if s not in COMPUTE_ONLY_STAGES
+)
+
 
 @dataclass
 class StageStats:
@@ -104,12 +121,28 @@ class ArtifactCache:
         return value
 
     def count_compute(self, stage: str) -> None:
-        """Record an uncached stage computation (plan / DAG / evaluation)."""
+        """Record a computation for a :data:`COMPUTE_ONLY_STAGES` stage.
+
+        The stage's ``misses`` counter doubles as its work-done tally;
+        nothing is stored, so these stages never hit and are excluded
+        from :meth:`hit_rate`.
+        """
         self._stats[stage].misses += 1
 
     def stats(self) -> Dict[str, StageStats]:
         """Per-stage counters (live objects — read, don't mutate)."""
         return dict(self._stats)
+
+    def hit_rate(self) -> float:
+        """Aggregate hit rate over :data:`STORED_STAGES` only.
+
+        Compute-only stages are excluded: they never store, so counting
+        their misses would dilute the rate with outcomes the cache was
+        never asked to avoid.
+        """
+        calls = sum(self._stats[s].calls for s in STORED_STAGES)
+        hits = sum(self._stats[s].hits for s in STORED_STAGES)
+        return hits / calls if calls else 0.0
 
     def clear(self) -> None:
         """Drop all artifacts; counters are reset too."""

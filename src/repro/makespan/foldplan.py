@@ -1,0 +1,527 @@
+"""Compiled fold plans: execute-many replay of the pathapprox recursion.
+
+The scalar PATHAPPROX estimator (:mod:`repro.makespan.pathapprox`)
+spends its time in two python-level recursions that are determined
+entirely by DAG *structure* — the common-task factoring of
+``_fold_factored`` and the node walks of ``_path_sum`` — yet re-derives
+them for every cell and every adaptive-k budget doubling.  This module
+lifts that work into a **compile-once, execute-many** layer:
+
+* :func:`compile_fold_plan` runs the recursion *symbolically* once per
+  (path set, variance order) signature and records a flat post-order op
+  tape — CONVOLVE and MAX steps over semantic slots — as a
+  :class:`FoldPlan`.  Plans are cached on the
+  :class:`~repro.makespan.paramdag.ParamDAG` template
+  (:meth:`~repro.makespan.paramdag.ParamDAG.plan_cache`), so the cells
+  of a sweep group that share a signature share one compilation.
+
+* :func:`execute_plans` replays tapes for many cells at once with a
+  **pooled wavefront executor**: each round it gathers every step whose
+  operands are ready — across all cells and plans — groups them by
+  (op kind, operand widths), and runs each group as a single batched
+  :class:`~repro.makespan.batch.BatchDistribution` kernel call.
+  Singleton groups go straight to the scalar kernel.  Results land in a
+  per-cell value store keyed by the tape's *semantic* slot names, so
+  they survive across budget doublings (the 64-path plan skips every
+  step the 32-path plan already computed).
+
+* :func:`pathapprox_plan_batch` drives the whole batch through the
+  adaptive-k schedule in lockstep, replicating
+  ``_adaptive_estimate``'s per-cell control flow exactly.
+
+**Bit-identity.**  The tape records exactly the operations the scalar
+recursion performs, keyed so that equal inputs share one slot: path-sum
+chains are memoised by node-tuple *prefix* (the scalar chain prefix
+computation is the identical op sequence, so a prefix hit returns the
+identical object), fold subtrees by their frozenset-of-path-sets memo
+key — the same key :class:`~repro.makespan.pathapprox._CellFold` uses.
+Each step's operands are therefore bit-identical to the scalar path's,
+and the batched kernels guarantee bit-identical outputs per row (the
+batch-parity contract), so the replayed estimates equal the scalar
+reference bit for bit — pinned by the evaluator parity tests.
+
+The Clark-fold tape of the NORMAL method (:class:`ClarkPlan`) lives
+here too: a flat (node, predecessors) schedule plus the sink fold,
+cached on the template so repeated ``normal_batch`` calls skip the
+structure scans.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.makespan import profile as _profile
+from repro.makespan.batch import BatchDistribution, rows_of, two_state_rows
+from repro.makespan.distribution import (
+    DEFAULT_MAX_ATOMS,
+    MODE_ADAPTIVE,
+    DiscreteDistribution,
+)
+from repro.makespan.pathapprox import (
+    ADAPTIVE_STALLS,
+    INITIAL_PATHS,
+    SINGLE_SHOT_N,
+    _k_best_paths_cells,
+)
+
+__all__ = [
+    "FoldPlan",
+    "ClarkPlan",
+    "compile_fold_plan",
+    "execute_plans",
+    "pathapprox_plan_batch",
+    "clark_plan",
+]
+
+#: Leaf slot: the Dirac distribution at 0 (every path sum's seed).
+_P0: Tuple[str, ...] = ("p0",)
+
+#: Step kinds on the tape.
+_CONV = "conv"
+_MAX = "max"
+
+#: Slot reference — a leaf (``("p0",)`` / ``("law", node)``) or a step
+#: key (``("s", node_prefix)`` / ``("m", path_key)`` / ``("c",
+#: path_key)``).  Semantic by construction: equal refs denote equal
+#: distributions for a given cell, across plans and budgets.
+Ref = Tuple
+
+
+class FoldPlan:
+    """A compiled fold: flat post-order op tape plus dependency edges.
+
+    ``steps[i] = (key, kind, a, b)`` computes slot ``key`` as
+    ``a kind b``; operands are earlier steps or leaves, so the tape is
+    topologically ordered.  ``deps``/``dependents`` are the intra-tape
+    edges the wavefront executor counts down; ``root`` is the slot
+    holding the folded maximum.  Plans are immutable and shared across
+    cells — all per-cell state lives in the executor.
+    """
+
+    __slots__ = ("steps", "index", "deps", "dependents", "root")
+
+    def __init__(self, steps: List[Tuple], root: Ref) -> None:
+        self.steps: Tuple[Tuple, ...] = tuple(steps)
+        self.index: Dict[Ref, int] = {s[0]: i for i, s in enumerate(steps)}
+        deps: List[Tuple[int, ...]] = []
+        dependents: List[List[int]] = [[] for _ in steps]
+        for i, (_key, _kind, a, b) in enumerate(steps):
+            d = []
+            for operand in (a, b):
+                j = self.index.get(operand)
+                if j is not None:
+                    d.append(j)
+                    dependents[j].append(i)
+            deps.append(tuple(d))
+        self.deps: Tuple[Tuple[int, ...], ...] = tuple(deps)
+        self.dependents: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(d) for d in dependents
+        )
+        self.root = root
+
+    def __repr__(self) -> str:
+        return f"FoldPlan(steps={len(self.steps)}, root={self.root!r})"
+
+
+def compile_fold_plan(
+    paths: Sequence[int], var_rank: Sequence[int]
+) -> FoldPlan:
+    """Compile the factored fold of ``paths`` into a :class:`FoldPlan`.
+
+    ``paths`` are node-set **bitmasks** (bit ``v`` set iff node ``v`` is
+    on the path) — set algebra on python ints is an order of magnitude
+    cheaper than on frozensets, and a mask is its own canonical form, so
+    masks double as the memo keys.  Runs exactly the recursion of
+    ``_fold_factored`` (same intersection stripping, same
+    highest-variance split, same memo granularity), but emits tape steps
+    instead of computing distributions.  ``var_rank[v]`` must rank nodes
+    by the scalar split key ``(variance, id)`` ascending — a strict
+    total order, so ``max`` by rank picks the same split node.
+    """
+    steps: List[Tuple] = []
+    index: Dict[Ref, int] = {}
+    sum_memo: Dict[Tuple[int, ...], Ref] = {}
+    fold_memo: Dict[FrozenSet[int], Ref] = {}
+
+    def emit(key: Ref, kind: str, a: Ref, b: Ref) -> Ref:
+        if key not in index:
+            index[key] = len(steps)
+            steps.append((key, kind, a, b))
+        return key
+
+    def nodes_of(mask: int) -> List[int]:
+        # Set bits, ascending == the scalar recursion's sorted() order.
+        out: List[int] = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    def sum_ref(nodes: Tuple[int, ...]) -> Ref:
+        ref = sum_memo.get(nodes)
+        if ref is not None:
+            return ref
+        # Chain convolutions seeded at point(0), memoised per *prefix*:
+        # the scalar chain computes every prefix anyway, so a prefix hit
+        # reuses the identical intermediate.
+        prev: Ref = _P0
+        for j in range(len(nodes)):
+            prefix = nodes[: j + 1]
+            ref = sum_memo.get(prefix)
+            if ref is None:
+                ref = emit(("s", prefix), _CONV, prev, ("law", nodes[j]))
+                sum_memo[prefix] = ref
+            prev = ref
+        return prev
+
+    def fold_ref(group: Tuple[int, ...]) -> Ref:
+        key = frozenset(group)
+        ref = fold_memo.get(key)
+        if ref is not None:
+            return ref
+        common = group[0]
+        for q in group[1:]:
+            common &= q
+        rest = [q & ~common for q in group]
+        nonempty = [q for q in rest if q]
+        if not nonempty:
+            folded: Ref = _P0
+        elif len(nonempty) == 1:
+            folded = sum_ref(tuple(nodes_of(nonempty[0])))
+        else:
+            union = 0
+            for q in nonempty:
+                union |= q
+            split = max(nodes_of(union), key=var_rank.__getitem__)
+            bit = 1 << split
+            with_split = tuple(q for q in nonempty if q & bit)
+            without = tuple(q for q in nonempty if not q & bit)
+            if not without:
+                folded = fold_ref(with_split)
+            else:
+                folded = emit(
+                    ("m", key), _MAX, fold_ref(with_split), fold_ref(without)
+                )
+        if common:
+            folded = emit(
+                ("c", key), _CONV, folded, sum_ref(tuple(nodes_of(common)))
+            )
+        fold_memo[key] = folded
+        return folded
+
+    root = fold_ref(tuple(paths))
+    return FoldPlan(steps, root)
+
+
+class _CellRun:
+    """Per-cell replay state: leaf laws plus the persistent slot store."""
+
+    __slots__ = (
+        "index",
+        "values",
+        "remaining",
+        "node_dist",
+        "means",
+        "var_rank",
+        "var_key",
+        "estimate",
+        "stalls",
+        "last_estimate",
+        "last_exhausted",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        point0: DiscreteDistribution,
+        node_dist: List[DiscreteDistribution],
+        means: np.ndarray,
+        variances: np.ndarray,
+    ) -> None:
+        self.index = index
+        self.values: Dict[Ref, DiscreteDistribution] = {_P0: point0}
+        self.remaining: Dict[int, int] = {}
+        self.node_dist = node_dist
+        self.means = means
+        n = len(node_dist)
+        order = sorted(range(n), key=lambda v: (variances[v], v))
+        rank = [0] * n
+        for r, v in enumerate(order):
+            rank[v] = r
+        self.var_rank = rank
+        self.var_key = tuple(order)
+        self.estimate = 0.0
+        self.stalls = 0
+        self.last_estimate = 0.0
+        self.last_exhausted = False
+
+    def resolve(self, ref: Ref) -> DiscreteDistribution:
+        d = self.values.get(ref)
+        if d is None:
+            # Only ("law", node) leaves can miss the store.
+            d = self.node_dist[ref[1]]
+            self.values[ref] = d
+        return d
+
+
+def _schedule(state: _CellRun, plan: FoldPlan) -> List[int]:
+    """Seed the dependency countdown; return the initially ready steps.
+
+    Steps whose slot is already in the cell's store (computed by an
+    earlier budget's plan) are skipped outright, and satisfy their
+    dependents' counts.
+    """
+    ready: List[int] = []
+    remaining = state.remaining
+    remaining.clear()
+    values = state.values
+    steps = plan.steps
+    for i, step in enumerate(steps):
+        if step[0] in values:
+            continue
+        nd = 0
+        for d in plan.deps[i]:
+            if steps[d][0] not in values:
+                nd += 1
+        if nd:
+            remaining[i] = nd
+        else:
+            ready.append(i)
+    return ready
+
+
+def execute_plans(
+    work: Sequence[Tuple[_CellRun, FoldPlan]],
+    max_atoms: int,
+    mode: str = MODE_ADAPTIVE,
+) -> None:
+    """Replay each cell's plan, pooling ready steps across the batch.
+
+    Wavefront execution: every round collects the steps whose operands
+    are ready — across all (cell, plan) pairs — and groups them by
+    ``(kind, width_a, width_b)``.  Each group of two or more runs as one
+    batched kernel call (operand rows stacked, results scattered back);
+    singletons call the scalar kernel directly.  Execution order never
+    affects results (each step's operands are fixed), so pooling
+    preserves bit-identity.  (A greedy fullest-bin-first variant was
+    tried and measured *slower*: fragmentation is structural — plans
+    differ per cell — so deferral barely grows the pools while the bin
+    bookkeeping taxes every step.)
+    """
+    prof = _profile.ACTIVE
+    ready: List[Tuple[_CellRun, FoldPlan, int]] = []
+    for state, plan in work:
+        for i in _schedule(state, plan):
+            ready.append((state, plan, i))
+
+    while ready:
+        groups: Dict[Tuple, List[Tuple]] = {}
+        for state, plan, i in ready:
+            _key, kind, a, b = plan.steps[i]
+            da = state.resolve(a)
+            db = state.resolve(b)
+            groups.setdefault((kind, da.n_atoms, db.n_atoms), []).append(
+                (state, plan, i, da, db)
+            )
+        ready = []
+        for (kind, _wa, _wb), members in groups.items():
+            t0 = time.perf_counter() if prof is not None else 0.0
+            if len(members) == 1:
+                _state, _plan, _i, da, db = members[0]
+                if kind == _CONV:
+                    outs = [da._convolve(db, max_atoms, mode)]
+                else:
+                    outs = [da._max_with(db, max_atoms, mode)]
+            else:
+                batch_a = BatchDistribution(
+                    np.array([m[3].values for m in members]),
+                    np.array([m[3].probs for m in members]),
+                    _canonical=True,
+                )
+                batch_b = BatchDistribution(
+                    np.array([m[4].values for m in members]),
+                    np.array([m[4].probs for m in members]),
+                    _canonical=True,
+                )
+                if kind == _CONV:
+                    res = batch_a._convolve(batch_b, max_atoms, mode)[0]
+                else:
+                    res = batch_a._max_with(batch_b, max_atoms, mode)[0]
+                outs = rows_of(res)
+            if prof is not None:
+                prof.record(
+                    "pool_step",
+                    len(members),
+                    1 if len(members) == 1 else 0,
+                    time.perf_counter() - t0,
+                )
+            for (state, plan, i, _da, _db), dist in zip(members, outs):
+                state.values[plan.steps[i][0]] = dist
+                remaining = state.remaining
+                for d in plan.dependents[i]:
+                    nd = remaining.get(d)
+                    if nd is None:
+                        continue
+                    if nd == 1:
+                        del remaining[d]
+                        ready.append((state, plan, d))
+                    else:
+                        remaining[d] = nd - 1
+
+
+def pathapprox_plan_batch(
+    template,
+    k: Optional[int] = None,
+    max_atoms: int = DEFAULT_MAX_ATOMS,
+    rtol: float = 2e-4,
+    mode: str = MODE_ADAPTIVE,
+) -> np.ndarray:
+    """PATHAPPROX over every cell of a template via compiled fold plans.
+
+    The batched counterpart of the scalar adaptive schedule, run in
+    *lockstep*: every active cell shares the same budget sequence
+    (32, 64, ...), so each round enumerates paths, compiles or reuses
+    the cells' plans, and replays them through one pooled
+    :func:`execute_plans` pass.  Per-cell control flow — stall counting,
+    exhaustion, the ``k=None`` / explicit-k / wide-DAG single-shot
+    branches — replicates ``_adaptive_estimate`` exactly, so results
+    are bit-identical to the scalar reference.
+    """
+    n = template.n
+    n_cells = template.n_cells
+    preds = template.preds
+    sinks = template.sinks()
+    means = template.means
+    variances = template.variances
+    cache = template.plan_cache()
+    point0 = DiscreteDistribution.point(0.0)
+
+    node_rows = [
+        two_state_rows(template.base[:, j], template.long[:, j], template.p[:, j])
+        for j in range(n)
+    ]
+    states = [
+        _CellRun(
+            c,
+            point0,
+            [rows[c] for rows in node_rows],
+            means[c],
+            variances[c],
+        )
+        for c in range(n_cells)
+    ]
+
+    def run_round(active: List[_CellRun], budget: int) -> None:
+        work: List[Tuple[_CellRun, FoldPlan]] = []
+        mean_rows = np.stack([st.means for st in active])
+        paths_cells = _k_best_paths_cells(preds, sinks, mean_rows, budget)
+        for st, paths in zip(active, paths_cells):
+            if not paths:
+                raise EvaluationError("DAG has no source-to-sink path")
+            st.last_exhausted = len(paths) < budget
+            # Path nodes are distinct, so summing their powers of two is
+            # the OR; a plain loop beats functools.reduce on this path.
+            masks = []
+            for p in paths:
+                m = 0
+                for v in p:
+                    m += 1 << v
+                masks.append(m)
+            pathset = tuple(masks)
+            sig = ("fold", frozenset(pathset), st.var_key)
+            plan = cache.get(sig)
+            if plan is None:
+                plan = compile_fold_plan(pathset, st.var_rank)
+                cache[sig] = plan
+            work.append((st, plan))
+        execute_plans(work, max_atoms, mode)
+        for st, plan in work:
+            st.last_estimate = st.resolve(plan.root).mean()
+
+    out = np.empty(n_cells)
+
+    if k is not None:
+        run_round(states, k)
+        for st in states:
+            out[st.index] = st.last_estimate
+        return out
+
+    if n > SINGLE_SHOT_N:
+        run_round(states, 2 * n)
+        for st in states:
+            out[st.index] = st.last_estimate
+        return out
+
+    budget = INITIAL_PATHS
+    run_round(states, budget)
+    cap = max(8 * n, 2 * INITIAL_PATHS)
+    active = []
+    for st in states:
+        st.estimate = st.last_estimate
+        if budget < cap and not st.last_exhausted:
+            active.append(st)
+    while active:
+        budget *= 2
+        run_round(active, budget)
+        still: List[_CellRun] = []
+        for st in active:
+            refined = st.last_estimate
+            if abs(refined - st.estimate) <= rtol * max(abs(st.estimate), 1e-300):
+                st.stalls += 1
+                if st.stalls >= ADAPTIVE_STALLS:
+                    st.estimate = refined
+                    continue
+            else:
+                st.stalls = 0
+            st.estimate = refined
+            if budget < cap and not st.last_exhausted:
+                still.append(st)
+        active = still
+    for st in states:
+        out[st.index] = st.estimate
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the NORMAL method's Clark-fold tape
+# --------------------------------------------------------------------- #
+
+
+class ClarkPlan:
+    """Flat schedule of the Sculli/Clark moment propagation.
+
+    ``steps[i] = (node, predecessors)`` in topological order; ``sinks``
+    is the final fold.  Pure structure — the batched replay streams the
+    template's parameter matrices through it.
+    """
+
+    __slots__ = ("steps", "sinks")
+
+    def __init__(
+        self, steps: Tuple[Tuple[int, Tuple[int, ...]], ...], sinks: Tuple[int, ...]
+    ) -> None:
+        self.steps = steps
+        self.sinks = sinks
+
+    def __repr__(self) -> str:
+        return f"ClarkPlan(steps={len(self.steps)}, sinks={len(self.sinks)})"
+
+
+def clark_plan(template) -> ClarkPlan:
+    """The template's Clark-fold tape, compiled once and cached."""
+    cache = template.plan_cache()
+    plan = cache.get("clark")
+    if plan is None:
+        plan = ClarkPlan(
+            steps=tuple(
+                (v, tuple(template.preds[v])) for v in range(template.n)
+            ),
+            sinks=tuple(template.sinks()),
+        )
+        cache["clark"] = plan
+    return plan

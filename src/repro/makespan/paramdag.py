@@ -45,6 +45,7 @@ class ParamDAG:
         "p",
         "_means",
         "_variances",
+        "_plan_cache",
     )
 
     def __init__(
@@ -77,6 +78,7 @@ class ParamDAG:
         self.p = p
         self._means: np.ndarray = None  # type: ignore[assignment]
         self._variances: np.ndarray = None  # type: ignore[assignment]
+        self._plan_cache: dict = None  # type: ignore[assignment]
 
     # ------------------------------------------------------------------
     # constructors
@@ -169,6 +171,20 @@ class ParamDAG:
             d = self.long - self.base
             self._variances = self.p * (1.0 - self.p) * d * d
         return self._variances
+
+    def plan_cache(self) -> dict:
+        """Mutable store for compiled evaluation plans, keyed by plan
+        signature (see :mod:`repro.makespan.foldplan`).
+
+        Plans depend only on structure and on signatures derived from
+        the parameter matrices (path sets, variance orders), both fixed
+        for a template's lifetime, so caching them here lets every
+        evaluation of the template — and every budget doubling within
+        one evaluation — reuse earlier compilations.
+        """
+        if self._plan_cache is None:
+            self._plan_cache = {}
+        return self._plan_cache
 
     def sinks(self) -> List[int]:
         """Indices of nodes without successors."""

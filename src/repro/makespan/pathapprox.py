@@ -36,7 +36,12 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import EvaluationError
-from repro.makespan.distribution import DEFAULT_MAX_ATOMS, DiscreteDistribution
+from repro.makespan.distribution import (
+    DEFAULT_MAX_ATOMS,
+    MODE_ADAPTIVE,
+    DiscreteDistribution,
+    check_mode,
+)
 from repro.makespan.probdag import ProbDAG
 
 __all__ = ["pathapprox", "pathapprox_batch", "k_longest_paths"]
@@ -131,20 +136,118 @@ def _k_best_paths(
     return paths
 
 
+def _k_best_paths_cells(
+    preds: Sequence[Sequence[int]],
+    sinks: Sequence[int],
+    means: np.ndarray,
+    k: int,
+) -> List[List[List[int]]]:
+    """:func:`_k_best_paths` for many cells sharing one structure.
+
+    ``means`` has shape ``(cells, n)``; the result holds each cell's
+    path list.  The K-best DP runs with a leading cell axis — the entry
+    counts kept per node are structure-determined, so every cell's
+    arrays stack — and each row's ``argpartition``/stable ``argsort``
+    applies the scalar call's algorithm to the scalar call's data, so
+    the enumerated paths match the per-cell reference exactly (pinned
+    by the evaluator parity tests).
+    """
+    if k < 1:
+        raise EvaluationError(f"k must be >= 1, got {k}")
+    c, n = means.shape
+    best_len: List[np.ndarray] = [None] * n  # type: ignore[list-item]
+    best_pred: List[np.ndarray] = [None] * n  # type: ignore[list-item]
+    best_rank: List[np.ndarray] = [None] * n  # type: ignore[list-item]
+    minus_one = np.full((c, 1), -1, dtype=np.int64)
+
+    for v in range(n):
+        ps = preds[v]
+        if not ps:
+            best_len[v] = means[:, v : v + 1].copy()
+            best_pred[v] = minus_one
+            best_rank[v] = minus_one
+            continue
+        lengths = np.concatenate(
+            [best_len[q] for q in ps], axis=1
+        ) + means[:, v : v + 1]
+        pred_ids = np.concatenate(
+            [np.full(best_len[q].shape[1], q, dtype=np.int64) for q in ps]
+        )
+        ranks = np.concatenate(
+            [np.arange(best_len[q].shape[1], dtype=np.int64) for q in ps]
+        )
+        m = lengths.shape[1]
+        if m > k:
+            top = np.argpartition(-lengths, k - 1, axis=1)[:, :k]
+        else:
+            top = np.broadcast_to(np.arange(m), (c, m))
+        sel = np.take_along_axis(lengths, top, axis=1)
+        suborder = np.argsort(-sel, axis=1, kind="stable")
+        chosen = np.take_along_axis(top, suborder, axis=1)
+        best_len[v] = np.take_along_axis(sel, suborder, axis=1)
+        best_pred[v] = pred_ids[chosen]
+        best_rank[v] = ranks[chosen]
+
+    # Reconstruction, vectorised across every cell's top-k entries: the
+    # per-node tables pad into (n, cells, kmax) arrays so one fancy
+    # index per walk step advances all paths at once; the stable
+    # descending argsort over sink entries (sink-major, rank-ascending
+    # column order) reproduces the scalar finals sort exactly.
+    kmax = max(a.shape[1] for a in best_len)
+    pred_tab = np.full((n, c, kmax), -1, dtype=np.int64)
+    rank_tab = np.zeros((n, c, kmax), dtype=np.int64)
+    for v in range(n):
+        wv = best_pred[v].shape[1]
+        pred_tab[v, :, :wv] = best_pred[v]
+        rank_tab[v, :, :wv] = best_rank[v]
+    node_col = np.concatenate(
+        [np.full(best_len[s].shape[1], s, dtype=np.int64) for s in sinks]
+    )
+    rank_col = np.concatenate(
+        [np.arange(best_len[s].shape[1], dtype=np.int64) for s in sinks]
+    )
+    final_len = np.concatenate([best_len[s] for s in sinks], axis=1)
+    kk = min(k, final_len.shape[1])
+    cols = np.argsort(-final_len, axis=1, kind="stable")[:, :kk]
+    v_cur = node_col[cols]
+    r_cur = rank_col[cols]
+    ci_idx = np.arange(c)[:, None]
+    trail: List[np.ndarray] = []
+    while True:
+        trail.append(v_cur)
+        active = v_cur != -1
+        if not active.any():
+            break
+        safe_v = np.where(active, v_cur, 0)
+        safe_r = np.where(active, r_cur, 0)
+        v_cur = np.where(active, pred_tab[safe_v, ci_idx, safe_r], -1)
+        r_cur = rank_tab[safe_v, ci_idx, safe_r]
+    arr = np.stack(trail)  # (depth, cells, kk), -1-padded past each end
+    lens = (arr != -1).sum(axis=0).tolist()
+    seqs = arr.transpose(1, 2, 0).tolist()
+    return [
+        [seq[d - 1 :: -1] for seq, d in zip(row_seqs, row_lens)]
+        for row_seqs, row_lens in zip(seqs, lens)
+    ]
+
+
 def _path_sum(
-    dag: ProbDAG, nodes: Sequence[int], max_atoms: int
+    dag: ProbDAG, nodes: Sequence[int], max_atoms: int, mode: str = MODE_ADAPTIVE
 ) -> DiscreteDistribution:
     dist = DiscreteDistribution.point(0.0)
     for v in nodes:
         t = dag.task(v)
         dist = dist.convolve(
-            DiscreteDistribution.two_state(t.base, t.long, t.p), max_atoms
+            DiscreteDistribution.two_state(t.base, t.long, t.p), max_atoms, mode
         )
     return dist
 
 
 def _fold_factored(
-    dag: ProbDAG, paths: List[FrozenSet[int]], max_atoms: int
+    dag: ProbDAG,
+    paths: List[FrozenSet[int]],
+    max_atoms: int,
+    mode: str = MODE_ADAPTIVE,
 ) -> DiscreteDistribution:
     """max over path sums with recursive common-task factoring.
 
@@ -161,7 +264,7 @@ def _fold_factored(
     if not nonempty:
         folded = DiscreteDistribution.point(0.0)
     elif len(nonempty) == 1:
-        folded = _path_sum(dag, sorted(nonempty[0]), max_atoms)
+        folded = _path_sum(dag, sorted(nonempty[0]), max_atoms, mode)
     else:
         variances = {v: dag.task(v).variance for p in nonempty for v in p}
         split = max(variances, key=lambda v: (variances[v], v))
@@ -170,18 +273,24 @@ def _fold_factored(
         if not without:
             # split is common to all non-empty remainders; recurse (their
             # intersection is non-empty, so the recursion strips it).
-            folded = _fold_factored(dag, with_split, max_atoms)
+            folded = _fold_factored(dag, with_split, max_atoms, mode)
         else:
-            folded = _fold_factored(dag, with_split, max_atoms).max_with(
-                _fold_factored(dag, without, max_atoms), max_atoms
+            folded = _fold_factored(dag, with_split, max_atoms, mode).max_with(
+                _fold_factored(dag, without, max_atoms, mode), max_atoms, mode
             )
     if common:
-        folded = folded.convolve(_path_sum(dag, sorted(common), max_atoms), max_atoms)
+        folded = folded.convolve(
+            _path_sum(dag, sorted(common), max_atoms, mode), max_atoms, mode
+        )
     return folded
 
 
 def _estimate_with_k(
-    dag: ProbDAG, k: int, max_atoms: int, factor_common: bool
+    dag: ProbDAG,
+    k: int,
+    max_atoms: int,
+    factor_common: bool,
+    mode: str = MODE_ADAPTIVE,
 ) -> Tuple[float, bool]:
     """Estimate with a fixed budget; also reports path-supply exhaustion."""
     paths = k_longest_paths(dag, k)
@@ -190,13 +299,15 @@ def _estimate_with_k(
     exhausted = len(paths) < k
     if factor_common:
         return (
-            _fold_factored(dag, [frozenset(p) for p in paths], max_atoms).mean(),
+            _fold_factored(
+                dag, [frozenset(p) for p in paths], max_atoms, mode
+            ).mean(),
             exhausted,
         )
     folded: DiscreteDistribution = None  # type: ignore[assignment]
     for path in paths:
-        dist = _path_sum(dag, path, max_atoms)
-        folded = dist if folded is None else folded.max_with(dist, max_atoms)
+        dist = _path_sum(dag, path, max_atoms, mode)
+        folded = dist if folded is None else folded.max_with(dist, max_atoms, mode)
     return folded.mean(), exhausted
 
 
@@ -253,6 +364,7 @@ def pathapprox(
     max_atoms: int = DEFAULT_MAX_ATOMS,
     factor_common: bool = True,
     rtol: float = ADAPTIVE_RTOL,
+    truncate_mode: str = MODE_ADAPTIVE,
 ) -> float:
     """Path-based estimate of the expected makespan of a 2-state DAG.
 
@@ -264,14 +376,22 @@ def pathapprox(
     1000-task workflow on hundreds of processors — genuinely need
     hundreds of paths; narrow ones stop at the first doubling.  Pass an
     explicit ``k`` to pin the budget (used by the ablation benchmarks).
+
+    ``truncate_mode`` selects the distribution kernels' truncation
+    scheme: ``"adaptive"`` (default, the bit-exactness reference) or
+    ``"rect"`` (fixed-width binning, the batched fast path — see
+    :mod:`repro.makespan.distribution`).
     """
+    check_mode(truncate_mode)
     if dag.n == 0:
         return 0.0
     return _adaptive_estimate(
         dag.n,
         k,
         rtol,
-        lambda budget: _estimate_with_k(dag, budget, max_atoms, factor_common),
+        lambda budget: _estimate_with_k(
+            dag, budget, max_atoms, factor_common, truncate_mode
+        ),
     )
 
 
@@ -305,6 +425,7 @@ class _CellFold:
         "variances",
         "node_dist",
         "max_atoms",
+        "mode",
         "_sum_memo",
         "_fold_memo",
     )
@@ -317,6 +438,7 @@ class _CellFold:
         variances: np.ndarray,
         node_dist: Sequence[DiscreteDistribution],
         max_atoms: int,
+        mode: str = MODE_ADAPTIVE,
     ) -> None:
         self.preds = preds
         self.sinks = sinks
@@ -324,6 +446,7 @@ class _CellFold:
         self.variances = variances
         self.node_dist = node_dist
         self.max_atoms = max_atoms
+        self.mode = mode
         self._sum_memo: Dict[Tuple[int, ...], DiscreteDistribution] = {}
         self._fold_memo: Dict[FrozenSet[FrozenSet[int]], DiscreteDistribution] = {}
 
@@ -332,7 +455,7 @@ class _CellFold:
         if dist is None:
             dist = DiscreteDistribution.point(0.0)
             for v in nodes:
-                dist = dist.convolve(self.node_dist[v], self.max_atoms)
+                dist = dist.convolve(self.node_dist[v], self.max_atoms, self.mode)
             self._sum_memo[nodes] = dist
         return dist
 
@@ -364,11 +487,11 @@ class _CellFold:
                 folded = self.fold(with_split)
             else:
                 folded = self.fold(with_split).max_with(
-                    self.fold(without), self.max_atoms
+                    self.fold(without), self.max_atoms, self.mode
                 )
         if common:
             folded = folded.convolve(
-                self.path_sum(tuple(sorted(common))), self.max_atoms
+                self.path_sum(tuple(sorted(common))), self.max_atoms, self.mode
             )
         self._fold_memo[key] = folded
         return folded
@@ -394,20 +517,26 @@ def pathapprox_batch(
     max_atoms: int = DEFAULT_MAX_ATOMS,
     factor_common: bool = True,
     rtol: float = ADAPTIVE_RTOL,
+    truncate_mode: str = MODE_ADAPTIVE,
 ) -> np.ndarray:
     """Path-based estimates for every cell of a parameterised DAG.
 
     ``template`` is a :class:`~repro.makespan.paramdag.ParamDAG`; the
     result array is **bit-identical** to evaluating each materialised
     cell with :func:`pathapprox` (pinned by the batch-parity tests).
-    The structure-dependent work is shared across the batch — per-node
-    2-state laws are built in one vectorised pass per node
-    (:func:`~repro.makespan.batch.two_state_rows`), expected durations
-    and variances come from the template's precomputed ``(cells, n)``
-    matrices — while the path enumeration and fold stay per cell (they
-    depend on per-cell parameter values) with exact-input memoisation
-    across the adaptive schedule's budget doublings.
+
+    The heavy lifting happens in :mod:`repro.makespan.foldplan`: the
+    fold recursion is compiled once per (path set, variance order)
+    signature into a flat op tape cached on the template, and the tapes
+    of all cells are replayed together by a pooled wavefront executor
+    that groups same-shaped steps across cells into single batched
+    kernel calls.  The adaptive-k schedule runs the batch in lockstep
+    with per-cell stall/exhaustion tracking, replicating the scalar
+    :func:`_adaptive_estimate` control flow exactly.  (:class:`_CellFold`
+    above is the per-cell reference implementation of the same
+    algorithm, kept for the kernel benchmarks.)
     """
+    check_mode(truncate_mode)
     n_cells = template.n_cells
     if template.n == 0:
         return np.zeros(n_cells)
@@ -422,28 +551,13 @@ def pathapprox_batch(
                     max_atoms=max_atoms,
                     factor_common=False,
                     rtol=rtol,
+                    truncate_mode=truncate_mode,
                 )
                 for c in range(n_cells)
             ]
         )
-    from repro.makespan.batch import two_state_rows
+    from repro.makespan.foldplan import pathapprox_plan_batch
 
-    node_rows = [
-        two_state_rows(template.base[:, j], template.long[:, j], template.p[:, j])
-        for j in range(template.n)
-    ]
-    means = template.means
-    variances = template.variances
-    sinks = template.sinks()
-    out = np.empty(n_cells)
-    for c in range(n_cells):
-        cell = _CellFold(
-            template.preds,
-            sinks,
-            means[c],
-            variances[c],
-            [rows[c] for rows in node_rows],
-            max_atoms,
-        )
-        out[c] = cell.run(template.n, k, rtol)
-    return out
+    return pathapprox_plan_batch(
+        template, k=k, max_atoms=max_atoms, rtol=rtol, mode=truncate_mode
+    )

@@ -1,0 +1,165 @@
+"""Kernel profiling counters for the distribution algebra.
+
+The makespan kernels — scalar :class:`DiscreteDistribution` operations,
+their batched :class:`BatchDistribution` counterparts, and the pooled
+fold-plan executor — report op counts, row counts, scalar-fallback rows
+and per-op wall time here.  The collector is **off by default** and the
+hot-path cost of an inactive hook is a single module-attribute load and
+``None`` check (no timestamping, no allocation), so the hooks stay in
+production code.
+
+Usage::
+
+    prof = enable()          # fresh collector, hooks start recording
+    ...                      # run sweeps / evaluations
+    prof.snapshot()          # JSON-friendly summary
+    disable()                # detach
+
+The headline derived metric is the **scalar-fallback ratio**: the share
+of batched-kernel rows that had to finalise through the scalar kernel
+(data-dependent merges, ragged union grids, emptied truncation bins).
+It is the number that motivates the rectangular truncate mode, and the
+``repro sweep --profile`` / ``/status`` surfaces report it.
+
+The collector is process-local: a multiprocess sweep only profiles the
+parent, so profiled runs should use ``jobs=1`` (the CLI enforces this).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+__all__ = [
+    "KernelProfile",
+    "ACTIVE",
+    "enable",
+    "disable",
+    "active",
+    "snapshot",
+]
+
+#: Kernel ops counted one row at a time (the scalar reference kernels).
+SCALAR_OPS = ("convolve", "max", "truncate")
+#: Batched kernel ops; ``rows`` counts cells, ``scalar_rows`` the subset
+#: finalised through the scalar kernel (the fallback ratio's numerator).
+BATCH_OPS = ("batch_convolve", "batch_max", "batch_truncate")
+#: Pooled fold-plan executor; ``rows`` counts tape steps, ``scalar_rows``
+#: the steps executed singly (no pooling partner of matching shape).
+POOL_OPS = ("pool_step",)
+
+
+class KernelProfile:
+    """Mutable per-op counters: calls, rows, scalar rows, wall seconds."""
+
+    __slots__ = ("counters", "started_at")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Dict[str, float]] = {}
+        self.started_at = time.perf_counter()
+
+    def record(
+        self, op: str, rows: int = 1, scalar_rows: int = 0, wall: float = 0.0
+    ) -> None:
+        entry = self.counters.get(op)
+        if entry is None:
+            entry = {"calls": 0, "rows": 0, "scalar_rows": 0, "wall_s": 0.0}
+            self.counters[op] = entry
+        entry["calls"] += 1
+        entry["rows"] += rows
+        entry["scalar_rows"] += scalar_rows
+        entry["wall_s"] += wall
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+
+    def scalar_fallback_ratio(self) -> Optional[float]:
+        """Scalar-finalised rows / total rows across batched kernels.
+
+        ``None`` when no batched kernel ran (nothing to fall back from).
+        """
+        rows = scalar = 0
+        for op in BATCH_OPS:
+            entry = self.counters.get(op)
+            if entry:
+                rows += int(entry["rows"])
+                scalar += int(entry["scalar_rows"])
+        if rows == 0:
+            return None
+        return scalar / rows
+
+    def pool_singleton_ratio(self) -> Optional[float]:
+        """Unpooled tape steps / total steps in the fold-plan executor."""
+        entry = self.counters.get("pool_step")
+        if not entry or entry["rows"] == 0:
+            return None
+        return entry["scalar_rows"] / entry["rows"]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly summary (used by ``/status`` and the CLI)."""
+        ops = {
+            op: {
+                "calls": int(e["calls"]),
+                "rows": int(e["rows"]),
+                "scalar_rows": int(e["scalar_rows"]),
+                "wall_s": round(float(e["wall_s"]), 6),
+            }
+            for op, e in sorted(self.counters.items())
+        }
+        return {
+            "ops": ops,
+            "scalar_fallback_ratio": self.scalar_fallback_ratio(),
+            "pool_singleton_ratio": self.pool_singleton_ratio(),
+            "elapsed_s": round(time.perf_counter() - self.started_at, 6),
+        }
+
+    def render(self) -> str:
+        """Human-readable table for ``repro sweep --profile``."""
+        lines = [
+            f"{'op':<16} {'calls':>9} {'rows':>10} {'scalar':>9} {'wall_s':>9}"
+        ]
+        for op, e in sorted(self.counters.items()):
+            lines.append(
+                f"{op:<16} {int(e['calls']):>9} {int(e['rows']):>10} "
+                f"{int(e['scalar_rows']):>9} {e['wall_s']:>9.3f}"
+            )
+        ratio = self.scalar_fallback_ratio()
+        lines.append(
+            "scalar-fallback ratio: "
+            + ("n/a (no batched kernel calls)" if ratio is None else f"{ratio:.4f}")
+        )
+        pooled = self.pool_singleton_ratio()
+        if pooled is not None:
+            lines.append(f"pool singleton ratio:  {pooled:.4f}")
+        return "\n".join(lines)
+
+
+#: The active collector, or ``None``.  Kernels do
+#: ``if profile.ACTIVE is not None: ...`` — keep reads going through the
+#: module attribute so :func:`enable`/:func:`disable` take effect
+#: everywhere at once.
+ACTIVE: Optional[KernelProfile] = None
+
+
+def enable() -> KernelProfile:
+    """Install (and return) a fresh collector; prior counts are dropped."""
+    global ACTIVE
+    ACTIVE = KernelProfile()
+    return ACTIVE
+
+
+def disable() -> None:
+    """Detach the collector; hooks return to the no-op fast path."""
+    global ACTIVE
+    ACTIVE = None
+
+
+def active() -> Optional[KernelProfile]:
+    """The live collector, if profiling is enabled."""
+    return ACTIVE
+
+
+def snapshot() -> Optional[Dict[str, object]]:
+    """Snapshot of the live collector, or ``None`` when disabled."""
+    return None if ACTIVE is None else ACTIVE.snapshot()

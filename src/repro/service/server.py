@@ -79,6 +79,7 @@ from repro.engine.records import record_to_dict
 from repro.engine.sweep import SweepSpec
 from repro.errors import ReproError, ServiceError
 from repro.engine.sweep import EVAL_SEED_POLICIES
+from repro.makespan import profile as kernel_profile
 from repro.service.fingerprint import (
     grid_sensitive,
     request_from_dict,
@@ -359,6 +360,9 @@ class _Handler(BaseHTTPRequestHandler):
                     "batch_size_mean": sched.batch_size_mean,
                     "last_batch_sizes": list(sched.last_batch_sizes),
                 },
+                # Present only while kernel profiling is live (serve
+                # --profile, or an embedding process calling enable()).
+                "kernel_profile": kernel_profile.snapshot(),
             },
         )
 
@@ -409,12 +413,20 @@ class ReproService:
         log: Optional[Callable[[str], None]] = None,
         batch_eval: bool = True,
         eval_seed_policy: str = "positional",
+        profile: bool = False,
     ) -> None:
         if eval_seed_policy not in EVAL_SEED_POLICIES:
             raise ServiceError(
                 f"unknown eval-seed policy {eval_seed_policy!r}; "
                 f"choose from {list(EVAL_SEED_POLICIES)}"
             )
+        #: Kernel profiling is process-local, so a profiled service runs
+        #: its batches in-process (jobs forced to 1); ``/status`` then
+        #: carries the live ``kernel_profile`` snapshot.
+        self.profiling = bool(profile)
+        if self.profiling:
+            jobs = 1
+            kernel_profile.enable()
         #: Policy applied to /evaluate and /sweep payloads that do not
         #: name one themselves (a payload's explicit field always wins).
         self.default_eval_seed_policy = eval_seed_policy
@@ -501,6 +513,8 @@ class ReproService:
             self._thread.join(timeout=5.0)
             self._thread = None
         self.scheduler.stop()
+        if self.profiling:
+            kernel_profile.disable()
         if self._owns_store:
             self.store.close()
 
@@ -520,15 +534,19 @@ def serve(
     log: Optional[Callable[[str], None]] = print,
     batch_eval: bool = True,
     eval_seed_policy: str = "positional",
+    profile: bool = False,
 ) -> None:
     """Run a blocking evaluation service (the ``repro serve`` command)."""
     service = ReproService(
         host=host, port=port, store=store, jobs=jobs, linger=linger, log=log,
         batch_eval=batch_eval, eval_seed_policy=eval_seed_policy,
+        profile=profile,
     )
     if log is not None:
         log(
             f"repro service v{__version__} listening on {service.url} "
-            f"(store: {service.store.path}, jobs={jobs}, linger={linger}s)"
+            f"(store: {service.store.path}, jobs={jobs}, linger={linger}s"
+            + (", kernel profiling on" if profile else "")
+            + ")"
         )
     service.serve_forever()

@@ -45,6 +45,7 @@ class TestDeclaredSchemas:
             "max_atoms",
             "factor_common",
             "rtol",
+            "truncate_mode",
         )
         assert EVALUATORS["normal"].option_names() == ()
         assert "trials" in EVALUATORS["montecarlo"].option_names()
