@@ -2,14 +2,17 @@
 
 Profiling (PR 1) showed PathApprox evaluation is ~95% of per-cell sweep
 cost.  This benchmark isolates the batched evaluation core's win: the
-same grid is run through :func:`repro.engine.run_sweep` twice, once with
+same grid is run through :func:`repro.engine.run_sweep` three times —
 ``batch_eval=False`` (the per-cell reference path: one evaluator call
-per cell, 2-state laws rebuilt per path occurrence) and once with the
-default batched path (one :class:`~repro.makespan.paramdag.ParamDAG`
-template per structure group, vectorised node laws, memoised folds).
-Records are asserted bit-identical; the machine-readable summary lands
-in ``BENCH_eval.json`` at the repo root with ``cells_per_s`` /
-``wall_s`` / ``speedup`` keys per grid and overall.
+per cell, 2-state laws rebuilt per path occurrence),
+``fused_eval=False`` (one batched dispatch per strategy and structure
+group) and the default fused path (every evaluation of a grid group —
+both strategies, all chunks, all structure groups — pooled through one
+multi-template dispatch).  Records are asserted bit-identical; the
+machine-readable summary lands in ``BENCH_eval.json`` at the repo root
+with ``cells_per_s`` / ``wall_s`` / ``speedup`` keys per grid and
+overall, plus the fused dispatch telemetry (``dispatches``,
+``dispatch_jobs_mean``, ``pool_width_mean``).
 
 Grids: the 84-cell MONTAGE grid of ``bench_sweep_engine.py`` and a
 40-cell GENOME-50 grid.  ``REPRO_BENCH_SMOKE=1`` shrinks both to a few
@@ -27,6 +30,7 @@ from typing import Dict, List, Tuple
 
 from repro.engine import CellResult, SweepSpec, run_sweep
 from repro.experiments.figures import log_grid
+from repro.makespan import profile as kernel_profile
 
 from benchmarks.conftest import save_artifact, save_json
 
@@ -61,25 +65,49 @@ def genome_spec() -> SweepSpec:
 
 
 def run_grid(spec: SweepSpec) -> Tuple[Dict[str, float], List[CellResult]]:
-    """Time per-cell vs batched evaluation of one grid; assert parity."""
+    """Time per-cell vs per-group vs fused evaluation of one grid.
+
+    All three paths are asserted bit-identical; the timed default is
+    the fused dispatcher.  A separate (untimed) profiled pass collects
+    the dispatch telemetry — dispatch count, mean template jobs per
+    dispatch, mean pooled wavefront width — so the JSON artifact pins
+    the dispatch shape, not just the wall time.
+    """
     t0 = time.perf_counter()
     per_cell = run_sweep(spec, jobs=1, batch_eval=False)
     wall_per_cell = time.perf_counter() - t0
     t0 = time.perf_counter()
-    batched = run_sweep(spec, jobs=1, batch_eval=True)
+    grouped = run_sweep(spec, jobs=1, fused_eval=False)
+    wall_grouped = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batched = run_sweep(spec, jobs=1)
     wall_batched = time.perf_counter() - t0
     assert batched == per_cell, (
-        f"{spec.name}: batched records diverge from the per-cell path"
+        f"{spec.name}: fused records diverge from the per-cell path"
     )
+    assert grouped == per_cell, (
+        f"{spec.name}: per-group records diverge from the per-cell path"
+    )
+    prof = kernel_profile.enable()
+    try:
+        run_sweep(spec, jobs=1)
+        snap = prof.snapshot()
+    finally:
+        kernel_profile.disable()
     cells = len(batched)
     return (
         {
             "cells": cells,
             "wall_s": wall_batched,
             "per_cell_wall_s": wall_per_cell,
+            "per_group_wall_s": wall_grouped,
             "cells_per_s": cells / wall_batched,
             "per_cell_cells_per_s": cells / wall_per_cell,
             "speedup": wall_per_cell / wall_batched,
+            "fused_speedup": wall_grouped / wall_batched,
+            "dispatches": snap["dispatches"],
+            "dispatch_jobs_mean": snap["dispatch_jobs_mean"],
+            "pool_width_mean": snap["pool_width_mean"],
         },
         batched,
     )
@@ -92,7 +120,10 @@ def compare() -> Tuple[str, List[CellResult]]:
         "smoke": SMOKE,
         "grids": {},
     }
-    lines = ["batched vs per-cell evaluation (jobs=1, bit-identical records)"]
+    lines = [
+        "fused vs per-group vs per-cell evaluation "
+        "(jobs=1, bit-identical records)"
+    ]
     montage_cells: List[CellResult] = []
     total_cells = 0
     total_batched = 0.0
@@ -109,9 +140,11 @@ def compare() -> Tuple[str, List[CellResult]]:
             f"  {name:<8} {stats['cells']:>4} cells  "
             f"per-cell {stats['per_cell_wall_s']:7.2f}s "
             f"({stats['per_cell_cells_per_s']:6.2f} cells/s)  "
-            f"batched {stats['wall_s']:7.2f}s "
+            f"fused {stats['wall_s']:7.2f}s "
             f"({stats['cells_per_s']:6.2f} cells/s)  "
-            f"speedup {stats['speedup']:.2f}x"
+            f"speedup {stats['speedup']:.2f}x  "
+            f"dispatches {stats['dispatches']} "
+            f"(pool width {stats['pool_width_mean']:.1f})"
         )
     # Top-level trajectory keys (the montage grid is the acceptance
     # reference; overall aggregates cover both grids).

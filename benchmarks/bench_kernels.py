@@ -38,7 +38,11 @@ from repro.makespan.distribution import (
     DiscreteDistribution,
 )
 from repro.makespan.paramdag import ParamDAG
-from repro.makespan.pathapprox import pathapprox, pathapprox_batch
+from repro.makespan.pathapprox import (
+    pathapprox,
+    pathapprox_batch,
+    pathapprox_fused,
+)
 from repro.util.rng import stable_seed
 
 from benchmarks.conftest import save_artifact, save_json
@@ -126,8 +130,13 @@ def bench_primitives() -> Dict[str, Dict[str, Dict[str, float]]]:
     return out
 
 
-def fold_template() -> ParamDAG:
-    """Largest structure group of a real MONTAGE-50 CKPTALL grid."""
+def fold_templates() -> List[ParamDAG]:
+    """Structure groups of a real MONTAGE-50 grid, largest first.
+
+    Both checkpoint strategies contribute DAGs (CKPTSOME and CKPTALL
+    structures differ), so the returned templates are exactly the
+    multi-template job-list a fused sweep dispatch would pool.
+    """
     pipe = Pipeline()
     family, size, procs = "montage", 50, 5
     wf = pipe.prepare(family, size, stable_seed(2017, family, size))
@@ -142,13 +151,21 @@ def fold_template() -> ParamDAG:
         for ccr in ccrs:
             platform = pipe.platform_for(wf, procs, pfail, 100e6)
             scaled = pipe.scale(wf, platform, ccr)
-            _plan_some, plan_all = pipe.plans(scaled, schedule, platform, True)
+            plan_some, plan_all = pipe.plans(scaled, schedule, platform, True)
+            dags.append(pipe.segment_dag(scaled, schedule, plan_some, platform))
             dags.append(pipe.segment_dag(scaled, schedule, plan_all, platform))
     groups: Dict[object, List[int]] = {}
     for i, dag in enumerate(dags):
         groups.setdefault(ParamDAG.structure_key(dag), []).append(i)
-    indices = max(groups.values(), key=len)
-    return ParamDAG.from_dags([dags[i] for i in indices])
+    ordered = sorted(groups.values(), key=len, reverse=True)
+    return [
+        ParamDAG.from_dags([dags[i] for i in indices]) for indices in ordered
+    ]
+
+
+def fold_template() -> ParamDAG:
+    """Largest structure group of the MONTAGE-50 grid."""
+    return fold_templates()[0]
 
 
 def bench_fold(template: ParamDAG) -> Dict[str, Dict[str, float]]:
@@ -180,6 +197,34 @@ def bench_fold(template: ParamDAG) -> Dict[str, Dict[str, float]]:
     return out
 
 
+def bench_fused(templates: List[ParamDAG]) -> Dict[str, float]:
+    """Sequential per-template replay vs one fused multi-template pass.
+
+    The fused work-list pools every template's wavefronts through
+    shared :func:`~repro.makespan.foldplan.execute_plans` passes;
+    results are asserted bit-identical per template before timing.
+    """
+    jobs = [(tpl, {}, None) for tpl in templates]
+    seq_wall, seq_res = _best(
+        lambda: [pathapprox_batch(tpl) for tpl in templates],
+        2 if SMOKE else 3,
+    )
+    fused_wall, fused_res = _best(
+        lambda: pathapprox_fused(jobs), 2 if SMOKE else 3
+    )
+    for seq, fused in zip(seq_res, fused_res):
+        assert np.array_equal(seq, fused), "fused multi-template parity"
+    cells = sum(tpl.n_cells for tpl in templates)
+    return {
+        "templates": len(templates),
+        "cells": cells,
+        "sequential_wall_s": seq_wall,
+        "fused_wall_s": fused_wall,
+        "speedup": seq_wall / fused_wall,
+        "cells_per_s": cells / fused_wall,
+    }
+
+
 def profiled_ratios(template: ParamDAG) -> Dict[str, object]:
     """One profiled pass: batched primitives + plan replay, both modes."""
     a = random_batch(1, N_CELLS, N_ATOMS)
@@ -199,8 +244,10 @@ def profiled_ratios(template: ParamDAG) -> Dict[str, object]:
 
 def compare() -> str:
     primitives = bench_primitives()
-    template = fold_template()
+    templates = fold_templates()
+    template = templates[0]
     fold = bench_fold(template)
+    fused = bench_fused(templates)
     snap = profiled_ratios(template)
 
     lines = [
@@ -221,6 +268,13 @@ def compare() -> str:
             f"speedup {stats['speedup']:5.2f}x  "
             f"({stats['cells_per_s']:.2f} cells/s, {stats['cells']} cells)"
         )
+    lines.append(
+        f"  fused     {fused['templates']} templates "
+        f"({fused['cells']} cells)  "
+        f"sequential {fused['sequential_wall_s']:7.2f}s  "
+        f"fused {fused['fused_wall_s']:7.2f}s  "
+        f"speedup {fused['speedup']:5.2f}x"
+    )
     ratio = snap["scalar_fallback_ratio"]
     pooled = snap["pool_singleton_ratio"]
     lines.append(f"  scalar-fallback ratio {ratio:.4f}" if ratio is not None else "")
@@ -235,6 +289,7 @@ def compare() -> str:
         "budget": BUDGET,
         "ops": primitives,
         "fold": fold,
+        "fused": fused,
         "scalar_fallback_ratio": ratio,
         "pool_singleton_ratio": pooled,
         "profile_ops": snap["ops"],

@@ -9,8 +9,9 @@ Sub-commands::
     sweep      run a parameter grid through the staged pipeline engine
                (artifact cache + optional --jobs process-pool fan-out;
                records to JSONL/CSV; --no-batch-eval forces the
-               per-cell reference path; --dax sweeps an external
-               workflow file instead of a synthetic family)
+               per-cell reference path, --no-fused-eval the per-group
+               dispatch; --dax sweeps an external workflow file
+               instead of a synthetic family)
     figure     regenerate a paper figure grid (CSV + ASCII panels)
     accuracy   run the §VI-B estimator accuracy study
     simulate   replay one failure-injected execution with an event log
@@ -290,6 +291,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sw.add_argument(
+        "--no-fused-eval",
+        action="store_true",
+        help=(
+            "dispatch one evaluation per strategy and structure group "
+            "instead of fusing all of a grid group's evaluations into "
+            "one multi-template dispatch; records are bit-identical "
+            "either way"
+        ),
+    )
+    sw.add_argument(
         "--truncate-mode",
         choices=["adaptive", "rect"],
         default=None,
@@ -307,9 +318,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "collect kernel-level op counters (convolve/max/truncate "
-            "calls, batched rows, scalar-fallback ratio, per-op wall "
-            "time) and print the table after the sweep; forces --jobs 1 "
-            "(the collector is process-local)"
+            "calls, batched rows, scalar-fallback ratio, evaluation "
+            "dispatches, pooled wavefront width, per-op wall time) and "
+            "print the table after the sweep; with --jobs N the workers "
+            "profile themselves and the counters are merged"
         ),
     )
     sw.add_argument(
@@ -398,6 +410,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     srv.add_argument(
+        "--no-fused-eval",
+        action="store_true",
+        help=(
+            "dispatch coalesced specs per strategy and structure group "
+            "instead of fusing each batch into one multi-template "
+            "dispatch per method"
+        ),
+    )
+    srv.add_argument(
         "--eval-seed-policy",
         choices=["positional", "content"],
         default="positional",
@@ -412,8 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "collect kernel-level op counters for the service's batches "
-            "and expose them as 'kernel_profile' in GET /status; forces "
-            "--jobs 1 (the collector is process-local)"
+            "and expose them as 'kernel_profile' in GET /status; with "
+            "--jobs N the workers profile themselves and the counters "
+            "are merged"
         ),
     )
 
@@ -711,24 +733,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             spec, evaluator_options=(("truncate_mode", args.truncate_mode),)
         )
     progress = None if args.quiet else (lambda msg: print("  " + msg))
-    jobs = args.jobs
     prof = None
     if args.profile:
         from repro.makespan import profile as kernel_profile
 
-        if jobs != 1:
-            print(
-                "--profile is process-local; forcing --jobs 1",
-                file=sys.stderr,
-            )
-            jobs = 1
         prof = kernel_profile.enable()
     try:
         records = run_sweep(
             spec,
-            jobs=jobs,
+            jobs=args.jobs,
             progress=progress,
             batch_eval=not args.no_batch_eval,
+            fused_eval=not args.no_fused_eval,
         )
     finally:
         if prof is not None:
@@ -829,6 +845,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         linger=args.linger,
         batch_eval=not args.no_batch_eval,
+        fused_eval=not args.no_fused_eval,
         eval_seed_policy=args.eval_seed_policy,
         profile=args.profile,
     )

@@ -28,7 +28,16 @@ executed by :func:`run_sweep`.  The execution plan is deterministic:
   with ``batch_eval=False`` as the reference escape hatch; stochastic
   evaluators (Monte Carlo) receive their per-cell sampling seeds
   through the batch call, so records are seed-for-seed identical to
-  the per-cell path under either eval-seed policy.
+  the per-cell path under either eval-seed policy;
+* on top of batching, the default **fused-evaluation** mode defers
+  every cell-evaluation a sweep needs — CKPTSOME and CKPTALL, every
+  chunk of a (workflow, processors) group, and for :func:`run_specs`
+  every co-batched spec sharing a method — into a
+  :class:`~repro.engine.pipeline.FusedEvalCollector` that prices them
+  through one multi-template dispatch per method.  Records stay
+  bit-identical (pooling never changes per-row kernel results);
+  ``fused_eval=False`` (CLI ``--no-fused-eval``) restores the
+  per-group dispatch.
 
 Results are always returned in grid order, one
 :class:`~repro.engine.records.CellResult` per cell.
@@ -36,6 +45,7 @@ Results are always returned in grid order, one
 
 from __future__ import annotations
 
+import itertools
 import math
 import os
 import warnings
@@ -46,9 +56,10 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.pipeline import Pipeline
+from repro.engine.pipeline import FusedEvalCollector, Pipeline
 from repro.engine.records import CellResult
 from repro.errors import EvaluationError, ExperimentError
+from repro.makespan import profile as _profile
 from repro.makespan.api import get_evaluator
 from repro.util.rng import stable_seed
 from repro.workloads import FamilySource, FileSource, WorkflowSource
@@ -453,25 +464,10 @@ def _supports_batch(method: str) -> bool:
     return bool(getattr(evaluator, "supports_batch", False))
 
 
-def _run_chunk(
-    spec: SweepSpec,
-    chunk: _Chunk,
-    pipeline: Pipeline,
-    progress: Optional[Callable[[str], None]] = None,
-    batch_eval: bool = True,
-) -> List[CellResult]:
-    """Execute one chunk's cells through the staged pipeline.
-
-    With ``batch_eval`` (the default) and a batch-capable evaluator the
-    chunk's cells are priced through
-    :meth:`~repro.engine.pipeline.Pipeline.evaluate_cells` — the DAG
-    template is built once per structure group and the evaluator runs
-    once per group instead of once per cell.  Records are bit-identical
-    either way: stochastic evaluators get their per-cell ``eval_seed``
-    stream threaded through the batch call (whatever the eval-seed
-    policy), and evaluators without ``supports_batch`` take the
-    per-cell path.
-    """
+def _chunk_schedule(
+    spec: SweepSpec, chunk: _Chunk, pipeline: Pipeline
+) -> Tuple[Any, Any]:
+    """The chunk's (workflow, schedule), through the pipeline cache."""
     workflow = pipeline.prepare_source(
         spec.resolved_source, chunk.ntasks, chunk.wf_seed
     )
@@ -483,6 +479,63 @@ def _run_chunk(
         linearizer=spec.linearizer,
         tree=tree,
     )
+    return workflow, schedule
+
+
+def _defer_chunk(
+    spec: SweepSpec,
+    chunk: _Chunk,
+    pipeline: Pipeline,
+    collector: FusedEvalCollector,
+) -> Callable[[], List[CellResult]]:
+    """Stage one chunk's evaluations on ``collector``; finish later.
+
+    Runs the invariant stages and the per-cell preparation immediately
+    (exactly as :func:`_run_chunk` would), defers the expected-makespan
+    pricing to the collector, and returns the finisher that assembles
+    the chunk's records once the collector has flushed.  Evaluators
+    without batch support are priced on the spot (nothing to defer).
+    """
+    workflow, schedule = _chunk_schedule(spec, chunk, pipeline)
+    return pipeline.evaluate_cells_deferred(
+        family=spec.family,
+        ntasks_requested=chunk.ntasks,
+        workflow=workflow,
+        schedule=schedule,
+        processors=chunk.processors,
+        cells=chunk.cells,
+        collector=collector,
+        method=spec.method,
+        seed=chunk.wf_seed,
+        bandwidth=spec.bandwidth,
+        save_final_outputs=spec.save_final_outputs,
+        evaluator_options=dict(spec.evaluator_options),
+    )
+
+
+def _run_chunk(
+    spec: SweepSpec,
+    chunk: _Chunk,
+    pipeline: Pipeline,
+    progress: Optional[Callable[[str], None]] = None,
+    batch_eval: bool = True,
+    fused_eval: bool = True,
+) -> List[CellResult]:
+    """Execute one chunk's cells through the staged pipeline.
+
+    With ``batch_eval`` (the default) and a batch-capable evaluator the
+    chunk's cells are priced through
+    :meth:`~repro.engine.pipeline.Pipeline.evaluate_cells` — the DAG
+    template is built once per structure group and the evaluator runs
+    once per group instead of once per cell; with ``fused_eval`` on top
+    (the default) the chunk's CKPTSOME and CKPTALL evaluations across
+    all structure groups land in one fused dispatch.  Records are
+    bit-identical on every path: stochastic evaluators get their
+    per-cell ``eval_seed`` stream threaded through the batch call
+    (whatever the eval-seed policy), and evaluators without
+    ``supports_batch`` take the per-cell path.
+    """
+    workflow, schedule = _chunk_schedule(spec, chunk, pipeline)
     if batch_eval and len(chunk.cells) > 1 and _supports_batch(spec.method):
         records = pipeline.evaluate_cells(
             family=spec.family,
@@ -496,6 +549,7 @@ def _run_chunk(
             bandwidth=spec.bandwidth,
             save_final_outputs=spec.save_final_outputs,
             evaluator_options=dict(spec.evaluator_options),
+            fused_eval=fused_eval,
         )
         if progress is not None:
             for record in records:
@@ -527,10 +581,66 @@ def _run_chunk(
 
 
 def _run_chunk_task(
-    spec: SweepSpec, chunk: _Chunk, batch_eval: bool = True
-) -> List[CellResult]:
-    """Process-pool entry point: a private pipeline per chunk."""
-    return _run_chunk(spec, chunk, Pipeline(), batch_eval=batch_eval)
+    spec: SweepSpec,
+    chunk: _Chunk,
+    batch_eval: bool = True,
+    fused_eval: bool = True,
+    profile: bool = False,
+) -> Tuple[List[CellResult], Optional[Dict[str, Any]]]:
+    """Process-pool entry point: a private pipeline per chunk.
+
+    Returns ``(records, profile_snapshot)``; the snapshot is ``None``
+    unless the parent asked for profiling (its collector does not cross
+    the process boundary, so the worker enables a private one and ships
+    the counters back for :meth:`~repro.makespan.profile.KernelProfile.
+    merge`).
+    """
+    if not profile:
+        records = _run_chunk(
+            spec, chunk, Pipeline(), batch_eval=batch_eval,
+            fused_eval=fused_eval,
+        )
+        return records, None
+    prof = _profile.enable()
+    try:
+        records = _run_chunk(
+            spec, chunk, Pipeline(), batch_eval=batch_eval,
+            fused_eval=fused_eval,
+        )
+        return records, prof.snapshot()
+    finally:
+        _profile.disable()
+
+
+def _merge_profile(snap: Optional[Dict[str, Any]]) -> None:
+    """Fold a worker's profile snapshot into the parent collector."""
+    if snap is not None and _profile.ACTIVE is not None:
+        _profile.ACTIVE.merge(snap)
+
+
+def _run_chunks_fused(
+    spec: SweepSpec,
+    chunks: Sequence[_Chunk],
+    pipeline: Pipeline,
+    progress: Optional[Callable[[str], None]],
+) -> List[List[CellResult]]:
+    """Serial fused execution: one dispatch per (workflow, processors)
+    group, spanning all of the group's chunks, both strategies and every
+    structure group."""
+    ordered: List[List[CellResult]] = []
+    for _gi, group in itertools.groupby(chunks, key=lambda c: c.order[0]):
+        collector = FusedEvalCollector(pipeline)
+        finishers = [
+            _defer_chunk(spec, ch, pipeline, collector) for ch in group
+        ]
+        collector.flush()
+        for finish in finishers:
+            records = finish()
+            if progress is not None:
+                for record in records:
+                    progress(_progress_message(spec, record))
+            ordered.append(records)
+    return ordered
 
 
 def run_sweep(
@@ -540,6 +650,7 @@ def run_sweep(
     chunk_cells: Optional[int] = None,
     pipeline: Optional[Pipeline] = None,
     batch_eval: bool = True,
+    fused_eval: bool = True,
 ) -> List[CellResult]:
     """Execute a sweep; returns one record per cell, in grid order.
 
@@ -568,6 +679,13 @@ def run_sweep(
         are bit-identical either way — False is the reference escape
         hatch (CLI ``--no-batch-eval``).  Evaluators without batch
         support always run per cell.
+    fused_eval:
+        Collect all of a (workflow, processors) group's evaluations —
+        every chunk, CKPTSOME and CKPTALL, every structure group — into
+        one fused dispatch (default) instead of dispatching per
+        strategy and structure group.  Records are bit-identical either
+        way — False is the per-group escape hatch (CLI
+        ``--no-fused-eval``).  Implied off by ``batch_eval=False``.
     """
     if not spec.sizes or not spec.pfails or not spec.ccrs:
         raise ExperimentError(
@@ -579,10 +697,16 @@ def run_sweep(
 
     if jobs == 1:
         pipe = pipeline if pipeline is not None else Pipeline()
-        ordered = [
-            _run_chunk(spec, ch, pipe, progress, batch_eval=batch_eval)
-            for ch in chunks
-        ]
+        if batch_eval and fused_eval and _supports_batch(spec.method):
+            ordered = _run_chunks_fused(spec, chunks, pipe, progress)
+        else:
+            ordered = [
+                _run_chunk(
+                    spec, ch, pipe, progress, batch_eval=batch_eval,
+                    fused_eval=fused_eval,
+                )
+                for ch in chunks
+            ]
         return [rec for recs in ordered for rec in recs]
 
     if chunk_cells is None:
@@ -600,16 +724,26 @@ def run_sweep(
     except (OSError, PermissionError, ModuleNotFoundError):
         # No process support in this environment (restricted sandbox):
         # fall back to the serial path, which produces identical records.
-        return run_sweep(spec, jobs=1, progress=progress, batch_eval=batch_eval)
+        return run_sweep(
+            spec, jobs=1, progress=progress, batch_eval=batch_eval,
+            fused_eval=fused_eval,
+        )
+    # The parent's collector is process-local; ask workers to profile
+    # themselves and ship snapshots back when one is active here.
+    profile = _profile.ACTIVE is not None
     results: Dict[Tuple[int, int], List[CellResult]] = {}
     try:
         with pool:
             futures = {
-                pool.submit(_run_chunk_task, spec, ch, batch_eval): ch.order
+                pool.submit(
+                    _run_chunk_task, spec, ch, batch_eval, fused_eval,
+                    profile,
+                ): ch.order
                 for ch in chunks
             }
             for fut in as_completed(futures):
-                recs = fut.result()
+                recs, snap = fut.result()
+                _merge_profile(snap)
                 results[futures[fut]] = recs
                 if progress is not None:
                     for rec in recs:
@@ -628,13 +762,118 @@ def run_sweep(
         )
         if progress is not None:
             progress(f"! process pool broke ({exc}); restarting serially")
-        return run_sweep(spec, jobs=1, progress=progress, batch_eval=batch_eval)
+        return run_sweep(
+            spec, jobs=1, progress=progress, batch_eval=batch_eval,
+            fused_eval=fused_eval,
+        )
     return [rec for order in sorted(results) for rec in results[order]]
 
 
-def _run_spec_task(spec: SweepSpec, batch_eval: bool = True) -> List[CellResult]:
-    """Process-pool entry point for :func:`run_specs`: one serial sweep."""
-    return run_sweep(spec, jobs=1, batch_eval=batch_eval)
+def _run_spec_task(
+    spec: SweepSpec,
+    batch_eval: bool = True,
+    fused_eval: bool = True,
+    profile: bool = False,
+) -> Tuple[List[CellResult], Optional[Dict[str, Any]]]:
+    """Process-pool entry point for :func:`run_specs`: one serial sweep.
+
+    Returns ``(records, profile_snapshot)`` exactly like
+    :func:`_run_chunk_task` — workers profile themselves when the
+    parent holds an active collector.
+    """
+    if not profile:
+        return run_sweep(
+            spec, jobs=1, batch_eval=batch_eval, fused_eval=fused_eval
+        ), None
+    prof = _profile.enable()
+    try:
+        records = run_sweep(
+            spec, jobs=1, batch_eval=batch_eval, fused_eval=fused_eval
+        )
+        return records, prof.snapshot()
+    finally:
+        _profile.disable()
+
+
+def _sweep_deferred(
+    spec: SweepSpec,
+    pipeline: Pipeline,
+    collector: FusedEvalCollector,
+    progress: Optional[Callable[[str], None]],
+) -> Callable[[], List[CellResult]]:
+    """Stage a whole spec's evaluations on a shared collector.
+
+    The cross-spec half of the fused dispatcher: every chunk of every
+    (workflow, processors) group is deferred, so co-batched specs
+    sharing an evaluation method are priced together in one dispatch
+    when the collector flushes.  The returned finisher yields the
+    spec's records in grid order (emitting progress lines as it goes).
+    """
+    if not spec.sizes or not spec.pfails or not spec.ccrs:
+        raise ExperimentError(
+            "sweep grid is empty (sizes, pfails and ccrs must be non-empty)"
+        )
+    chunks = _derive_chunks(spec, None)
+    finishers = [
+        _defer_chunk(spec, ch, pipeline, collector) for ch in chunks
+    ]
+
+    def finish() -> List[CellResult]:
+        records: List[CellResult] = []
+        for fin in finishers:
+            recs = fin()
+            if progress is not None:
+                for rec in recs:
+                    progress(_progress_message(spec, rec))
+            records.extend(recs)
+        return records
+
+    return finish
+
+
+def _run_specs_fused(
+    specs: Sequence[SweepSpec],
+    pipeline: Pipeline,
+    progress: Optional[Callable[[str], None]],
+    return_exceptions: bool,
+    batch_eval: bool,
+    fused_eval: bool,
+) -> List[Any]:
+    """Serial fused execution of a spec batch over one shared collector.
+
+    Specs whose evaluator cannot batch fall back to their own
+    :func:`run_sweep` on the shared pipeline.  A spec that raises —
+    staging or finishing — yields its exception in its slot under
+    ``return_exceptions`` without disturbing the co-batched specs
+    (the collector isolates dispatch failures per template job).
+    """
+    collector = FusedEvalCollector(pipeline)
+    slots: List[Any] = [None] * len(specs)
+    finishers: Dict[int, Callable[[], List[CellResult]]] = {}
+    for i, spec in enumerate(specs):
+        try:
+            if _supports_batch(spec.method):
+                finishers[i] = _sweep_deferred(
+                    spec, pipeline, collector, progress
+                )
+            else:
+                slots[i] = run_sweep(
+                    spec, jobs=1, progress=progress, pipeline=pipeline,
+                    batch_eval=batch_eval, fused_eval=fused_eval,
+                )
+        except Exception as exc:
+            if not return_exceptions:
+                raise
+            slots[i] = exc
+    collector.flush()
+    for i, finish in finishers.items():
+        try:
+            slots[i] = finish()
+        except Exception as exc:
+            if not return_exceptions:
+                raise
+            slots[i] = exc
+    return slots
 
 
 def run_specs(
@@ -644,6 +883,7 @@ def run_specs(
     pipeline: Optional[Pipeline] = None,
     return_exceptions: bool = False,
     batch_eval: bool = True,
+    fused_eval: bool = True,
 ) -> List[Any]:
     """Batch entry point: execute several sweeps; one record list per spec.
 
@@ -652,21 +892,28 @@ def run_specs(
     :class:`~repro.engine.pipeline.Pipeline` through every spec, so specs
     that share a (workflow, processors) pair — e.g. the same grid group
     split across batches — reuse the cached M-SPG tree and schedule
-    instead of recomputing them.  With ``jobs > 1`` whole specs fan out
-    over a process pool (``0``/negative means "all cores"); a single
-    spec falls through to :func:`run_sweep`'s own cell-level fan-out.
+    instead of recomputing them; with ``fused_eval`` (the default) their
+    evaluations are additionally staged on one shared
+    :class:`~repro.engine.pipeline.FusedEvalCollector`, so co-batched
+    specs sharing an evaluation method are priced through a single
+    fused dispatch.  With ``jobs > 1`` whole specs fan out over a
+    process pool (``0``/negative means "all cores"); a single spec
+    falls through to :func:`run_sweep`'s own cell-level fan-out.
     Records are identical for every ``jobs`` value.
 
     With ``return_exceptions=True`` a spec whose execution raises yields
     its exception object in that slot instead of aborting the whole
     batch (:func:`asyncio.gather` semantics) — the service scheduler
     uses this to fail only the requests belonging to a bad spec while
-    the co-batched specs' results are kept.
+    the co-batched specs' results are kept.  The fused path preserves
+    this isolation: dispatch failures are retried one template job at a
+    time, so only the specs feeding a bad job see its exception.
 
-    ``batch_eval`` is forwarded to every :func:`run_sweep` call: the
-    coalesced service batches ride the same batched evaluation entry
-    point as declared sweeps (False restores the per-cell reference
-    path; records are identical either way).
+    ``batch_eval`` and ``fused_eval`` are forwarded to every
+    :func:`run_sweep` call: the coalesced service batches ride the same
+    batched/fused evaluation entry points as declared sweeps (False
+    restores the per-cell / per-group reference paths; records are
+    identical either way).
     """
     specs = list(specs)
     if not specs:
@@ -678,7 +925,7 @@ def run_specs(
         try:
             return run_sweep(
                 spec, jobs=n, progress=progress, pipeline=pipe,
-                batch_eval=batch_eval,
+                batch_eval=batch_eval, fused_eval=fused_eval,
             )
         except Exception as exc:
             if not return_exceptions:
@@ -689,6 +936,11 @@ def run_specs(
         return [one(specs[0], pipeline, jobs)]
     if jobs == 1:
         pipe = pipeline if pipeline is not None else Pipeline()
+        if batch_eval and fused_eval:
+            return _run_specs_fused(
+                specs, pipe, progress, return_exceptions, batch_eval,
+                fused_eval,
+            )
         return [one(s, pipe, 1) for s in specs]
     try:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
@@ -696,18 +948,22 @@ def run_specs(
         return run_specs(
             specs, jobs=1, progress=progress, pipeline=pipeline,
             return_exceptions=return_exceptions, batch_eval=batch_eval,
+            fused_eval=fused_eval,
         )
+    profile = _profile.ACTIVE is not None
     out: Dict[int, Any] = {}
     try:
         with pool:
             futures = {
-                pool.submit(_run_spec_task, s, batch_eval): i
+                pool.submit(
+                    _run_spec_task, s, batch_eval, fused_eval, profile
+                ): i
                 for i, s in enumerate(specs)
             }
             for fut in as_completed(futures):
                 i = futures[fut]
                 try:
-                    out[i] = fut.result()
+                    recs, snap = fut.result()
                 except BrokenProcessPool:
                     raise
                 except Exception as exc:
@@ -715,8 +971,10 @@ def run_specs(
                         raise
                     out[i] = exc
                     continue
+                _merge_profile(snap)
+                out[i] = recs
                 if progress is not None:
-                    for rec in out[i]:
+                    for rec in recs:
                         progress(_progress_message(specs[i], rec))
     except BrokenProcessPool as exc:
         warnings.warn(
@@ -730,5 +988,6 @@ def run_specs(
         return run_specs(
             specs, jobs=1, progress=progress, pipeline=pipeline,
             return_exceptions=return_exceptions, batch_eval=batch_eval,
+            fused_eval=fused_eval,
         )
     return [out[i] for i in range(len(specs))]

@@ -38,7 +38,11 @@ from repro.makespan.segment_dag import build_segment_dag
 from repro.makespan.montecarlo import montecarlo, montecarlo_batch
 from repro.makespan.dodin import dodin
 from repro.makespan.normal import normal, normal_batch
-from repro.makespan.pathapprox import pathapprox, pathapprox_batch
+from repro.makespan.pathapprox import (
+    pathapprox,
+    pathapprox_batch,
+    pathapprox_fused,
+)
 from repro.makespan.exact import exact
 from repro.makespan.ckptnone import ckptnone_expected_makespan, failure_free_makespan
 from repro.makespan.evaluator import (
@@ -51,6 +55,7 @@ from repro.makespan.api import (
     EVALUATORS,
     expected_makespan,
     expected_makespans,
+    expected_makespans_fused,
     get_evaluator,
 )
 
@@ -71,6 +76,7 @@ __all__ = [
     "normal_batch",
     "pathapprox",
     "pathapprox_batch",
+    "pathapprox_fused",
     "exact",
     "ckptnone_expected_makespan",
     "failure_free_makespan",
@@ -81,5 +87,6 @@ __all__ = [
     "EVALUATORS",
     "expected_makespan",
     "expected_makespans",
+    "expected_makespans_fused",
     "get_evaluator",
 ]

@@ -25,9 +25,14 @@ lifts that work into a **compile-once, execute-many** layer:
   they survive across budget doublings (the 64-path plan skips every
   step the 32-path plan already computed).
 
-* :func:`pathapprox_plan_batch` drives the whole batch through the
-  adaptive-k schedule in lockstep, replicating
-  ``_adaptive_estimate``'s per-cell control flow exactly.
+* :func:`pathapprox_plan_fused` drives a whole *list* of templates —
+  heterogeneous structures, one job per (template, options) pair —
+  through the adaptive-k schedule together: each job replicates
+  ``_adaptive_estimate``'s per-cell control flow exactly, while every
+  round's tape steps from every job land in the same pooled
+  :func:`execute_plans` pass (step pooling keys on operand shape, not
+  on the template, so cross-template steps stack into one kernel call).
+  :func:`pathapprox_plan_batch` is the single-job special case.
 
 **Bit-identity.**  The tape records exactly the operations the scalar
 recursion performs, keyed so that equal inputs share one slot: path-sum
@@ -74,8 +79,21 @@ __all__ = [
     "compile_fold_plan",
     "execute_plans",
     "pathapprox_plan_batch",
+    "pathapprox_plan_fused",
     "clark_plan",
 ]
+
+#: Adaptive-mode convolve pools route through the scalar kernel at
+#: every width: the batched adaptive convolve builds ragged union grids
+#: whose bookkeeping loses to the scalar loop across the board — a
+#: width sweep (2..96 rows, 64-atom operands) measured it at 0.58x to
+#: 0.74x with no crossover, and BENCH_kernel pins the 64-row point
+#: below 1x.  Rect-mode convolve (fixed-width bins, no ragged grids)
+#: and max/truncate in both modes stay batched — those win.  Routing
+#: never changes results — the scalar and batched kernels are
+#: bit-identical per row — and each decision is recorded as a
+#: ``pool_conv_routed`` profile op.
+CONV_SCALAR_ADAPTIVE = True
 
 #: Leaf slot: the Dirac distribution at 0 (every path sum's seed).
 _P0: Tuple[str, ...] = ("p0",)
@@ -233,6 +251,8 @@ class _CellRun:
         "stalls",
         "last_estimate",
         "last_exhausted",
+        "max_atoms",
+        "mode",
     )
 
     def __init__(
@@ -242,8 +262,12 @@ class _CellRun:
         node_dist: List[DiscreteDistribution],
         means: np.ndarray,
         variances: np.ndarray,
+        max_atoms: int = DEFAULT_MAX_ATOMS,
+        mode: str = MODE_ADAPTIVE,
     ) -> None:
         self.index = index
+        self.max_atoms = max_atoms
+        self.mode = mode
         self.values: Dict[Ref, DiscreteDistribution] = {_P0: point0}
         self.remaining: Dict[int, int] = {}
         self.node_dist = node_dist
@@ -295,25 +319,28 @@ def _schedule(state: _CellRun, plan: FoldPlan) -> List[int]:
     return ready
 
 
-def execute_plans(
-    work: Sequence[Tuple[_CellRun, FoldPlan]],
-    max_atoms: int,
-    mode: str = MODE_ADAPTIVE,
-) -> None:
+def execute_plans(work: Sequence[Tuple[_CellRun, FoldPlan]]) -> None:
     """Replay each cell's plan, pooling ready steps across the batch.
 
     Wavefront execution: every round collects the steps whose operands
-    are ready — across all (cell, plan) pairs — and groups them by
-    ``(kind, width_a, width_b)``.  Each group of two or more runs as one
-    batched kernel call (operand rows stacked, results scattered back);
-    singletons call the scalar kernel directly.  Execution order never
-    affects results (each step's operands are fixed), so pooling
-    preserves bit-identity.  (A greedy fullest-bin-first variant was
-    tried and measured *slower*: fragmentation is structural — plans
-    differ per cell — so deferral barely grows the pools while the bin
-    bookkeeping taxes every step.)
+    are ready — across all (cell, plan) pairs, possibly spanning many
+    templates and jobs — and groups them by ``(kind, width_a, width_b,
+    max_atoms, mode)`` (the budget and truncation mode ride on each
+    :class:`_CellRun`, so heterogeneous jobs pool safely).  Each group
+    of two or more runs as one batched kernel call (operand rows
+    stacked, results scattered back); singletons — and adaptive-mode
+    convolve pools at any width (:data:`CONV_SCALAR_ADAPTIVE`), where
+    the batched kernel's ragged-grid bookkeeping measurably loses —
+    call the scalar kernel directly.  Execution order never affects
+    results (each step's operands are fixed), so pooling preserves
+    bit-identity.  (A greedy fullest-bin-first variant was tried and
+    measured *slower*: fragmentation is structural — plans differ per
+    cell — so deferral barely grows the pools while the bin bookkeeping
+    taxes every step.)
     """
     prof = _profile.ACTIVE
+    if prof is not None:
+        prof.record("pool_exec", len(work))
     ready: List[Tuple[_CellRun, FoldPlan, int]] = []
     for state, plan in work:
         for i in _schedule(state, plan):
@@ -325,18 +352,28 @@ def execute_plans(
             _key, kind, a, b = plan.steps[i]
             da = state.resolve(a)
             db = state.resolve(b)
-            groups.setdefault((kind, da.n_atoms, db.n_atoms), []).append(
-                (state, plan, i, da, db)
-            )
+            groups.setdefault(
+                (kind, da.n_atoms, db.n_atoms, state.max_atoms, state.mode),
+                [],
+            ).append((state, plan, i, da, db))
         ready = []
-        for (kind, _wa, _wb), members in groups.items():
+        for (kind, _wa, _wb, max_atoms, mode), members in groups.items():
             t0 = time.perf_counter() if prof is not None else 0.0
-            if len(members) == 1:
-                _state, _plan, _i, da, db = members[0]
+            routed = (
+                CONV_SCALAR_ADAPTIVE
+                and kind == _CONV
+                and mode == MODE_ADAPTIVE
+                and len(members) > 1
+            )
+            if len(members) == 1 or routed:
                 if kind == _CONV:
-                    outs = [da._convolve(db, max_atoms, mode)]
+                    outs = [
+                        m[3]._convolve(m[4], max_atoms, mode) for m in members
+                    ]
                 else:
-                    outs = [da._max_with(db, max_atoms, mode)]
+                    outs = [
+                        m[3]._max_with(m[4], max_atoms, mode) for m in members
+                    ]
             else:
                 batch_a = BatchDistribution(
                     np.array([m[3].values for m in members]),
@@ -354,12 +391,11 @@ def execute_plans(
                     res = batch_a._max_with(batch_b, max_atoms, mode)[0]
                 outs = rows_of(res)
             if prof is not None:
-                prof.record(
-                    "pool_step",
-                    len(members),
-                    1 if len(members) == 1 else 0,
-                    time.perf_counter() - t0,
-                )
+                wall = time.perf_counter() - t0
+                scalar = len(members) if len(members) == 1 or routed else 0
+                prof.record("pool_step", len(members), scalar, wall)
+                if routed:
+                    prof.record("pool_conv_routed", len(members), 0, wall)
             for (state, plan, i, _da, _db), dist in zip(members, outs):
                 state.values[plan.steps[i][0]] = dist
                 remaining = state.remaining
@@ -374,56 +410,84 @@ def execute_plans(
                         remaining[d] = nd - 1
 
 
-def pathapprox_plan_batch(
-    template,
-    k: Optional[int] = None,
-    max_atoms: int = DEFAULT_MAX_ATOMS,
-    rtol: float = 2e-4,
-    mode: str = MODE_ADAPTIVE,
-) -> np.ndarray:
-    """PATHAPPROX over every cell of a template via compiled fold plans.
+class _JobRun:
+    """One template's adaptive-k schedule inside a fused execution.
 
-    The batched counterpart of the scalar adaptive schedule, run in
-    *lockstep*: every active cell shares the same budget sequence
-    (32, 64, ...), so each round enumerates paths, compiles or reuses
-    the cells' plans, and replays them through one pooled
-    :func:`execute_plans` pass.  Per-cell control flow — stall counting,
-    exhaustion, the ``k=None`` / explicit-k / wide-DAG single-shot
-    branches — replicates ``_adaptive_estimate`` exactly, so results
-    are bit-identical to the scalar reference.
+    Owns the per-cell :class:`_CellRun` states and replicates the
+    per-job control flow of the scalar ``_adaptive_estimate`` —
+    explicit-k and wide-DAG single-shot jobs run one round, adaptive
+    jobs double their budget with per-cell stall/exhaustion tracking.
+    The driver only asks two things: which states need the *current*
+    round (``pending`` at ``budget`` paths), and whether another round
+    remains after the results land (:meth:`advance`).
     """
-    n = template.n
-    n_cells = template.n_cells
-    preds = template.preds
-    sinks = template.sinks()
-    means = template.means
-    variances = template.variances
-    cache = template.plan_cache()
-    point0 = DiscreteDistribution.point(0.0)
 
-    node_rows = [
-        two_state_rows(template.base[:, j], template.long[:, j], template.p[:, j])
-        for j in range(n)
-    ]
-    states = [
-        _CellRun(
-            c,
-            point0,
-            [rows[c] for rows in node_rows],
-            means[c],
-            variances[c],
-        )
-        for c in range(n_cells)
-    ]
+    __slots__ = (
+        "template",
+        "preds",
+        "sinks",
+        "cache",
+        "states",
+        "rtol",
+        "adaptive",
+        "first",
+        "budget",
+        "cap",
+        "pending",
+    )
 
-    def run_round(active: List[_CellRun], budget: int) -> None:
-        work: List[Tuple[_CellRun, FoldPlan]] = []
+    def __init__(self, template, k: Optional[int], rtol: float,
+                 max_atoms: int, mode: str) -> None:
+        n = template.n
+        self.template = template
+        self.preds = template.preds
+        self.sinks = template.sinks()
+        self.cache = template.plan_cache()
+        means = template.means
+        variances = template.variances
+        point0 = DiscreteDistribution.point(0.0)
+        node_rows = [
+            two_state_rows(
+                template.base[:, j], template.long[:, j], template.p[:, j]
+            )
+            for j in range(n)
+        ]
+        self.states = [
+            _CellRun(
+                c,
+                point0,
+                [rows[c] for rows in node_rows],
+                means[c],
+                variances[c],
+                max_atoms,
+                mode,
+            )
+            for c in range(template.n_cells)
+        ]
+        self.rtol = rtol
+        self.adaptive = k is None and n <= SINGLE_SHOT_N
+        self.first = True
+        if k is not None:
+            self.budget = k
+        elif n > SINGLE_SHOT_N:
+            self.budget = 2 * n
+        else:
+            self.budget = INITIAL_PATHS
+        self.cap = max(8 * n, 2 * INITIAL_PATHS)
+        self.pending: List[_CellRun] = list(self.states)
+
+    def round_work(self) -> List[Tuple[_CellRun, FoldPlan]]:
+        """(state, plan) work items for the pending round, plans cached."""
+        active = self.pending
         mean_rows = np.stack([st.means for st in active])
-        paths_cells = _k_best_paths_cells(preds, sinks, mean_rows, budget)
+        paths_cells = _k_best_paths_cells(
+            self.preds, self.sinks, mean_rows, self.budget
+        )
+        work: List[Tuple[_CellRun, FoldPlan]] = []
         for st, paths in zip(active, paths_cells):
             if not paths:
                 raise EvaluationError("DAG has no source-to-sink path")
-            st.last_exhausted = len(paths) < budget
+            st.last_exhausted = len(paths) < self.budget
             # Path nodes are distinct, so summing their powers of two is
             # the OR; a plain loop beats functools.reduce on this path.
             masks = []
@@ -434,57 +498,145 @@ def pathapprox_plan_batch(
                 masks.append(m)
             pathset = tuple(masks)
             sig = ("fold", frozenset(pathset), st.var_key)
-            plan = cache.get(sig)
+            plan = self.cache.get(sig)
             if plan is None:
                 plan = compile_fold_plan(pathset, st.var_rank)
-                cache[sig] = plan
+                self.cache[sig] = plan
             work.append((st, plan))
-        execute_plans(work, max_atoms, mode)
-        for st, plan in work:
-            st.last_estimate = st.resolve(plan.root).mean()
+        return work
 
-    out = np.empty(n_cells)
+    def advance(self) -> bool:
+        """Fold the round's estimates into the schedule; more rounds?
 
-    if k is not None:
-        run_round(states, k)
-        for st in states:
-            out[st.index] = st.last_estimate
+        Mirrors ``_adaptive_estimate``: the exhaustion/cap filter uses
+        the budget just run, the stall counter tolerates
+        :data:`ADAPTIVE_STALLS` consecutive within-``rtol`` refinements,
+        and the budget doubles for the next round.
+        """
+        if not self.adaptive:
+            for st in self.pending:
+                st.estimate = st.last_estimate
+            self.pending = []
+            return False
+        if self.first:
+            self.first = False
+            still = []
+            for st in self.states:
+                st.estimate = st.last_estimate
+                if self.budget < self.cap and not st.last_exhausted:
+                    still.append(st)
+            self.pending = still
+        else:
+            still = []
+            for st in self.pending:
+                refined = st.last_estimate
+                if abs(refined - st.estimate) <= self.rtol * max(
+                    abs(st.estimate), 1e-300
+                ):
+                    st.stalls += 1
+                    if st.stalls >= ADAPTIVE_STALLS:
+                        st.estimate = refined
+                        continue
+                else:
+                    st.stalls = 0
+                st.estimate = refined
+                if self.budget < self.cap and not st.last_exhausted:
+                    still.append(st)
+            self.pending = still
+        if self.pending:
+            self.budget *= 2
+            return True
+        return False
+
+    def values(self) -> np.ndarray:
+        out = np.empty(len(self.states))
+        for st in self.states:
+            out[st.index] = st.estimate
         return out
 
-    if n > SINGLE_SHOT_N:
-        run_round(states, 2 * n)
-        for st in states:
-            out[st.index] = st.last_estimate
-        return out
 
-    budget = INITIAL_PATHS
-    run_round(states, budget)
-    cap = max(8 * n, 2 * INITIAL_PATHS)
-    active = []
-    for st in states:
-        st.estimate = st.last_estimate
-        if budget < cap and not st.last_exhausted:
-            active.append(st)
-    while active:
-        budget *= 2
-        run_round(active, budget)
-        still: List[_CellRun] = []
-        for st in active:
-            refined = st.last_estimate
-            if abs(refined - st.estimate) <= rtol * max(abs(st.estimate), 1e-300):
-                st.stalls += 1
-                if st.stalls >= ADAPTIVE_STALLS:
-                    st.estimate = refined
-                    continue
-            else:
-                st.stalls = 0
-            st.estimate = refined
-            if budget < cap and not st.last_exhausted:
-                still.append(st)
-        active = still
-    for st in states:
-        out[st.index] = st.estimate
-    return out
+def pathapprox_plan_fused(jobs: Sequence[Tuple]) -> List[np.ndarray]:
+    """PATHAPPROX over many templates in one pooled execution.
+
+    ``jobs`` is a sequence of ``(template, options)`` pairs — options
+    use the :func:`~repro.makespan.pathapprox.pathapprox_batch` keyword
+    names (``k``, ``max_atoms``, ``rtol``, ``truncate_mode``); one value
+    array per job is returned, in job order.
+
+    Each job runs the per-cell adaptive-k schedule *exactly* as
+    :func:`pathapprox_plan_batch` would alone — same budgets, same
+    stall logic, same cached plans — but every round pools the ready
+    tape steps of **all** jobs into one :func:`execute_plans` pass:
+    step batching keys on operand shape (plus budget and truncation
+    mode), not on the template, so heterogeneous-structure steps stack
+    into the same batched kernel calls.  Jobs with differing budgets
+    advance side by side (an explicit-k job finishes after round one
+    while adaptive jobs keep doubling).  Per-job results are
+    bit-identical to the single-job path — pooling changes which rows
+    share a kernel call, never what any row computes.
+    """
+    runs: List[_JobRun] = []
+    for template, options in jobs:
+        opts = dict(options) if options else {}
+        runs.append(
+            _JobRun(
+                template,
+                k=opts.get("k"),
+                rtol=opts.get("rtol", 2e-4),
+                max_atoms=opts.get("max_atoms", DEFAULT_MAX_ATOMS),
+                mode=opts.get("truncate_mode", MODE_ADAPTIVE),
+            )
+        )
+
+    pending = [run for run in runs if run.pending]
+    while pending:
+        spans: List[Tuple[_JobRun, List[Tuple[_CellRun, FoldPlan]]]] = []
+        all_work: List[Tuple[_CellRun, FoldPlan]] = []
+        for run in pending:
+            work = run.round_work()
+            spans.append((run, work))
+            all_work.extend(work)
+        execute_plans(all_work)
+        pending = []
+        for run, work in spans:
+            for st, plan in work:
+                st.last_estimate = st.resolve(plan.root).mean()
+            if run.advance():
+                pending.append(run)
+    return [run.values() for run in runs]
+
+
+def pathapprox_plan_batch(
+    template,
+    k: Optional[int] = None,
+    max_atoms: int = DEFAULT_MAX_ATOMS,
+    rtol: float = 2e-4,
+    mode: str = MODE_ADAPTIVE,
+) -> np.ndarray:
+    """PATHAPPROX over every cell of a template via compiled fold plans.
+
+    The single-job case of :func:`pathapprox_plan_fused`: every active
+    cell shares the same lockstep budget sequence (32, 64, ...), each
+    round enumerates paths, compiles or reuses the cells' plans, and
+    replays them through one pooled :func:`execute_plans` pass.
+    Per-cell control flow — stall counting, exhaustion, the ``k=None``
+    / explicit-k / wide-DAG single-shot branches — replicates
+    ``_adaptive_estimate`` exactly, so results are bit-identical to the
+    scalar reference.
+    """
+    return pathapprox_plan_fused(
+        [
+            (
+                template,
+                {
+                    "k": k,
+                    "max_atoms": max_atoms,
+                    "rtol": rtol,
+                    "truncate_mode": mode,
+                },
+            )
+        ]
+    )[0]
 
 
 # --------------------------------------------------------------------- #

@@ -44,7 +44,12 @@ from repro.makespan.distribution import (
 )
 from repro.makespan.probdag import ProbDAG
 
-__all__ = ["pathapprox", "pathapprox_batch", "k_longest_paths"]
+__all__ = [
+    "pathapprox",
+    "pathapprox_batch",
+    "pathapprox_fused",
+    "k_longest_paths",
+]
 
 #: Starting path budget of the adaptive schedule.
 INITIAL_PATHS = 32
@@ -561,3 +566,40 @@ def pathapprox_batch(
     return pathapprox_plan_batch(
         template, k=k, max_atoms=max_atoms, rtol=rtol, mode=truncate_mode
     )
+
+
+def pathapprox_fused(jobs) -> List[np.ndarray]:
+    """Path-based estimates for many templates in one fused dispatch.
+
+    ``jobs`` is a sequence of ``(template, options, seeds)`` triples
+    (the fused-evaluator convention; PATHAPPROX is deterministic, so
+    ``seeds`` is ignored — the engine passes ``None``).  Returns one
+    value array per job, each **bit-identical** to
+    ``pathapprox_batch(template, **options)``: jobs that the plan
+    executor cannot fuse — empty templates and the
+    ``factor_common=False`` ablation, which runs the scalar reference —
+    are priced through :func:`pathapprox_batch` individually, and the
+    rest share one multi-template
+    :func:`~repro.makespan.foldplan.pathapprox_plan_fused` execution
+    whose wavefront pools tape steps across every job's cells.
+    """
+    out: List[Optional[np.ndarray]] = [None] * len(jobs)
+    fused_indices: List[int] = []
+    fused_jobs: List[Tuple] = []
+    for i, (template, options, _seeds) in enumerate(jobs):
+        opts = dict(options) if options else {}
+        check_mode(opts.get("truncate_mode", MODE_ADAPTIVE))
+        if template.n == 0 or not opts.get("factor_common", True):
+            out[i] = pathapprox_batch(template, **opts)
+        else:
+            opts.pop("factor_common", None)
+            fused_indices.append(i)
+            fused_jobs.append((template, opts))
+    if fused_jobs:
+        from repro.makespan.foldplan import pathapprox_plan_fused
+
+        for i, values in zip(
+            fused_indices, pathapprox_plan_fused(fused_jobs)
+        ):
+            out[i] = values
+    return out

@@ -21,8 +21,11 @@ of batched-kernel rows that had to finalise through the scalar kernel
 It is the number that motivates the rectangular truncate mode, and the
 ``repro sweep --profile`` / ``/status`` surfaces report it.
 
-The collector is process-local: a multiprocess sweep only profiles the
-parent, so profiled runs should use ``jobs=1`` (the CLI enforces this).
+The collector is process-local, but no longer parent-only: a
+multiprocess sweep enables a private collector in each worker, ships
+its :meth:`KernelProfile.snapshot` back with the chunk results, and the
+parent folds them in via :meth:`KernelProfile.merge`, so
+``repro sweep --profile --jobs N`` reports fleet-wide counters.
 """
 
 from __future__ import annotations
@@ -46,7 +49,15 @@ SCALAR_OPS = ("convolve", "max", "truncate")
 BATCH_OPS = ("batch_convolve", "batch_max", "batch_truncate")
 #: Pooled fold-plan executor; ``rows`` counts tape steps, ``scalar_rows``
 #: the steps executed singly (no pooling partner of matching shape).
-POOL_OPS = ("pool_step",)
+#: ``pool_exec`` counts wavefront executions (``rows`` = cell-plans per
+#: execution — the pooled wavefront width); ``pool_conv_routed`` counts
+#: convolve groups routed to the scalar kernel because the pool was too
+#: narrow for batching to win (``rows`` = members so routed).
+POOL_OPS = ("pool_step", "pool_exec", "pool_conv_routed")
+
+#: Evaluation dispatches (one ``expected_makespans``/``_fused`` call);
+#: ``rows`` counts jobs per dispatch, ``scalar_rows`` total cells.
+DISPATCH_OPS = ("dispatch",)
 
 
 class KernelProfile:
@@ -90,11 +101,56 @@ class KernelProfile:
         return scalar / rows
 
     def pool_singleton_ratio(self) -> Optional[float]:
-        """Unpooled tape steps / total steps in the fold-plan executor."""
+        """Scalar-executed tape steps / total steps in the fold-plan
+        executor (singletons plus scalar-routed adaptive-convolve pool
+        members)."""
         entry = self.counters.get("pool_step")
         if not entry or entry["rows"] == 0:
             return None
         return entry["scalar_rows"] / entry["rows"]
+
+    def dispatches(self) -> int:
+        """Number of evaluation dispatches issued (fused or per-group)."""
+        entry = self.counters.get("dispatch")
+        return int(entry["calls"]) if entry else 0
+
+    def dispatch_jobs_mean(self) -> Optional[float]:
+        """Mean number of template jobs per evaluation dispatch."""
+        entry = self.counters.get("dispatch")
+        if not entry or entry["calls"] == 0:
+            return None
+        return entry["rows"] / entry["calls"]
+
+    def pool_width_mean(self) -> Optional[float]:
+        """Mean cell-plans per pooled wavefront execution.
+
+        The width of the work-list each :func:`~repro.makespan.foldplan.
+        execute_plans` pass replays — the number the fused dispatcher
+        exists to raise (per-group dispatch caps it at the group's cell
+        count).
+        """
+        entry = self.counters.get("pool_exec")
+        if not entry or entry["calls"] == 0:
+            return None
+        return entry["rows"] / entry["calls"]
+
+    def merge(self, snap: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` from another collector into this one.
+
+        Used by the multiprocess sweep: each worker profiles its own
+        chunks and ships the snapshot back; the parent merges them so
+        ``repro sweep --profile --jobs N`` reports fleet-wide counters.
+        Derived ratios are recomputed from the merged counts.
+        """
+        for op, e in dict(snap.get("ops", {})).items():
+            self.record(
+                op,
+                rows=int(e.get("rows", 0)),
+                scalar_rows=int(e.get("scalar_rows", 0)),
+                wall=float(e.get("wall_s", 0.0)),
+            )
+            # record() bumped calls by one; fix up to the true count.
+            self.counters[op]["calls"] += int(e.get("calls", 1)) - 1
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-friendly summary (used by ``/status`` and the CLI)."""
@@ -111,6 +167,9 @@ class KernelProfile:
             "ops": ops,
             "scalar_fallback_ratio": self.scalar_fallback_ratio(),
             "pool_singleton_ratio": self.pool_singleton_ratio(),
+            "dispatches": self.dispatches(),
+            "dispatch_jobs_mean": self.dispatch_jobs_mean(),
+            "pool_width_mean": self.pool_width_mean(),
             "elapsed_s": round(time.perf_counter() - self.started_at, 6),
         }
 
@@ -132,6 +191,15 @@ class KernelProfile:
         pooled = self.pool_singleton_ratio()
         if pooled is not None:
             lines.append(f"pool singleton ratio:  {pooled:.4f}")
+        if self.dispatches():
+            jobs_mean = self.dispatch_jobs_mean()
+            lines.append(
+                f"dispatches:            {self.dispatches()} "
+                f"(mean {jobs_mean:.1f} jobs each)"
+            )
+        width = self.pool_width_mean()
+        if width is not None:
+            lines.append(f"pool width mean:       {width:.2f} cells")
         return "\n".join(lines)
 
 

@@ -166,6 +166,7 @@ class BatchScheduler:
         jobs: int = 1,
         linger: float = 0.05,
         batch_eval: bool = True,
+        fused_eval: bool = True,
         registry: Optional[SourceRegistry] = None,
     ) -> None:
         self.store = store
@@ -179,6 +180,11 @@ class BatchScheduler:
         #: evaluation entry point (records are bit-identical either
         #: way; False restores the per-cell reference path).
         self.batch_eval = batch_eval
+        #: Stage co-batched specs on one shared fused-evaluation
+        #: collector, so specs sharing a method are priced through a
+        #: single multi-template dispatch (False restores the
+        #: per-group dispatch; records are bit-identical either way).
+        self.fused_eval = fused_eval
         self.pipeline = Pipeline()
         self.stats = SchedulerStats()
         self._lock = threading.Lock()
@@ -274,7 +280,7 @@ class BatchScheduler:
             results = run_specs(
                 specs, jobs=self.jobs, progress=progress,
                 pipeline=self.pipeline, return_exceptions=True,
-                batch_eval=self.batch_eval,
+                batch_eval=self.batch_eval, fused_eval=self.fused_eval,
             )
             sizes = []
             for (spec, cells), records in zip(batches, results):

@@ -356,6 +356,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "computed_cells": sched.computed_cells,
                     "batches": sched.batches,
                     "batch_eval": svc.scheduler.batch_eval,
+                    "fused_eval": svc.scheduler.fused_eval,
                     "batch_size_max": sched.batch_size_max,
                     "batch_size_mean": sched.batch_size_mean,
                     "last_batch_sizes": list(sched.last_batch_sizes),
@@ -412,6 +413,7 @@ class ReproService:
         linger: float = 0.05,
         log: Optional[Callable[[str], None]] = None,
         batch_eval: bool = True,
+        fused_eval: bool = True,
         eval_seed_policy: str = "positional",
         profile: bool = False,
     ) -> None:
@@ -420,12 +422,12 @@ class ReproService:
                 f"unknown eval-seed policy {eval_seed_policy!r}; "
                 f"choose from {list(EVAL_SEED_POLICIES)}"
             )
-        #: Kernel profiling is process-local, so a profiled service runs
-        #: its batches in-process (jobs forced to 1); ``/status`` then
-        #: carries the live ``kernel_profile`` snapshot.
+        #: Kernel profiling collectors are process-local, but worker
+        #: processes profile themselves and ship snapshots back through
+        #: the sweep executor, so profiling works at any ``jobs``;
+        #: ``/status`` carries the live ``kernel_profile`` snapshot.
         self.profiling = bool(profile)
         if self.profiling:
-            jobs = 1
             kernel_profile.enable()
         #: Policy applied to /evaluate and /sweep payloads that do not
         #: name one themselves (a payload's explicit field always wins).
@@ -446,7 +448,7 @@ class ReproService:
             self.registry.register(source)
         self.scheduler = BatchScheduler(
             self.store, jobs=jobs, linger=linger, batch_eval=batch_eval,
-            registry=self.registry,
+            fused_eval=fused_eval, registry=self.registry,
         )
         self.log = log
         self.started_at = time.time()
@@ -533,14 +535,15 @@ def serve(
     linger: float = 0.05,
     log: Optional[Callable[[str], None]] = print,
     batch_eval: bool = True,
+    fused_eval: bool = True,
     eval_seed_policy: str = "positional",
     profile: bool = False,
 ) -> None:
     """Run a blocking evaluation service (the ``repro serve`` command)."""
     service = ReproService(
         host=host, port=port, store=store, jobs=jobs, linger=linger, log=log,
-        batch_eval=batch_eval, eval_seed_policy=eval_seed_policy,
-        profile=profile,
+        batch_eval=batch_eval, fused_eval=fused_eval,
+        eval_seed_policy=eval_seed_policy, profile=profile,
     )
     if log is not None:
         log(
