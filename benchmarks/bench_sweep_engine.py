@@ -49,6 +49,48 @@ def montage_spec() -> SweepSpec:
     )
 
 
+def time_backends(
+    spec: SweepSpec, reference: List[CellResult]
+) -> List[Tuple[str, float]]:
+    """Wall time of the same grid through each pluggable backend.
+
+    Parity is asserted on every row — the backend column is only worth
+    tracking if every backend still produces the reference records.
+    """
+    from repro.engine.backends import RemoteWorkerBackend
+    from repro.engine.backends.worker import WorkerLoop
+
+    rows: List[Tuple[str, float]] = []
+    for name, kwargs in (
+        ("serial", {}),
+        ("process", {"jobs": 4}),
+        ("subprocess", {"jobs": 4}),
+    ):
+        t0 = time.perf_counter()
+        records = run_sweep(spec, backend=name, **kwargs)
+        rows.append((name, time.perf_counter() - t0))
+        assert records == reference, f"{name} backend records diverge"
+    backend = RemoteWorkerBackend(lease_timeout=120.0)
+    loops = [
+        WorkerLoop(
+            backend.coordinator_url,
+            worker_id=f"bench-w{i}",
+            poll_interval=0.02,
+        ).start()
+        for i in range(2)
+    ]
+    try:
+        t0 = time.perf_counter()
+        records = run_sweep(spec, backend=backend)
+        rows.append(("remote", time.perf_counter() - t0))
+        assert records == reference, "remote backend records diverge"
+    finally:
+        for loop in loops:
+            loop.stop()
+        backend.close()
+    return rows
+
+
 def run_legacy(spec: SweepSpec) -> List[CellResult]:
     """The seed's shape: a fresh end-to-end pipeline per grid cell."""
     return [
@@ -75,10 +117,15 @@ def compare() -> Tuple[str, List[CellResult]]:
     timings.append(("engine cached, jobs=4", time.perf_counter() - t0))
     assert cached == legacy, "engine records diverge from the legacy loop"
     assert parallel == cached, "parallel records diverge from serial"
+    backend_rows = time_backends(spec, cached)
     base = timings[0][1]
     lines = [f"sweep engine benchmark — {len(cached)} MONTAGE cells"]
     for name, seconds in timings:
         lines.append(f"  {name:<24} {seconds:8.3f}s  ({base / seconds:5.2f}x)")
+    lines.append("  execution backends (same grid, parity asserted):")
+    for name, seconds in backend_rows:
+        label = f"backend={name}"
+        lines.append(f"  {label:<24} {seconds:8.3f}s  ({base / seconds:5.2f}x)")
 
     # Machine-readable perf trajectory (tracked across PRs).  The hit
     # rate covers stored stages only: plan/build_dag/evaluate are
@@ -94,6 +141,13 @@ def compare() -> Tuple[str, List[CellResult]]:
         "legacy_cells_per_s": len(cached) / timings[0][1],
         "engine_jobs1_cells_per_s": len(cached) / timings[1][1],
         "engine_jobs4_cells_per_s": len(cached) / timings[2][1],
+        "backends": {
+            name: {
+                "wall_s": seconds,
+                "cells_per_s": len(cached) / seconds,
+            }
+            for name, seconds in backend_rows
+        },
         "cache_hit_rate": pipe.cache.hit_rate(),
         "cache_compute_only_stages": list(COMPUTE_ONLY_STAGES),
         "cache_stage_stats": {

@@ -15,9 +15,14 @@ Sub-commands::
     figure     regenerate a paper figure grid (CSV + ASCII panels)
     accuracy   run the §VI-B estimator accuracy study
     simulate   replay one failure-injected execution with an event log
-    serve      run the persistent evaluation service (HTTP + SQLite)
+    serve      run the persistent evaluation service (HTTP + SQLite);
+               --backend remote turns it into the coordinator of a
+               worker fleet
     submit     submit one cell to a running service (or --local store);
                --dax registers + submits an external workflow
+    worker     run a fleet worker: poll a coordinator for leased work
+               units (`repro worker URL`) or listen for recruitment
+               (`repro worker --listen PORT`)
 """
 
 from __future__ import annotations
@@ -82,14 +87,14 @@ def _ccr_value(text: str) -> float:
 
 
 def _jobs_count(text: str) -> int:
-    """argparse type: worker count, >= 1 (no "0 = all cores" footgun)."""
+    """argparse type: worker count (0 = all cores, else >= 1)."""
     try:
         value = int(text)
     except ValueError:
         raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
-    if value < 1:
+    if value < 0:
         raise argparse.ArgumentTypeError(
-            f"--jobs must be >= 1, got {value} (pass an explicit worker count)"
+            f"--jobs must be >= 0, got {value} (0 = one worker per core)"
         )
     return value
 
@@ -216,8 +221,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Run a (sizes × processors × pfail × CCR) grid through "
             "repro.engine: the M-SPG tree and schedule are computed once "
             "per (workflow, processors) pair and reused across the "
-            "pfail/CCR axes; --jobs N fans the grid out over a process "
-            "pool (records are identical for any N)."
+            "pfail/CCR axes; --jobs N fans the grid out over an "
+            "execution backend (--backend; a process pool by default), "
+            "and records are identical for any N and any backend."
         ),
     )
     sw.add_argument("--family", default=None, help="synthetic workflow family")
@@ -279,7 +285,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=_jobs_count,
         default=1,
-        help="worker processes (>= 1; 1 = in-process serial)",
+        help="worker processes (1 = in-process serial, 0 = all cores)",
+    )
+    sw.add_argument(
+        "--backend",
+        choices=["serial", "process", "subprocess", "remote"],
+        default=None,
+        help=(
+            "execution backend for the fan-out: 'process' (the --jobs "
+            "default), 'serial' (one-at-a-time reference), 'subprocess' "
+            "(a fresh interpreter per chunk — native crashes cost one "
+            "chunk), or 'remote' (fan out to a `repro worker` fleet; "
+            "the coordinator URL is printed at startup).  Records are "
+            "bit-identical on every backend"
+        ),
+    )
+    sw.add_argument(
+        "--workers",
+        nargs="+",
+        default=[],
+        metavar="URL",
+        help=(
+            "attachable worker URLs to recruit (--backend remote; "
+            "start them with `repro worker --listen PORT`)"
+        ),
+    )
+    sw.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "seconds a remote worker owns a leased chunk before it is "
+            "presumed dead and the chunk requeued (--backend remote)"
+        ),
+    )
+    sw.add_argument(
+        "--worker-grace",
+        type=float,
+        default=60.0,
+        help=(
+            "seconds the remote backend waits with no live worker "
+            "before finishing the sweep serially in-process "
+            "(--backend remote)"
+        ),
     )
     sw.add_argument(
         "--no-batch-eval",
@@ -343,7 +391,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=_jobs_count,
         default=1,
-        help="engine worker processes (>= 1; 1 = serial; identical records)",
+        help="engine worker processes (1 = serial, 0 = all cores; "
+        "identical records)",
     )
     fig.add_argument("--quiet", action="store_true")
 
@@ -393,7 +442,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=_jobs_count,
         default=1,
-        help="worker processes for coalesced batches (>= 1)",
+        help="worker processes for coalesced batches (0 = all cores)",
+    )
+    srv.add_argument(
+        "--backend",
+        choices=["serial", "process", "subprocess", "remote"],
+        default=None,
+        help=(
+            "execution backend for dispatched batches; 'remote' turns "
+            "the service into the coordinator of a `repro worker` "
+            "fleet (its /work/* endpoints are always mounted, but only "
+            "'remote' enqueues work on them)"
+        ),
+    )
+    srv.add_argument(
+        "--workers",
+        nargs="+",
+        default=[],
+        metavar="URL",
+        help=(
+            "attachable worker URLs to recruit at startup (--backend "
+            "remote; start them with `repro worker --listen PORT`)"
+        ),
+    )
+    srv.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "seconds a remote worker owns a leased work unit before it "
+            "is presumed dead and the unit requeued"
+        ),
+    )
+    srv.add_argument(
+        "--worker-grace",
+        type=float,
+        default=60.0,
+        help=(
+            "seconds a dispatched batch may sit with no live remote "
+            "worker before it falls back to in-process execution"
+        ),
     )
     srv.add_argument(
         "--linger",
@@ -512,8 +600,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="store path for --local mode (default ./repro-service.db)",
     )
     sub_.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=1,
+        help="worker processes for --local evaluation (0 = all cores)",
+    )
+    sub_.add_argument(
         "--json", action="store_true", help="print the raw JSON reply"
     )
+
+    wrk = sub.add_parser(
+        "worker",
+        help="run a fleet worker for the remote execution backend",
+        description=(
+            "Run one compute worker of a remote-backend fleet.  With a "
+            "coordinator URL (a `repro serve --backend remote` service, "
+            "or the coordinator a `repro sweep --backend remote` "
+            "prints) the worker registers and polls it for leased work "
+            "units.  With --listen PORT it serves a small HTTP "
+            "endpoint instead and waits to be recruited (POST /attach, "
+            "what --workers does).  Work units are pickled task "
+            "payloads: only point workers at coordinators you trust."
+        ),
+    )
+    wrk.add_argument(
+        "coordinator",
+        nargs="?",
+        default=None,
+        help="coordinator base URL to poll (e.g. http://127.0.0.1:8765)",
+    )
+    wrk.add_argument(
+        "--listen",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve an attachable worker on PORT (0 = ephemeral, "
+            "printed at startup) instead of requiring a coordinator "
+            "up front; may be combined with a coordinator URL"
+        ),
+    )
+    wrk.add_argument("--host", default="127.0.0.1")
+    wrk.add_argument(
+        "--id",
+        default=None,
+        help="worker id shown in the coordinator's /status "
+        "(default: host-pid-suffix)",
+    )
+    wrk.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="seconds between lease polls when idle",
+    )
+    wrk.add_argument("--quiet", action="store_true")
     return parser
 
 
@@ -682,6 +822,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.ccrs is not None and args.ccr_grid is not None:
         print("--ccrs and --ccr-grid are mutually exclusive", file=sys.stderr)
         return 2
+    if args.workers and args.backend != "remote":
+        print(
+            "repro sweep: --workers requires --backend remote",
+            file=sys.stderr,
+        )
+        return 2
     try:
         if args.ccrs is not None:
             ccrs = tuple(args.ccrs)
@@ -733,6 +879,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             spec, evaluator_options=(("truncate_mode", args.truncate_mode),)
         )
     progress = None if args.quiet else (lambda msg: print("  " + msg))
+    backend = args.backend
+    owned_backend = None
+    if args.backend == "remote":
+        # Built here (not inside run_sweep) so the coordinator URL can
+        # be printed before the grid blocks on the fleet.
+        from repro.engine.backends import RemoteWorkerBackend
+
+        backend = owned_backend = RemoteWorkerBackend(
+            workers=args.workers,
+            lease_timeout=args.lease_timeout,
+            worker_grace=args.worker_grace,
+        )
+        print(
+            f"remote backend coordinator at {backend.coordinator_url} — "
+            f"attach workers with `repro worker {backend.coordinator_url}`"
+            + (f" ({len(backend.attached)} recruited)" if backend.attached else "")
+        )
     prof = None
     if args.profile:
         from repro.makespan import profile as kernel_profile
@@ -745,8 +908,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             progress=progress,
             batch_eval=not args.no_batch_eval,
             fused_eval=not args.no_fused_eval,
+            backend=backend,
         )
     finally:
+        if owned_backend is not None:
+            owned_backend.close()
         if prof is not None:
             from repro.makespan import profile as kernel_profile
 
@@ -838,6 +1004,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
 
+    if args.workers and args.backend != "remote":
+        print(
+            "repro serve: --workers requires --backend remote",
+            file=sys.stderr,
+        )
+        return 2
     serve(
         host=args.host,
         port=args.port,
@@ -848,6 +1020,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fused_eval=not args.no_fused_eval,
         eval_seed_policy=args.eval_seed_policy,
         profile=args.profile,
+        backend=args.backend,
+        workers=args.workers,
+        lease_timeout=args.lease_timeout,
+        worker_grace=args.worker_grace,
     )
     return 0
 
@@ -924,9 +1100,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     # Same durability as POST /register: the source
                     # survives in the store's sources table.
                     store.save_source(source)
-                outcome = BatchScheduler(store, registry=registry).evaluate(
-                    request
-                )
+                outcome = BatchScheduler(
+                    store, jobs=args.jobs, registry=registry
+                ).evaluate(request)
             record, cached, fp = outcome.record, outcome.cached, outcome.fingerprint
             wall = None
         else:
@@ -971,6 +1147,53 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.engine.backends.worker import WorkerLoop, WorkerServer
+
+    if args.coordinator is None and args.listen is None:
+        print(
+            "repro worker: pass a coordinator URL to poll, or --listen "
+            "PORT to wait for recruitment (or both)",
+            file=sys.stderr,
+        )
+        return 2
+    log = None if args.quiet else print
+    if args.listen is not None:
+        server = WorkerServer(
+            host=args.host,
+            port=args.listen,
+            worker_id=args.id,
+            poll_interval=args.poll_interval,
+            log=log,
+        )
+        if log is not None:
+            log(
+                f"worker {server.worker_id} listening on {server.url} "
+                "(recruit with `repro sweep --backend remote --workers "
+                f"{server.url}` or POST /attach)"
+            )
+        if args.coordinator is not None:
+            server.attach(args.coordinator)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover — interactive only
+            server.close()
+        return 0
+    loop = WorkerLoop(
+        args.coordinator,
+        worker_id=args.id,
+        poll_interval=args.poll_interval,
+        log=log,
+    )
+    if log is not None:
+        log(f"worker {loop.worker_id} polling {loop.coordinator}")
+    try:
+        loop.run()
+    except KeyboardInterrupt:  # pragma: no cover — interactive only
+        loop.stop()
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
@@ -981,6 +1204,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "worker": _cmd_worker,
 }
 
 

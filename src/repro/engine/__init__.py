@@ -8,7 +8,7 @@ everything that runs them at scale:
   build-DAG → evaluate) over a keyed :class:`ArtifactCache`, so sweeps
   reuse the M-SPG tree and schedule across the pfail/CCR axes;
 * :mod:`repro.engine.sweep` — a deterministic grid executor with
-  ``concurrent.futures`` process-pool fan-out, ``SeedSequence``-spawned
+  pluggable execution-backend fan-out, ``SeedSequence``-spawned
   per-cell child seeds (serial and parallel runs produce identical
   records), chunking, and a progress callback; cells are priced through
   the makespan layer's batched evaluation entry point (one DAG template
@@ -17,6 +17,13 @@ everything that runs them at scale:
   :func:`run_specs` is the batch entry point (several sweeps over one
   shared pipeline, or fanned out spec-per-worker) that
   :mod:`repro.service` dispatches coalesced request batches through;
+* :mod:`repro.engine.backends` — the execution backends themselves:
+  one ``submit(task) → future`` protocol, four implementations (serial
+  reference, process pool, fresh-interpreter subprocesses, remote
+  ``repro worker`` fleet over a lease/complete work queue) and the one
+  shared dispatch loop that owns broken-executor restart and
+  profile-snapshot merging.  Records are bit-identical across all of
+  them;
 * :mod:`repro.engine.records` — the typed result-record schema with
   JSONL/CSV serialisation (both directions), shared by the experiments
   harness, the CLI, the benchmarks and the service result store.
@@ -26,6 +33,19 @@ the facade (:func:`repro.api.run_strategies`) and the CLI ``sweep``/
 ``figure`` sub-commands are all thin layers over this package.
 """
 
+from repro.engine.backends import (
+    BACKENDS,
+    BackendTask,
+    BackendUnavailable,
+    BrokenBackendError,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    RemoteWorkerBackend,
+    SerialBackend,
+    SubprocessBackend,
+    get_backend,
+    run_tasks,
+)
 from repro.engine.pipeline import (
     COMPUTE_ONLY_STAGES,
     STAGES,
@@ -52,6 +72,17 @@ from repro.engine.sweep import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "BackendTask",
+    "BackendUnavailable",
+    "BrokenBackendError",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "RemoteWorkerBackend",
+    "SerialBackend",
+    "SubprocessBackend",
+    "get_backend",
+    "run_tasks",
     "COMPUTE_ONLY_STAGES",
     "STAGES",
     "STORED_STAGES",

@@ -1,0 +1,140 @@
+"""One fresh interpreter per task: crash-isolating subprocess backend.
+
+Unlike the process pool — whose long-lived workers amortise interpreter
+startup but share fate with every task they ever ran —
+:class:`SubprocessBackend` runs each work unit in a brand-new
+``python -m repro.engine.backends.subproc`` child: the task payload is
+piped to stdin (:func:`~repro.engine.backends.base.encode_task`), the
+``(result, profile_snapshot)`` pair comes back on stdout.  A native
+crash (segfault in a C extension, OOM kill) takes down exactly one
+task: the child's nonzero exit surfaces as a
+:class:`~repro.errors.BackendError` for that task alone, it never
+poisons an executor shared with other tasks.  The price is one
+interpreter start (and one cold pipeline) per task.
+
+Runner protocol (the ``__main__`` block below)::
+
+    stdin   pickle (fn, args, profile)           [encode_task]
+    stdout  pickle ("ok", (result, snapshot))    [task succeeded]
+            pickle ("error", pickled-exception)  [task raised]
+    exit 0 either way; any other exit status means the interpreter
+    itself died.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.engine.backends.base import (
+    BackendTask,
+    BackendUnavailable,
+    ExecutionBackend,
+    decode_error,
+    decode_result,
+    encode_error,
+    encode_result,
+    encode_task,
+    run_encoded_task,
+)
+from repro.errors import BackendError
+
+__all__ = ["SubprocessBackend"]
+
+
+def _child_env() -> dict:
+    """The child's environment: parent env plus an import path that is
+    guaranteed to resolve :mod:`repro` (source checkouts run with
+    ``PYTHONPATH=src``; the child must see the same package)."""
+    import repro
+
+    env = dict(os.environ)
+    pkg_parent = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    parts = [pkg_parent] + (existing.split(os.pathsep) if existing else [])
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+    return env
+
+
+class SubprocessBackend(ExecutionBackend):
+    """Execute each task in a fresh, disposable interpreter.
+
+    ``jobs`` bounds how many children run concurrently (an internal
+    thread pool feeds them and waits on their pipes).
+    """
+
+    name = "subprocess"
+    supports_profile_merge = True
+    max_inflight = None
+
+    def __init__(self, jobs: int = 2) -> None:
+        self.jobs = max(1, int(jobs))
+        self._env = _child_env()
+        self._threads: Optional[ThreadPoolExecutor] = ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="repro-subproc"
+        )
+
+    def submit(self, task: BackendTask, profile: bool = False) -> "Future[Any]":
+        if self._threads is None:
+            raise BackendUnavailable("subprocess backend is closed")
+        payload = encode_task(task.fn, task.args, profile)
+        return self._threads.submit(self._run_child, payload)
+
+    def _run_child(self, payload: bytes) -> Any:
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.engine.backends.subproc"],
+                input=payload,
+                capture_output=True,
+                env=self._env,
+            )
+        except (OSError, PermissionError) as exc:
+            # Process creation itself is blocked: broken, not a task
+            # failure — the dispatch loop restarts serially.
+            from repro.engine.backends.base import BrokenBackendError
+
+            raise BrokenBackendError(
+                f"cannot spawn a task interpreter: {exc}"
+            ) from None
+        if proc.returncode != 0:
+            stderr = proc.stderr.decode("utf-8", "replace").strip()
+            tail = stderr.splitlines()[-3:] if stderr else []
+            raise BackendError(
+                f"task interpreter died with exit status {proc.returncode}"
+                + (": " + " | ".join(tail) if tail else "")
+            )
+        try:
+            status, value = decode_result(proc.stdout)
+        except Exception as exc:  # noqa: BLE001 — corrupted reply pipe
+            raise BackendError(
+                f"undecodable subprocess reply: {exc}"
+            ) from None
+        if status == "error":
+            raise decode_error(value, "subprocess task failed")
+        return value
+
+    def close(self) -> None:
+        threads, self._threads = self._threads, None
+        if threads is not None:
+            threads.shutdown(wait=False, cancel_futures=True)
+
+
+def _runner_main() -> int:
+    """``python -m repro.engine.backends.subproc``: run one piped task."""
+    payload = sys.stdin.buffer.read()
+    try:
+        value = run_encoded_task(payload)
+        reply = encode_result(("ok", value))
+    except BaseException as exc:  # noqa: BLE001 — shipped to the parent
+        reply = encode_result(("error", encode_error(exc)))
+    sys.stdout.buffer.write(reply)
+    sys.stdout.buffer.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_runner_main())

@@ -19,9 +19,14 @@ executed by :func:`run_sweep`.  The execution plan is deterministic:
   :class:`~repro.engine.pipeline.Pipeline`, so the M-SPG tree is built
   once per workflow and the schedule once per (workflow, processors)
   pair;
-* with ``jobs > 1`` chunks fan out over a ``concurrent.futures``
-  process pool, each worker amortising the invariant stages over its
-  chunk with a private pipeline;
+* with ``jobs > 1`` — or an explicit ``backend=`` — chunks fan out
+  over a pluggable :mod:`execution backend <repro.engine.backends>`
+  (process pool by default; serial reference, fresh-interpreter
+  subprocesses and a remote ``repro worker`` fleet are the others),
+  each worker amortising the invariant stages over its chunk with a
+  private pipeline.  All backends run through one shared dispatch
+  loop (:func:`repro.engine.backends.run_tasks`), which owns the
+  broken-executor serial restart and the profile-snapshot merge;
 * each chunk's cells are priced through the makespan layer's batched
   entry point (one parameterised-DAG template per structure group) when
   the evaluator supports it — bit-identical to per-cell evaluation,
@@ -48,14 +53,28 @@ from __future__ import annotations
 import itertools
 import math
 import os
-import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
+from repro.engine.backends import (
+    BackendTask,
+    BackendUnavailable,
+    ExecutionBackend,
+    get_backend,
+    run_tasks,
+)
 from repro.engine.pipeline import FusedEvalCollector, Pipeline
 from repro.engine.records import CellResult
 from repro.errors import EvaluationError, ExperimentError
@@ -586,36 +605,56 @@ def _run_chunk_task(
     batch_eval: bool = True,
     fused_eval: bool = True,
     profile: bool = False,
+    pipeline: Optional[Pipeline] = None,
 ) -> Tuple[List[CellResult], Optional[Dict[str, Any]]]:
-    """Process-pool entry point: a private pipeline per chunk.
+    """Backend work-unit entry point: price one chunk, ship the records.
 
-    Returns ``(records, profile_snapshot)``; the snapshot is ``None``
-    unless the parent asked for profiling (its collector does not cross
-    the process boundary, so the worker enables a private one and ships
-    the counters back for :meth:`~repro.makespan.profile.KernelProfile.
-    merge`).
+    Follows the :mod:`repro.engine.backends` task contract — returns
+    ``(records, profile_snapshot)``.  The snapshot is ``None`` unless
+    ``profile`` is set: an out-of-process backend's parent collector
+    does not cross the process boundary, so the worker enables a
+    private one and ships the counters back for
+    :meth:`~repro.makespan.profile.KernelProfile.merge`.  ``pipeline``
+    lets an in-process backend (serial reference, broken-executor
+    restart) share one pipeline across tasks; out-of-process executions
+    build a private one per chunk.
     """
     if not profile:
         records = _run_chunk(
-            spec, chunk, Pipeline(), batch_eval=batch_eval,
-            fused_eval=fused_eval,
+            spec, chunk, pipeline if pipeline is not None else Pipeline(),
+            batch_eval=batch_eval, fused_eval=fused_eval,
         )
         return records, None
     prof = _profile.enable()
     try:
         records = _run_chunk(
-            spec, chunk, Pipeline(), batch_eval=batch_eval,
-            fused_eval=fused_eval,
+            spec, chunk, pipeline if pipeline is not None else Pipeline(),
+            batch_eval=batch_eval, fused_eval=fused_eval,
         )
         return records, prof.snapshot()
     finally:
         _profile.disable()
 
 
-def _merge_profile(snap: Optional[Dict[str, Any]]) -> None:
-    """Fold a worker's profile snapshot into the parent collector."""
-    if snap is not None and _profile.ACTIVE is not None:
-        _profile.ACTIVE.merge(snap)
+def _resolve_backend(
+    backend: Union[None, str, ExecutionBackend], jobs: int
+) -> Tuple[ExecutionBackend, bool]:
+    """Turn a ``backend=`` argument into ``(instance, owns_backend)``.
+
+    ``None`` means the historical default — a process pool sized by
+    ``jobs``.  A string goes through
+    :func:`repro.engine.backends.get_backend`; an instance is used as
+    is (and not closed: the caller owns its lifecycle — this is how the
+    service threads one long-lived remote fleet through every batch).
+    Raises :class:`~repro.engine.backends.BackendUnavailable` when the
+    environment cannot host the backend; callers fall back to the
+    serial in-process path, which produces identical records.
+    """
+    if backend is None:
+        backend = "process"
+    if isinstance(backend, str):
+        return get_backend(backend, jobs=jobs), True
+    return backend, False
 
 
 def _run_chunks_fused(
@@ -651,6 +690,7 @@ def run_sweep(
     pipeline: Optional[Pipeline] = None,
     batch_eval: bool = True,
     fused_eval: bool = True,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> List[CellResult]:
     """Execute a sweep; returns one record per cell, in grid order.
 
@@ -658,21 +698,21 @@ def run_sweep(
     ----------
     jobs:
         ``1`` (default) runs in-process over one shared pipeline —
-        maximal artifact reuse.  ``> 1`` fans chunks out over that many
-        worker processes; ``0``/negative means "all cores".  Records are
-        identical for every value.
+        maximal artifact reuse.  ``> 1`` fans chunks out over an
+        execution backend sized to that many workers; ``0``/negative
+        means "all cores".  Records are identical for every value.
     progress:
         Callback receiving one formatted line per completed cell.
     chunk_cells:
         Split each (size, processors) group into chunks of at most this
         many cells for finer pool balancing.  Default: one chunk per
-        group when serial (maximal reuse of the invariant stages); with
-        ``jobs > 1`` and fewer groups than workers, groups are split
-        automatically so every worker has work.  Chunking never changes
-        the records, only the work distribution.
+        group when serial (maximal reuse of the invariant stages); on a
+        concurrent backend with fewer groups than workers, groups are
+        split automatically so every worker has work.  Chunking never
+        changes the records, only the work distribution.
     pipeline:
         Existing pipeline (and artifact cache) to reuse for in-process
-        execution; ignored when ``jobs > 1``.
+        execution; ignored on the backend fan-out path.
     batch_eval:
         Price each chunk's cells through the evaluator's batched entry
         point (default) instead of one evaluation per cell.  Records
@@ -686,6 +726,15 @@ def run_sweep(
         strategy and structure group.  Records are bit-identical either
         way — False is the per-group escape hatch (CLI
         ``--no-fused-eval``).  Implied off by ``batch_eval=False``.
+    backend:
+        Where chunks execute: ``None`` (default) keeps the historical
+        behaviour — in-process when ``jobs == 1``, a process pool
+        otherwise; a name from :data:`repro.engine.backends.BACKENDS`
+        (``"serial"``, ``"process"``, ``"subprocess"``, ``"remote"``)
+        or a ready :class:`~repro.engine.backends.ExecutionBackend`
+        instance forces that backend regardless of ``jobs``.  Every
+        seed is derived here in the parent before submission, so
+        records are bit-identical across all backends.
     """
     if not spec.sizes or not spec.pfails or not spec.ccrs:
         raise ExperimentError(
@@ -695,7 +744,7 @@ def run_sweep(
     if jobs is None or jobs < 1:
         jobs = os.cpu_count() or 1
 
-    if jobs == 1:
+    if backend is None and jobs == 1:
         pipe = pipeline if pipeline is not None else Pipeline()
         if batch_eval and fused_eval and _supports_batch(spec.method):
             ordered = _run_chunks_fused(spec, chunks, pipe, progress)
@@ -709,63 +758,47 @@ def run_sweep(
             ]
         return [rec for recs in ordered for rec in recs]
 
-    if chunk_cells is None:
-        # Auto-chunk so the pool has a few chunks per worker even when
-        # the grid has fewer (size, processors) groups than workers.
+    try:
+        exec_backend, owns = _resolve_backend(backend, jobs)
+    except BackendUnavailable:
+        # No executor support in this environment (restricted sandbox):
+        # fall back to the serial path, which produces identical records.
+        return run_sweep(
+            spec, jobs=1, progress=progress, pipeline=pipeline,
+            batch_eval=batch_eval, fused_eval=fused_eval,
+        )
+
+    if chunk_cells is None and exec_backend.max_inflight != 1:
+        # Auto-chunk so a concurrent backend has a few chunks per worker
+        # even when the grid has fewer (size, processors) groups than
+        # workers.  (A one-at-a-time backend keeps group granularity —
+        # splitting would only re-amortise the invariant stages.)
         per_group = len(spec.pfails) * len(spec.ccrs)
         n_groups = len(chunks)
-        target = 2 * jobs
+        target = 2 * max(jobs, 2)
         if n_groups < target:
             chunk_cells = max(1, math.ceil(per_group * n_groups / target))
             chunks = _derive_chunks(spec, chunk_cells)
 
-    try:
-        pool = ProcessPoolExecutor(max_workers=jobs)
-    except (OSError, PermissionError, ModuleNotFoundError):
-        # No process support in this environment (restricted sandbox):
-        # fall back to the serial path, which produces identical records.
-        return run_sweep(
-            spec, jobs=1, progress=progress, batch_eval=batch_eval,
-            fused_eval=fused_eval,
-        )
-    # The parent's collector is process-local; ask workers to profile
-    # themselves and ship snapshots back when one is active here.
-    profile = _profile.ACTIVE is not None
-    results: Dict[Tuple[int, int], List[CellResult]] = {}
-    try:
-        with pool:
-            futures = {
-                pool.submit(
-                    _run_chunk_task, spec, ch, batch_eval, fused_eval,
-                    profile,
-                ): ch.order
-                for ch in chunks
-            }
-            for fut in as_completed(futures):
-                recs, snap = fut.result()
-                _merge_profile(snap)
-                results[futures[fut]] = recs
-                if progress is not None:
-                    for rec in recs:
-                        progress(_progress_message(spec, rec))
-    except BrokenProcessPool as exc:
-        # Workers spawn lazily, so a sandbox that blocks process
-        # creation surfaces here rather than at pool construction — but
-        # so does a genuine worker crash (OOM kill, native segfault).
-        # Warn loudly before restarting serially: records are identical,
-        # though completed work is redone and progress lines repeat.
-        warnings.warn(
-            f"process pool broke during sweep ({exc}); "
-            "restarting the whole grid serially (jobs=1)",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+    def on_result(order: Tuple[int, int], recs: List[CellResult]) -> None:
         if progress is not None:
-            progress(f"! process pool broke ({exc}); restarting serially")
-        return run_sweep(
-            spec, jobs=1, progress=progress, batch_eval=batch_eval,
-            fused_eval=fused_eval,
-        )
+            for rec in recs:
+                progress(_progress_message(spec, rec))
+
+    results = run_tasks(
+        exec_backend,
+        [
+            BackendTask(
+                fn=_run_chunk_task,
+                args=(spec, ch, batch_eval, fused_eval),
+                key=ch.order,
+            )
+            for ch in chunks
+        ],
+        on_result=on_result,
+        on_note=progress,
+        owns_backend=owns,
+    )
     return [rec for order in sorted(results) for rec in results[order]]
 
 
@@ -774,21 +807,26 @@ def _run_spec_task(
     batch_eval: bool = True,
     fused_eval: bool = True,
     profile: bool = False,
+    pipeline: Optional[Pipeline] = None,
 ) -> Tuple[List[CellResult], Optional[Dict[str, Any]]]:
-    """Process-pool entry point for :func:`run_specs`: one serial sweep.
+    """Backend work-unit entry point for :func:`run_specs`: one serial
+    sweep per unit.
 
     Returns ``(records, profile_snapshot)`` exactly like
-    :func:`_run_chunk_task` — workers profile themselves when the
-    parent holds an active collector.
+    :func:`_run_chunk_task` — out-of-process workers profile themselves
+    when the parent holds an active collector, and an in-process
+    backend threads its shared ``pipeline`` through the sweep.
     """
     if not profile:
         return run_sweep(
-            spec, jobs=1, batch_eval=batch_eval, fused_eval=fused_eval
+            spec, jobs=1, pipeline=pipeline, batch_eval=batch_eval,
+            fused_eval=fused_eval,
         ), None
     prof = _profile.enable()
     try:
         records = run_sweep(
-            spec, jobs=1, batch_eval=batch_eval, fused_eval=fused_eval
+            spec, jobs=1, pipeline=pipeline, batch_eval=batch_eval,
+            fused_eval=fused_eval,
         )
         return records, prof.snapshot()
     finally:
@@ -884,6 +922,7 @@ def run_specs(
     return_exceptions: bool = False,
     batch_eval: bool = True,
     fused_eval: bool = True,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> List[Any]:
     """Batch entry point: execute several sweeps; one record list per spec.
 
@@ -896,10 +935,12 @@ def run_specs(
     evaluations are additionally staged on one shared
     :class:`~repro.engine.pipeline.FusedEvalCollector`, so co-batched
     specs sharing an evaluation method are priced through a single
-    fused dispatch.  With ``jobs > 1`` whole specs fan out over a
-    process pool (``0``/negative means "all cores"); a single spec
-    falls through to :func:`run_sweep`'s own cell-level fan-out.
-    Records are identical for every ``jobs`` value.
+    fused dispatch.  With ``jobs > 1`` — or an explicit ``backend=``,
+    which takes the same names and instances as :func:`run_sweep` —
+    whole specs fan out over an execution backend (``0``/negative
+    means "all cores"); a single spec falls through to
+    :func:`run_sweep`'s own cell-level fan-out.  Records are identical
+    for every ``jobs`` value and every backend.
 
     With ``return_exceptions=True`` a spec whose execution raises yields
     its exception object in that slot instead of aborting the whole
@@ -921,11 +962,14 @@ def run_specs(
     if jobs is None or jobs < 1:
         jobs = os.cpu_count() or 1
 
-    def one(spec: SweepSpec, pipe: Optional[Pipeline], n: int) -> Any:
+    def one(
+        spec: SweepSpec, pipe: Optional[Pipeline], n: int
+    ) -> Any:
         try:
             return run_sweep(
                 spec, jobs=n, progress=progress, pipeline=pipe,
                 batch_eval=batch_eval, fused_eval=fused_eval,
+                backend=backend,
             )
         except Exception as exc:
             if not return_exceptions:
@@ -934,7 +978,7 @@ def run_specs(
 
     if len(specs) == 1:
         return [one(specs[0], pipeline, jobs)]
-    if jobs == 1:
+    if backend is None and jobs == 1:
         pipe = pipeline if pipeline is not None else Pipeline()
         if batch_eval and fused_eval:
             return _run_specs_fused(
@@ -943,51 +987,32 @@ def run_specs(
             )
         return [one(s, pipe, 1) for s in specs]
     try:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
-    except (OSError, PermissionError, ModuleNotFoundError):
+        exec_backend, owns = _resolve_backend(
+            backend, min(jobs, len(specs))
+        )
+    except BackendUnavailable:
         return run_specs(
             specs, jobs=1, progress=progress, pipeline=pipeline,
             return_exceptions=return_exceptions, batch_eval=batch_eval,
             fused_eval=fused_eval,
         )
-    profile = _profile.ACTIVE is not None
-    out: Dict[int, Any] = {}
-    try:
-        with pool:
-            futures = {
-                pool.submit(
-                    _run_spec_task, s, batch_eval, fused_eval, profile
-                ): i
-                for i, s in enumerate(specs)
-            }
-            for fut in as_completed(futures):
-                i = futures[fut]
-                try:
-                    recs, snap = fut.result()
-                except BrokenProcessPool:
-                    raise
-                except Exception as exc:
-                    if not return_exceptions:
-                        raise
-                    out[i] = exc
-                    continue
-                _merge_profile(snap)
-                out[i] = recs
-                if progress is not None:
-                    for rec in recs:
-                        progress(_progress_message(specs[i], rec))
-    except BrokenProcessPool as exc:
-        warnings.warn(
-            f"process pool broke during batch ({exc}); "
-            "restarting all specs serially (jobs=1)",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+
+    def on_result(i: int, recs: List[CellResult]) -> None:
         if progress is not None:
-            progress(f"! process pool broke ({exc}); restarting serially")
-        return run_specs(
-            specs, jobs=1, progress=progress, pipeline=pipeline,
-            return_exceptions=return_exceptions, batch_eval=batch_eval,
-            fused_eval=fused_eval,
-        )
+            for rec in recs:
+                progress(_progress_message(specs[i], rec))
+
+    out = run_tasks(
+        exec_backend,
+        [
+            BackendTask(
+                fn=_run_spec_task, args=(s, batch_eval, fused_eval), key=i
+            )
+            for i, s in enumerate(specs)
+        ],
+        on_result=on_result,
+        on_note=progress,
+        return_exceptions=return_exceptions,
+        owns_backend=owns,
+    )
     return [out[i] for i in range(len(specs))]

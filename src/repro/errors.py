@@ -22,6 +22,7 @@ __all__ = [
     "ExperimentError",
     "SerializationError",
     "ServiceError",
+    "BackendError",
 ]
 
 
@@ -94,3 +95,8 @@ class SerializationError(ReproError):
 class ServiceError(ReproError):
     """Evaluation-service failure (bad request, store schema mismatch,
     transport error reported by the HTTP client)."""
+
+
+class BackendError(ReproError):
+    """Execution-backend failure (unavailable executor, broken worker
+    pool or fleet, undecodable work-unit payload)."""

@@ -8,6 +8,14 @@
 Transport and server-side failures both surface as
 :class:`~repro.errors.ServiceError` carrying the server's error message
 where one exists.
+
+Idempotent reads (``GET /status``, ``/sources``, ``/cache``) are
+retried a bounded number of times with exponential backoff on transport
+failures and HTTP 5xx replies — a service mid-restart answers a
+monitoring probe instead of failing it.  POSTs are **never** retried:
+``/evaluate``/``/sweep`` can take arbitrarily long and a blind resend
+would double-submit work (coalescing would absorb it, but the client
+should not rely on that).
 """
 
 from __future__ import annotations
@@ -27,6 +35,10 @@ from repro.mspg.graph import Workflow
 from repro.service.fingerprint import EvalRequest, request_to_dict
 
 __all__ = ["EvalReply", "SweepReply", "ServiceClient"]
+
+
+class _RetryableServiceError(ServiceError):
+    """Transport failure / 5xx: retryable for idempotent reads only."""
 
 
 @dataclass(frozen=True)
@@ -56,16 +68,47 @@ class SweepReply:
 
 
 class ServiceClient:
-    """HTTP client for one :class:`~repro.service.server.ReproService`."""
+    """HTTP client for one :class:`~repro.service.server.ReproService`.
 
-    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+    ``retries`` bounds how many times an idempotent GET is re-sent
+    after a transport failure or 5xx reply (``retry_backoff`` seconds
+    before the first retry, doubling each attempt).  POSTs are always
+    single-shot.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 600.0,
+        retries: int = 3,
+        retry_backoff: float = 0.1,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
 
     # ------------------------------------------------------------------
     # Transport.
 
     def _request(
+        self, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        # Only payload-less GETs are idempotent; a POST that timed out
+        # may still be computing server-side, so it is never re-sent.
+        attempts = 1 + (self.retries if payload is None else 0)
+        backoff = self.retry_backoff
+        for attempt in range(attempts):
+            try:
+                return self._request_once(path, payload)
+            except _RetryableServiceError as exc:
+                if attempt + 1 >= attempts:
+                    raise ServiceError(str(exc)) from None
+                time.sleep(backoff)
+                backoff *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
         self, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
         url = self.base_url + path
@@ -83,9 +126,13 @@ class ServiceClient:
                 message = json.loads(exc.read().decode("utf-8"))["error"]
             except Exception:  # noqa: BLE001 — error body is best-effort
                 message = str(exc)
+            if exc.code >= 500:
+                # Server-side breakage, not a request problem — safe to
+                # retry an idempotent read.
+                raise _RetryableServiceError(f"{path}: {message}") from None
             raise ServiceError(f"{path}: {message}") from None
         except (urllib.error.URLError, socket.timeout, OSError) as exc:
-            raise ServiceError(
+            raise _RetryableServiceError(
                 f"cannot reach service at {self.base_url}: {exc}"
             ) from None
         try:

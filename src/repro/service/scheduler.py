@@ -15,8 +15,10 @@ requests it
    pair — exactly the :class:`~repro.engine.pipeline.ArtifactCache`
    reuse the sweep engine gives a declared grid;
 4. **dispatches** the specs through :func:`repro.engine.sweep.run_specs`
-   (shared pipeline when serial, spec-per-worker process fan-out for
-   ``jobs > 1``) and writes every fresh record back to the store.  The
+   (shared pipeline when serial; spec-per-worker fan-out over a
+   pluggable execution backend for ``jobs > 1`` or an explicit
+   ``backend=`` — including a remote ``repro worker`` fleet) and writes
+   every fresh record back to the store.  The
    dispatch rides the engine's batched evaluation entry point: each
    coalesced spec's cells are priced through one DAG template per
    structure group (bit-identical to per-cell evaluation;
@@ -47,8 +49,9 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.engine.backends import ExecutionBackend
 from repro.engine.pipeline import Pipeline
 from repro.engine.records import CellResult
 from repro.engine.sweep import SweepSpec, run_specs
@@ -168,10 +171,18 @@ class BatchScheduler:
         batch_eval: bool = True,
         fused_eval: bool = True,
         registry: Optional[SourceRegistry] = None,
+        backend: Union[None, str, "ExecutionBackend"] = None,
     ) -> None:
         self.store = store
         self.jobs = jobs
         self.linger = linger
+        #: Execution backend dispatched batches run on — ``None`` keeps
+        #: the historical behaviour (in-process when ``jobs == 1``, a
+        #: process pool otherwise), a backend name or instance (e.g.
+        #: the service's long-lived
+        #: :class:`~repro.engine.backends.RemoteWorkerBackend`) forces
+        #: that backend.  Records are identical on every backend.
+        self.backend = backend
         #: External workflow sources addressable by content hash
         #: (``request.workflow``); a fresh empty registry by default so
         #: callers can always ``scheduler.registry.register(...)``.
@@ -281,6 +292,7 @@ class BatchScheduler:
                 specs, jobs=self.jobs, progress=progress,
                 pipeline=self.pipeline, return_exceptions=True,
                 batch_eval=self.batch_eval, fused_eval=self.fused_eval,
+                backend=self.backend,
             )
             sizes = []
             for (spec, cells), records in zip(batches, results):

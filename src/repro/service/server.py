@@ -54,10 +54,22 @@ path          method  semantics
                       exactly like the closed-form methods.
 /status       GET     uptime, version, store + scheduler counters
                       (including the coalesced batch sizes dispatched
-                      through the engine's batched evaluation core).
+                      through the engine's batched evaluation core), the
+                      execution backend, and the work queue's state —
+                      registered workers included.
 /cache        GET     store detail (path, schema, entries, hit rates).
 /cache        POST    ``{"action": "clear"}`` empties store + pipeline.
 ============  ======  ====================================================
+
+The coordinator endpoints of the remote execution backend —
+``POST /work/lease``, ``/work/complete``, ``/work/fail`` and
+``/workers/register`` (see :mod:`repro.engine.backends.remote`) — are
+mounted on the same server, so ``repro serve --backend remote`` turns
+the service into the coordinator of a ``repro worker`` fleet: dispatched
+batches are enqueued as leased work units, workers poll them over HTTP,
+and a worker that dies mid-unit has its lease expire and the unit
+requeued.  The durable store sits in front of the queue, so answered
+fingerprints never reach the fleet at all.
 
 Errors come back as ``{"error": ...}`` with status 400 (bad request /
 library error) or 404 (unknown path).  Start a blocking server with
@@ -72,9 +84,15 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro import __version__
+from repro.engine.backends import (
+    BACKENDS,
+    RemoteWorkerBackend,
+    WorkQueue,
+    queue_routes,
+)
 from repro.engine.records import record_to_dict
 from repro.engine.sweep import SweepSpec
 from repro.errors import ReproError, ServiceError
@@ -225,14 +243,20 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
-        self._dispatch(
-            {
-                "/evaluate": self._post_evaluate,
-                "/sweep": self._post_sweep,
-                "/cache": self._post_cache,
-                "/register": self._post_register,
-            }
-        )
+        routes: Dict[str, Callable[[], None]] = {
+            "/evaluate": self._post_evaluate,
+            "/sweep": self._post_sweep,
+            "/cache": self._post_cache,
+            "/register": self._post_register,
+        }
+        # The remote backend's coordinator endpoints ride the same
+        # route table (queue_routes) as the standalone WorkServer, so
+        # the wire protocol cannot drift between the two hosts.
+        for path, handler in queue_routes(self.service.work_queue).items():
+            routes[path] = (
+                lambda h=handler: self._reply(200, h(self._read_json()))
+            )
+        self._dispatch(routes)
 
     def _post_evaluate(self) -> None:
         payload = self._read_json()
@@ -361,6 +385,9 @@ class _Handler(BaseHTTPRequestHandler):
                     "batch_size_mean": sched.batch_size_mean,
                     "last_batch_sizes": list(sched.last_batch_sizes),
                 },
+                "backend": svc.backend_name,
+                "work_queue": svc.work_queue.stats(),
+                "workers": svc.work_queue.workers(),
                 # Present only while kernel profiling is live (serve
                 # --profile, or an embedding process calling enable()).
                 "kernel_profile": kernel_profile.snapshot(),
@@ -416,11 +443,20 @@ class ReproService:
         fused_eval: bool = True,
         eval_seed_policy: str = "positional",
         profile: bool = False,
+        backend: Optional[str] = None,
+        workers: Sequence[str] = (),
+        lease_timeout: float = 30.0,
+        worker_grace: float = 60.0,
     ) -> None:
         if eval_seed_policy not in EVAL_SEED_POLICIES:
             raise ServiceError(
                 f"unknown eval-seed policy {eval_seed_policy!r}; "
                 f"choose from {list(EVAL_SEED_POLICIES)}"
+            )
+        if backend is not None and backend not in BACKENDS:
+            raise ServiceError(
+                f"unknown execution backend {backend!r}; "
+                f"choose from {list(BACKENDS)}"
             )
         #: Kernel profiling collectors are process-local, but worker
         #: processes profile themselves and ship snapshots back through
@@ -452,10 +488,35 @@ class ReproService:
         )
         self.log = log
         self.started_at = time.time()
+        #: The remote backend's work queue.  Always constructed — its
+        #: coordinator endpoints are always mounted, so a fleet can
+        #: register/poll regardless of the dispatch backend — but only
+        #: ``backend="remote"`` enqueues work units on it.
+        self.work_queue = WorkQueue(lease_timeout=lease_timeout)
+        self.backend_name = backend or (
+            "process" if jobs not in (None, 1) else "inline"
+        )
         handler = type("_BoundHandler", (_Handler,), {"service": self})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+        #: The long-lived backend instance owned by the service (only
+        #: the remote fleet needs one: its queue and monitor must span
+        #: batches; the local backends are built per dispatch).
+        self._backend_obj: Optional[RemoteWorkerBackend] = None
+        if backend == "remote":
+            # Constructed after the HTTP socket is bound: recruiting
+            # attachable workers sends them this service's own URL as
+            # the coordinator address.
+            self._backend_obj = RemoteWorkerBackend(
+                queue=self.work_queue,
+                coordinator_url=self.url,
+                workers=workers,
+                worker_grace=worker_grace,
+            )
+            self.scheduler.backend = self._backend_obj
+        elif backend is not None:
+            self.scheduler.backend = backend
         # Whether a serve loop was (or is being) entered: shutdown()
         # blocks forever on a server whose serve_forever never ran, so
         # close() must skip it for a constructed-but-never-started
@@ -515,6 +576,9 @@ class ReproService:
             self._thread.join(timeout=5.0)
             self._thread = None
         self.scheduler.stop()
+        if self._backend_obj is not None:
+            self._backend_obj.close()
+            self._backend_obj = None
         if self.profiling:
             kernel_profile.disable()
         if self._owns_store:
@@ -538,18 +602,31 @@ def serve(
     fused_eval: bool = True,
     eval_seed_policy: str = "positional",
     profile: bool = False,
+    backend: Optional[str] = None,
+    workers: Sequence[str] = (),
+    lease_timeout: float = 30.0,
+    worker_grace: float = 60.0,
 ) -> None:
     """Run a blocking evaluation service (the ``repro serve`` command)."""
     service = ReproService(
         host=host, port=port, store=store, jobs=jobs, linger=linger, log=log,
         batch_eval=batch_eval, fused_eval=fused_eval,
         eval_seed_policy=eval_seed_policy, profile=profile,
+        backend=backend, workers=workers, lease_timeout=lease_timeout,
+        worker_grace=worker_grace,
     )
     if log is not None:
         log(
             f"repro service v{__version__} listening on {service.url} "
             f"(store: {service.store.path}, jobs={jobs}, linger={linger}s"
+            + f", backend={service.backend_name}"
             + (", kernel profiling on" if profile else "")
             + ")"
         )
+        if backend == "remote":
+            log(
+                f"coordinating a worker fleet: point workers at "
+                f"`repro worker {service.url}` "
+                f"(lease timeout {lease_timeout}s)"
+            )
     service.serve_forever()

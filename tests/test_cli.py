@@ -334,14 +334,13 @@ class TestArgumentValidation:
     @pytest.mark.parametrize(
         "argv",
         [
-            ["sweep", "--family", "genome", "--jobs", "0"],
             ["sweep", "--family", "genome", "--jobs", "-2"],
             ["sweep", "--family", "genome", "--pfails", "-0.1"],
             ["sweep", "--family", "genome", "--pfails", "1.5"],
             ["sweep", "--family", "genome", "--ccrs", "-1"],
             ["sweep", "--family", "genome", "--sizes", "0"],
             ["sweep", "--family", "genome", "--processors", "-3"],
-            ["figure", "fig5", "--jobs", "0"],
+            ["figure", "fig5", "--jobs", "-1"],
             ["figure", "fig5", "--ccr-points", "0"],
             ["evaluate", "--family", "genome", "--pfail", "-0.5"],
             ["evaluate", "--family", "genome", "--ccr", "-0.01"],
@@ -367,6 +366,18 @@ class TestArgumentValidation:
 
     def test_jobs_one_still_accepted(self, capsys):
         assert main(TestSweep.BASE + ["--jobs", "1"]) == 0
+
+    def test_jobs_zero_means_all_cores(self, capsys):
+        # 0 is auto (one worker per core), not a rejected value.
+        assert main(TestSweep.BASE + ["--jobs", "0"]) == 0
+
+    def test_workers_without_remote_backend_rejected(self, capsys):
+        rc = main(
+            TestSweep.BASE
+            + ["--backend", "process", "--workers", "http://127.0.0.1:1"]
+        )
+        assert rc == 2
+        assert "--backend remote" in capsys.readouterr().err
 
 
 class TestSubmitLocal:
