@@ -30,6 +30,7 @@ from typing import Dict, List, Tuple
 
 from repro.engine import CellResult, SweepSpec, run_sweep
 from repro.experiments.figures import log_grid
+from repro.makespan import native as native_kernels
 from repro.makespan import profile as kernel_profile
 
 from benchmarks.conftest import save_artifact, save_json
@@ -67,11 +68,15 @@ def genome_spec() -> SweepSpec:
 def run_grid(spec: SweepSpec) -> Tuple[Dict[str, float], List[CellResult]]:
     """Time per-cell vs per-group vs fused evaluation of one grid.
 
-    All three paths are asserted bit-identical; the timed default is
-    the fused dispatcher.  A separate (untimed) profiled pass collects
-    the dispatch telemetry — dispatch count, mean template jobs per
-    dispatch, mean pooled wavefront width — so the JSON artifact pins
-    the dispatch shape, not just the wall time.
+    All paths are asserted bit-identical; the timed default is the
+    fused dispatcher with whatever kernel backend is live (native when
+    a compiler is present).  A fourth timed pass re-runs the fused
+    path with the native kernels disabled, so the artifact carries the
+    native-vs-python column with parity asserted.  A separate
+    (untimed) profiled pass collects the dispatch telemetry — dispatch
+    count, mean template jobs per dispatch, mean pooled wavefront
+    width, native-vs-fallback rows — so the JSON artifact pins the
+    dispatch shape, not just the wall time.
     """
     t0 = time.perf_counter()
     per_cell = run_sweep(spec, jobs=1, batch_eval=False)
@@ -82,11 +87,23 @@ def run_grid(spec: SweepSpec) -> Tuple[Dict[str, float], List[CellResult]]:
     t0 = time.perf_counter()
     batched = run_sweep(spec, jobs=1)
     wall_batched = time.perf_counter() - t0
+    was_enabled = native_kernels.enabled()
+    native_kernels.set_enabled(False)
+    try:
+        t0 = time.perf_counter()
+        no_native = run_sweep(spec, jobs=1)
+        wall_no_native = time.perf_counter() - t0
+    finally:
+        native_kernels.set_enabled(was_enabled)
     assert batched == per_cell, (
         f"{spec.name}: fused records diverge from the per-cell path"
     )
     assert grouped == per_cell, (
         f"{spec.name}: per-group records diverge from the per-cell path"
+    )
+    assert no_native == per_cell, (
+        f"{spec.name}: native-disabled records diverge from the "
+        "per-cell path"
     )
     prof = kernel_profile.enable()
     try:
@@ -101,13 +118,18 @@ def run_grid(spec: SweepSpec) -> Tuple[Dict[str, float], List[CellResult]]:
             "wall_s": wall_batched,
             "per_cell_wall_s": wall_per_cell,
             "per_group_wall_s": wall_grouped,
+            "no_native_wall_s": wall_no_native,
             "cells_per_s": cells / wall_batched,
             "per_cell_cells_per_s": cells / wall_per_cell,
+            "no_native_cells_per_s": cells / wall_no_native,
             "speedup": wall_per_cell / wall_batched,
             "fused_speedup": wall_grouped / wall_batched,
+            "native_speedup": wall_no_native / wall_batched,
             "dispatches": snap["dispatches"],
             "dispatch_jobs_mean": snap["dispatch_jobs_mean"],
             "pool_width_mean": snap["pool_width_mean"],
+            "native_rows": snap["native_rows"],
+            "native_ratio": snap["native_ratio"],
         },
         batched,
     )
@@ -115,9 +137,13 @@ def run_grid(spec: SweepSpec) -> Tuple[Dict[str, float], List[CellResult]]:
 
 def compare() -> Tuple[str, List[CellResult]]:
     grids = {"montage": montage_spec(), "genome": genome_spec()}
+    kernel_status = native_kernels.status()
     summary: Dict[str, object] = {
         "benchmark": "eval_batch",
         "smoke": SMOKE,
+        # Which kernel backend produced the committed numbers (the
+        # timed default passes): "native" or "python".
+        "kernel_backend": kernel_status["backend"],
         "grids": {},
     }
     lines = [
@@ -143,6 +169,7 @@ def compare() -> Tuple[str, List[CellResult]]:
             f"fused {stats['wall_s']:7.2f}s "
             f"({stats['cells_per_s']:6.2f} cells/s)  "
             f"speedup {stats['speedup']:.2f}x  "
+            f"native {stats['native_speedup']:.2f}x  "
             f"dispatches {stats['dispatches']} "
             f"(pool width {stats['pool_width_mean']:.1f})"
         )

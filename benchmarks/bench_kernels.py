@@ -10,7 +10,10 @@ per-cell scalar reference against the compiled fold-plan replay
 structure group.  All comparisons assert bit-identical results before
 any timing is reported.
 
-One profiled replay pass collects the kernel counters, so the summary
+A native-vs-python pass times each scalar primitive with the compiled
+kernels (:mod:`repro.makespan.native`) enabled and disabled — parity
+asserted — and lands as the ``native`` block of the JSON summary.  One
+profiled replay pass collects the kernel counters, so the summary
 carries the **scalar-fallback ratio** (share of batched rows finalised
 through the scalar kernel — the number the rect mode exists to drive
 down) and the fold executor's pool-singleton ratio.  The
@@ -225,6 +228,56 @@ def bench_fused(templates: List[ParamDAG]) -> Dict[str, float]:
     }
 
 
+def bench_native() -> Dict[str, object]:
+    """Compiled vs pure-python scalar kernels, bit-parity asserted.
+
+    Times the per-row scalar loop for each primitive twice — native
+    kernels enabled and disabled — asserting the results identical
+    before reporting.  When no compiler is available both passes run
+    the python reference and the block records ``available: false``
+    (speedups ~1.0), so the JSON shape is stable either way.
+    """
+    from repro.makespan import native
+
+    a_rows = random_batch(1, N_CELLS, N_ATOMS).rows()
+    b_rows = random_batch(2, N_CELLS, N_ATOMS).rows()
+    ops: Dict[str, Callable[[], List[DiscreteDistribution]]] = {
+        "convolve": lambda: [
+            x.convolve(y, BUDGET, MODE_ADAPTIVE)
+            for x, y in zip(a_rows, b_rows)
+        ],
+        "max": lambda: [
+            x.max_with(y, BUDGET, MODE_ADAPTIVE)
+            for x, y in zip(a_rows, b_rows)
+        ],
+        "truncate": lambda: [x.truncate(BUDGET, MODE_ADAPTIVE) for x in a_rows],
+        "rect_bin": lambda: [x.truncate(BUDGET, MODE_RECT) for x in a_rows],
+    }
+    was_enabled = native.enabled()
+    status = native.status()
+    out_ops: Dict[str, Dict[str, float]] = {}
+    try:
+        for name, fn in ops.items():
+            native.set_enabled(True)
+            native_wall, native_res = _best(fn, REPEATS)
+            native.set_enabled(False)
+            python_wall, python_res = _best(fn, REPEATS)
+            _assert_rows_equal(python_res, native_res, f"native/{name}")
+            out_ops[name] = {
+                "python_wall_s": python_wall,
+                "native_wall_s": native_wall,
+                "speedup": python_wall / native_wall,
+            }
+    finally:
+        native.set_enabled(was_enabled)
+    return {
+        "available": status["available"],
+        "backend": status["backend"],
+        "compiler": status["compiler"],
+        "ops": out_ops,
+    }
+
+
 def profiled_ratios(template: ParamDAG) -> Dict[str, object]:
     """One profiled pass: batched primitives + plan replay, both modes."""
     a = random_batch(1, N_CELLS, N_ATOMS)
@@ -244,6 +297,7 @@ def profiled_ratios(template: ParamDAG) -> Dict[str, object]:
 
 def compare() -> str:
     primitives = bench_primitives()
+    native = bench_native()
     templates = fold_templates()
     template = templates[0]
     fold = bench_fold(template)
@@ -261,6 +315,16 @@ def compare() -> str:
                 f"batched {stats['batched_wall_s']*1e3:8.2f}ms  "
                 f"speedup {stats['speedup']:5.2f}x"
             )
+    lines.append(
+        f"  native kernels: {native['backend']}"
+        + (f" ({native['compiler']})" if native["compiler"] else "")
+    )
+    for name, stats in native["ops"].items():
+        lines.append(
+            f"  {name:<9} native   python {stats['python_wall_s']*1e3:8.2f}ms  "
+            f"native  {stats['native_wall_s']*1e3:8.2f}ms  "
+            f"speedup {stats['speedup']:5.2f}x"
+        )
     for mode, stats in fold.items():
         lines.append(
             f"  fold      {mode:<8} scalar {stats['scalar_wall_s']:7.2f}s   "
@@ -288,6 +352,7 @@ def compare() -> str:
         "n_atoms": N_ATOMS,
         "budget": BUDGET,
         "ops": primitives,
+        "native": native,
         "fold": fold,
         "fused": fused,
         "scalar_fallback_ratio": ratio,

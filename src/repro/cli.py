@@ -6,6 +6,8 @@ Sub-commands::
     evaluate   run the full strategy comparison on one configuration
                (a synthetic --family or an external --dax workflow)
     methods    list the registered expected-makespan evaluators
+    kernels    show which distribution-kernel backend (compiled native
+               vs pure-python reference) serves each primitive
     sweep      run a parameter grid through the staged pipeline engine
                (artifact cache + optional --jobs process-pool fan-out;
                records to JSONL/CSV; --no-batch-eval forces the
@@ -23,6 +25,8 @@ Sub-commands::
     worker     run a fleet worker: poll a coordinator for leased work
                units (`repro worker URL`) or listen for recruitment
                (`repro worker --listen PORT`)
+    store      export/import a service result store as JSONL (offline
+               cache interchange between machines)
 """
 
 from __future__ import annotations
@@ -367,9 +371,19 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "collect kernel-level op counters (convolve/max/truncate "
             "calls, batched rows, scalar-fallback ratio, evaluation "
-            "dispatches, pooled wavefront width, per-op wall time) and "
-            "print the table after the sweep; with --jobs N the workers "
-            "profile themselves and the counters are merged"
+            "dispatches, pooled wavefront width, native-vs-fallback "
+            "rows, per-op wall time) and print the table after the "
+            "sweep; with --jobs N the workers profile themselves and "
+            "the counters are merged"
+        ),
+    )
+    sw.add_argument(
+        "--no-native",
+        action="store_true",
+        help=(
+            "disable the compiled distribution kernels and run the "
+            "pure-python reference path (bit-identical records, "
+            "slower); equivalent to REPRO_NATIVE=0"
         ),
     )
     sw.add_argument(
@@ -526,6 +540,16 @@ def build_parser() -> argparse.ArgumentParser:
             "are merged"
         ),
     )
+    srv.add_argument(
+        "--no-native",
+        action="store_true",
+        help=(
+            "disable the compiled distribution kernels and serve from "
+            "the pure-python reference path (bit-identical records, "
+            "slower); equivalent to REPRO_NATIVE=0; GET /status "
+            "reports the live backend"
+        ),
+    )
 
     sub_ = sub.add_parser(
         "submit",
@@ -654,6 +678,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between lease polls when idle",
     )
     wrk.add_argument("--quiet", action="store_true")
+
+    ker = sub.add_parser(
+        "kernels",
+        help="show which distribution-kernel backend is live per op",
+        description=(
+            "Report the compiled-kernel layer's status: whether the "
+            "native shared object is built and loaded, which switch "
+            "disabled it (flag, REPRO_NATIVE, build failure), and the "
+            "backend serving each primitive (convolve / max / truncate "
+            "/ rect_bin).  Every op always has a backend — the pure-"
+            "python numpy path is the bit-exact reference and the "
+            "fallback."
+        ),
+    )
+    ker.add_argument("--json", action="store_true", help="machine-readable output")
+
+    sto = sub.add_parser(
+        "store",
+        help="export/import a service result store as JSONL",
+        description=(
+            "Offline interchange for the durable SQLite result store "
+            "used by `repro serve` and `repro submit --local`: export "
+            "dumps every cached record as JSON Lines, import ingests a "
+            "dump into another store (existing entries are kept; every "
+            "line's fingerprint is re-verified).  First step toward "
+            "cross-machine cache warming."
+        ),
+    )
+    sto_sub = sto.add_subparsers(dest="store_command", required=True)
+    sto_exp = sto_sub.add_parser(
+        "export", help="dump a store to JSONL (stdout or --out FILE)"
+    )
+    sto_exp.add_argument(
+        "--store",
+        type=Path,
+        default=Path("repro-service.db"),
+        help="SQLite result store path (default ./repro-service.db)",
+    )
+    sto_exp.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSONL dump here instead of stdout",
+    )
+    sto_imp = sto_sub.add_parser(
+        "import", help="ingest an exported JSONL dump into a store"
+    )
+    sto_imp.add_argument(
+        "source",
+        type=Path,
+        help="JSONL dump file produced by `repro store export`",
+    )
+    sto_imp.add_argument(
+        "--store",
+        type=Path,
+        default=Path("repro-service.db"),
+        help="SQLite result store path (default ./repro-service.db)",
+    )
     return parser
 
 
@@ -789,6 +871,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.figures import log_grid
     from repro.experiments.results import render_cells_table
 
+    if args.no_native:
+        from repro.makespan import native
+
+        # Also sets REPRO_NATIVE=0 so --jobs worker processes inherit it.
+        native.set_enabled(False)
     message = _family_or_dax(args, "sweep")
     if message is not None:
         print(message, file=sys.stderr)
@@ -1004,6 +1091,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
 
+    if args.no_native:
+        from repro.makespan import native
+
+        # Also sets REPRO_NATIVE=0 so --jobs worker processes inherit it.
+        native.set_enabled(False)
     if args.workers and args.backend != "remote":
         print(
             "repro serve: --workers requires --backend remote",
@@ -1194,10 +1286,72 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.makespan import native
+    from repro.util.tables import format_table
+
+    status = native.status()
+    if args.json:
+        print(_json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    rows = [[op, backend] for op, backend in sorted(status["ops"].items())]
+    print(
+        format_table(
+            ["op", "backend"],
+            rows,
+            title="distribution kernel backends",
+        )
+    )
+    detail = [f"backend: {status['backend']}"]
+    if status["disabled_by"] is not None:
+        detail.append(f"disabled by: {status['disabled_by']}")
+    if status["build_error"] is not None:
+        detail.append(f"build error: {status['build_error']}")
+    if status["compiler"] is not None:
+        detail.append(f"compiler: {status['compiler']}")
+    if status["cached_object"] is not None:
+        detail.append(f"object: {status['cached_object']}")
+    print("\n".join(detail))
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service.store import ResultStore
+
+    if args.store_command == "export":
+        if not args.store.is_file():
+            print(f"no store at {args.store}", file=sys.stderr)
+            return 2
+        with ResultStore(args.store) as store:
+            text = store.export_jsonl(args.out)
+        entries = sum(1 for line in text.splitlines() if line.strip())
+        if args.out is not None:
+            print(f"exported {entries} entries to {args.out}")
+        else:
+            sys.stdout.write(text)
+        return 0
+    # import
+    if not args.source.is_file():
+        print(f"no dump at {args.source}", file=sys.stderr)
+        return 2
+    with ResultStore(args.store) as store:
+        try:
+            added = store.import_jsonl(args.source)
+        except (ServiceError, ValueError, KeyError) as exc:
+            print(f"import failed: {exc}", file=sys.stderr)
+            return 2
+    print(f"imported {added} new entries into {args.store}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
     "methods": _cmd_methods,
+    "kernels": _cmd_kernels,
     "sweep": _cmd_sweep,
     "figure": _cmd_figure,
     "accuracy": _cmd_accuracy,
@@ -1205,6 +1359,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "worker": _cmd_worker,
+    "store": _cmd_store,
 }
 
 

@@ -34,6 +34,7 @@ from typing import Iterable, Tuple
 import numpy as np
 
 from repro.errors import EvaluationError
+from repro.makespan import native as _native
 from repro.makespan import profile as _profile
 
 __all__ = [
@@ -68,12 +69,26 @@ def _rect_bin_rows(
 
     The single rectangular kernel, shared by the scalar and batched
     paths (the scalar path feeds one-row views), which makes their
-    bit-parity structural rather than coincidental.  Bin edges are
-    deterministic functions of each row's support range: ``max_atoms``
-    equal-width bins spanning ``[values[0], values[-1]]``.  Massy bins
-    take their conditional mean (so the mean is preserved exactly up to
-    summation rounding); empty bins take their centre with zero mass —
-    every output row has exactly ``max_atoms`` atoms.
+    bit-parity structural rather than coincidental.  Dispatches to the
+    compiled kernel when :mod:`repro.makespan.native` is enabled; the
+    numpy body below is the bit-exactness reference and the fallback.
+    """
+    out = _native.rect_bin_rows(values, probs, max_atoms)
+    if out is not None:
+        return out
+    return _rect_bin_rows_py(values, probs, max_atoms)
+
+
+def _rect_bin_rows_py(
+    values: np.ndarray, probs: np.ndarray, max_atoms: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pure-numpy rectangular binning (the reference implementation).
+
+    Bin edges are deterministic functions of each row's support range:
+    ``max_atoms`` equal-width bins spanning ``[values[0], values[-1]]``.
+    Massy bins take their conditional mean (so the mean is preserved
+    exactly up to summation rounding); empty bins take their centre with
+    zero mass — every output row has exactly ``max_atoms`` atoms.
     """
     c = values.shape[0]
     lo = values[:, 0]
@@ -110,7 +125,7 @@ class DiscreteDistribution:
     renormalised on construction to guard against floating-point drift.
     """
 
-    __slots__ = ("values", "probs")
+    __slots__ = ("values", "probs", "_addrs")
 
     def __init__(
         self, values: Iterable[float], probs: Iterable[float], _sorted: bool = False
@@ -149,6 +164,16 @@ class DiscreteDistribution:
             raise EvaluationError(f"probabilities sum to {total}")
         self.values = v
         self.probs = p / total
+        # Lazily-filled (values.ctypes.data, probs.ctypes.data) cache for
+        # the native kernels; never pickled (addresses are process-local).
+        self._addrs = None
+
+    def __getstate__(self):
+        return (self.values, self.probs)
+
+    def __setstate__(self, state):
+        self.values, self.probs = state
+        self._addrs = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -174,6 +199,7 @@ class DiscreteDistribution:
         dist = cls.__new__(cls)
         dist.values = values
         dist.probs = probs
+        dist._addrs = None
         return dist
 
     @classmethod
@@ -247,6 +273,10 @@ class DiscreteDistribution:
     def _convolve(
         self, other: "DiscreteDistribution", max_atoms: int, mode: str
     ) -> "DiscreteDistribution":
+        if mode == MODE_ADAPTIVE:
+            native_out = _native.convolve_dists(self, other, max_atoms)
+            if native_out is not None:
+                return native_out
         v = np.add.outer(self.values, other.values).ravel()
         p = np.multiply.outer(self.probs, other.probs).ravel()
         if mode == MODE_ADAPTIVE:
@@ -289,6 +319,9 @@ class DiscreteDistribution:
         self, other: "DiscreteDistribution", max_atoms: int, mode: str
     ) -> "DiscreteDistribution":
         if mode == MODE_ADAPTIVE:
+            native_out = _native.max_dists(self, other, max_atoms)
+            if native_out is not None:
+                return native_out
             grid = np.union1d(self.values, other.values)
         else:
             check_mode(mode)
@@ -358,6 +391,9 @@ class DiscreteDistribution:
             return self._truncate_rect(max_atoms)
         if self.n_atoms <= max_atoms:
             return self
+        native_out = _native.truncate_dist(self, max_atoms)
+        if native_out is not None:
+            return native_out
         cum = np.cumsum(self.probs)
         # bin index of each atom by cumulative probability
         bins = np.minimum(

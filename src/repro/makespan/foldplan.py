@@ -59,6 +59,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import EvaluationError
+from repro.makespan import native as _native
 from repro.makespan import profile as _profile
 from repro.makespan.batch import BatchDistribution, rows_of, two_state_rows
 from repro.makespan.distribution import (
@@ -367,9 +368,27 @@ def execute_plans(work: Sequence[Tuple[_CellRun, FoldPlan]]) -> None:
             )
             if len(members) == 1 or routed:
                 if kind == _CONV:
-                    outs = [
-                        m[3]._convolve(m[4], max_atoms, mode) for m in members
-                    ]
+                    outs = None
+                    if routed:
+                        # One pooled native call for the whole group (the
+                        # group key guarantees uniform operand widths);
+                        # members the kernel declines fall back to the
+                        # scalar python path individually.
+                        pooled = _native.convolve_dists_many(
+                            [(m[3], m[4]) for m in members], max_atoms
+                        )
+                        if pooled is not None:
+                            outs = [
+                                d
+                                if d is not None
+                                else m[3]._convolve(m[4], max_atoms, mode)
+                                for m, d in zip(members, pooled)
+                            ]
+                    if outs is None:
+                        outs = [
+                            m[3]._convolve(m[4], max_atoms, mode)
+                            for m in members
+                        ]
                 else:
                     outs = [
                         m[3]._max_with(m[4], max_atoms, mode) for m in members

@@ -59,6 +59,19 @@ POOL_OPS = ("pool_step", "pool_exec", "pool_conv_routed")
 #: ``rows`` counts jobs per dispatch, ``scalar_rows`` total cells.
 DISPATCH_OPS = ("dispatch",)
 
+#: Compiled-kernel ops (:mod:`repro.makespan.native`); ``rows`` counts
+#: distribution rows the native path served.  Each has a paired
+#: ``native_miss_*`` op counting rows that fell back to the python
+#: reference (native disabled, build failed, or an input the compiled
+#: kernel declines — NaN supports, mixed infinities).
+NATIVE_OPS = (
+    "native_convolve",
+    "native_max",
+    "native_truncate",
+    "native_rect_bin",
+)
+NATIVE_MISS_OPS = tuple("native_miss_" + op[len("native_"):] for op in NATIVE_OPS)
+
 
 class KernelProfile:
     """Mutable per-op counters: calls, rows, scalar rows, wall seconds."""
@@ -134,6 +147,34 @@ class KernelProfile:
             return None
         return entry["rows"] / entry["calls"]
 
+    def native_rows(self) -> int:
+        """Rows served by the compiled kernels."""
+        return sum(
+            int(self.counters[op]["rows"])
+            for op in NATIVE_OPS
+            if op in self.counters
+        )
+
+    def native_miss_rows(self) -> int:
+        """Rows that fell back to the python reference kernels."""
+        return sum(
+            int(self.counters[op]["rows"])
+            for op in NATIVE_MISS_OPS
+            if op in self.counters
+        )
+
+    def native_ratio(self) -> Optional[float]:
+        """Share of native-eligible rows the compiled path absorbed.
+
+        ``None`` when no native-dispatched op ran at all (e.g. a rect-
+        mode-only sweep with native disabled records nothing).
+        """
+        served = self.native_rows()
+        missed = self.native_miss_rows()
+        if served + missed == 0:
+            return None
+        return served / (served + missed)
+
     def merge(self, snap: Dict[str, object]) -> None:
         """Fold a :meth:`snapshot` from another collector into this one.
 
@@ -170,17 +211,20 @@ class KernelProfile:
             "dispatches": self.dispatches(),
             "dispatch_jobs_mean": self.dispatch_jobs_mean(),
             "pool_width_mean": self.pool_width_mean(),
+            "native_rows": self.native_rows(),
+            "native_miss_rows": self.native_miss_rows(),
+            "native_ratio": self.native_ratio(),
             "elapsed_s": round(time.perf_counter() - self.started_at, 6),
         }
 
     def render(self) -> str:
         """Human-readable table for ``repro sweep --profile``."""
         lines = [
-            f"{'op':<16} {'calls':>9} {'rows':>10} {'scalar':>9} {'wall_s':>9}"
+            f"{'op':<21} {'calls':>9} {'rows':>10} {'scalar':>9} {'wall_s':>9}"
         ]
         for op, e in sorted(self.counters.items()):
             lines.append(
-                f"{op:<16} {int(e['calls']):>9} {int(e['rows']):>10} "
+                f"{op:<21} {int(e['calls']):>9} {int(e['rows']):>10} "
                 f"{int(e['scalar_rows']):>9} {e['wall_s']:>9.3f}"
             )
         ratio = self.scalar_fallback_ratio()
@@ -200,6 +244,12 @@ class KernelProfile:
         width = self.pool_width_mean()
         if width is not None:
             lines.append(f"pool width mean:       {width:.2f} cells")
+        nratio = self.native_ratio()
+        if nratio is not None:
+            lines.append(
+                f"native kernel rows:    {self.native_rows()} served, "
+                f"{self.native_miss_rows()} fallback ({nratio:.4f} native)"
+            )
         return "\n".join(lines)
 
 

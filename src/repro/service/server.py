@@ -97,6 +97,7 @@ from repro.engine.records import record_to_dict
 from repro.engine.sweep import SweepSpec
 from repro.errors import ReproError, ServiceError
 from repro.engine.sweep import EVAL_SEED_POLICIES
+from repro.makespan import native as native_kernels
 from repro.makespan import profile as kernel_profile
 from repro.service.fingerprint import (
     grid_sensitive,
@@ -386,6 +387,9 @@ class _Handler(BaseHTTPRequestHandler):
                     "last_batch_sizes": list(sched.last_batch_sizes),
                 },
                 "backend": svc.backend_name,
+                # Which distribution-kernel backend serves this process
+                # (compiled native vs pure-python reference) and why.
+                "kernels": native_kernels.status(),
                 "work_queue": svc.work_queue.stats(),
                 "workers": svc.work_queue.workers(),
                 # Present only while kernel profiling is live (serve
